@@ -1,0 +1,56 @@
+// Shared helpers for the benchmark binaries: each bench regenerates one
+// table or figure from the paper's evaluation (§5) and prints the measured
+// series next to the paper's reported values where available.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/jax_mc.h"
+#include "baselines/microbench.h"
+#include "baselines/pathways_driver.h"
+#include "baselines/raylike.h"
+#include "baselines/tf1.h"
+#include "hw/cluster.h"
+#include "sim/simulator.h"
+
+namespace pw::bench {
+
+inline void Header(const std::string& title, const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+// Measures one (system, mode) point on a fresh config-A cluster.
+inline double MeasureSystem(const std::string& system, int hosts,
+                            const baselines::MicrobenchSpec& spec) {
+  using namespace baselines;
+  sim::Simulator sim;
+  if (system == "JAX") {
+    auto cluster = hw::Cluster::ConfigA(&sim, hosts);
+    JaxMultiController jax(cluster.get());
+    return jax.Measure(spec).computations_per_sec;
+  }
+  if (system == "PW") {
+    auto cluster = hw::Cluster::ConfigA(&sim, hosts);
+    PathwaysDriver pw(cluster.get());
+    return pw.Measure(spec).computations_per_sec;
+  }
+  if (system == "TF") {
+    auto cluster = hw::Cluster::ConfigA(&sim, hosts);
+    Tf1SingleController tf(cluster.get());
+    return tf.Measure(spec).computations_per_sec;
+  }
+  if (system == "Ray") {
+    auto cluster = hw::Cluster::GpuVm(&sim, hosts);
+    RayLike ray(cluster.get());
+    return ray.Measure(spec).computations_per_sec;
+  }
+  std::fprintf(stderr, "unknown system %s\n", system.c_str());
+  return 0;
+}
+
+}  // namespace pw::bench

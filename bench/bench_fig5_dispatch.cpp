@@ -1,0 +1,78 @@
+// Figure 5: dispatch overhead of Pathways vs TF, JAX, and Ray.
+//
+// Workload: repeated gang-scheduled computations, each a scalar AllReduce
+// followed by a scalar add, in OpByOp / Chained(128) / Fused(128) modes.
+// Paper shape to reproduce:
+//   * JAX-F ~ PW-F (parity to ~1000 cores), on top;
+//   * PW-C above JAX-O up to ~256 cores;
+//   * single-controller TF and out-of-the-box Ray an order of magnitude
+//     (or more) below, with TF-O worst at scale.
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace pw;
+  using namespace pw::baselines;
+  bench::Header(
+      "Figure 5: computations/sec vs number of hosts (config A, 4 TPU/host)",
+      "JAX-F ~= PW-F > PW-C > JAX-O > Ray-F > TF-C > PW-O > Ray-C > Ray-O "
+      "> TF-O");
+
+  const std::vector<int> tpu_hosts = {2, 8, 32, 128};
+  const std::vector<int> big_hosts = {256, 512};  // fused modes only
+
+  MicrobenchSpec spec;
+  spec.unit_compute = Duration::Micros(1);
+  spec.chain_length = 128;
+  spec.warmup = Duration::Millis(50);
+  spec.measure = Duration::Millis(400);
+
+  struct Row {
+    const char* label;
+    const char* system;
+    CallMode mode;
+  };
+  const std::vector<Row> rows = {
+      {"JAX-F", "JAX", CallMode::kFused},   {"PW-F", "PW", CallMode::kFused},
+      {"PW-C", "PW", CallMode::kChained},   {"JAX-O", "JAX", CallMode::kOpByOp},
+      {"Ray-F", "Ray", CallMode::kFused},   {"TF-C", "TF", CallMode::kChained},
+      {"PW-O", "PW", CallMode::kOpByOp},    {"Ray-C", "Ray", CallMode::kChained},
+      {"Ray-O", "Ray", CallMode::kOpByOp},  {"TF-O", "TF", CallMode::kOpByOp},
+  };
+
+  std::printf("%-7s", "system");
+  for (int h : tpu_hosts) std::printf("%11s", ("h=" + std::to_string(h)).c_str());
+  for (int h : big_hosts) std::printf("%11s", ("h=" + std::to_string(h)).c_str());
+  std::printf("   (computations/sec)\n");
+
+  for (const Row& row : rows) {
+    std::printf("%-7s", row.label);
+    MicrobenchSpec s = spec;
+    s.mode = row.mode;
+    // Chained programs are long (a 128-node program at 512 shards carries
+    // ~1.1 s of per-shard descriptor work); widen the window so several
+    // whole programs land inside it.
+    if (row.mode == CallMode::kChained) {
+      s.max_inflight_calls = 2;
+      s.warmup = Duration::Seconds(1.5);
+      s.measure = Duration::Seconds(5);
+    }
+    for (int h : tpu_hosts) {
+      // Ray's GPU-VM fleet tops out far below TPU-pod host counts.
+      const int hosts = (std::string(row.system) == "Ray" && h > 64) ? 64 : h;
+      std::printf("%11.0f", bench::MeasureSystem(row.system, hosts, s));
+    }
+    if (row.mode == CallMode::kFused &&
+        (std::string(row.system) == "JAX" || std::string(row.system) == "PW")) {
+      for (int h : big_hosts) {
+        std::printf("%11.0f", bench::MeasureSystem(row.system, h, s));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape checks: PW-F/JAX-F parity, PW-C > JAX-O at <=64 hosts, "
+      "TF-O slowest.\n");
+  return 0;
+}

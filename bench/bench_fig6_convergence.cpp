@@ -1,0 +1,86 @@
+// Figure 6: smallest computation that masks Pathways' single-controller
+// overhead relative to multi-controller JAX.
+//
+// Paper: parity at ~2.3 ms per computation for 16 hosts / 128 TPUs
+// (config B) and ~35 ms for 512 hosts / 2048 TPUs (config A). In our
+// calibration the overhead is the scheduler's per-device dispatch fan-out
+// (17 us/device serialized on the coordinator thread): 128 x 17us = 2.2 ms,
+// 2048 x 17us = 34.8 ms.
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+double MeasureJax(bool config_b, int hosts, pw::Duration compute) {
+  using namespace pw;
+  sim::Simulator sim;
+  auto cluster = config_b ? hw::Cluster::ConfigB(&sim, hosts)
+                          : hw::Cluster::ConfigA(&sim, hosts);
+  baselines::JaxMultiController jax(cluster.get());
+  baselines::MicrobenchSpec spec;
+  spec.mode = baselines::CallMode::kOpByOp;
+  spec.unit_compute = compute;
+  spec.warmup = std::max(Duration::Millis(20), compute * 10);
+  spec.measure = std::max(Duration::Millis(200), compute * 40);
+  return jax.Measure(spec).computations_per_sec;
+}
+
+double MeasurePw(bool config_b, int hosts, pw::Duration compute) {
+  using namespace pw;
+  sim::Simulator sim;
+  auto cluster = config_b ? hw::Cluster::ConfigB(&sim, hosts)
+                          : hw::Cluster::ConfigA(&sim, hosts);
+  baselines::PathwaysDriver pw_driver(cluster.get());
+  baselines::MicrobenchSpec spec;
+  // Per-computation dispatch, pipelined: each computation is its own
+  // single-node program, several in flight (the PW-C regime with chain 1).
+  spec.mode = baselines::CallMode::kChained;
+  spec.chain_length = 1;
+  spec.unit_compute = compute;
+  spec.max_inflight_calls = 8;
+  // Steady state needs the full in-flight window to drain through the
+  // client thread (8 x ~35 ms at 2048 shards) before measuring.
+  spec.warmup = std::max(Duration::Millis(400), compute * 12);
+  spec.measure = std::max(Duration::Seconds(1.5), compute * 40);
+  return pw_driver.Measure(spec).computations_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pw;
+  bench::Header(
+      "Figure 6: throughput vs computation time, JAX vs Pathways",
+      "parity at ~2.3 ms (16 hosts / 128 TPUs, config B) and ~35 ms "
+      "(512 hosts / 2048 TPUs, config A)");
+
+  struct Setup {
+    const char* label;
+    bool config_b;
+    int hosts;
+  };
+  const std::vector<Setup> setups = {{"16 hosts (B), 128 TPUs", true, 16},
+                                     {"512 hosts (A), 2048 TPUs", false, 512}};
+  const std::vector<double> compute_ms = {0.1, 0.33, 1.0, 2.3, 5.0,
+                                          10.0, 35.0, 100.0};
+
+  for (const Setup& s : setups) {
+    std::printf("\n-- %s --\n", s.label);
+    std::printf("%12s %14s %14s %8s\n", "compute(ms)", "JAX(comp/s)",
+                "PW(comp/s)", "PW/JAX");
+    double convergence_ms = -1;
+    for (const double ms : compute_ms) {
+      const double jax = MeasureJax(s.config_b, s.hosts, Duration::Millis(ms));
+      const double pw_rate = MeasurePw(s.config_b, s.hosts, Duration::Millis(ms));
+      const double ratio = pw_rate / jax;
+      std::printf("%12.2f %14.1f %14.1f %8.3f\n", ms, jax, pw_rate, ratio);
+      if (convergence_ms < 0 && ratio >= 0.95) convergence_ms = ms;
+    }
+    std::printf("measured convergence (PW >= 95%% of JAX): %.2f ms  "
+                "[paper: %s]\n",
+                convergence_ms, s.config_b ? "2.3 ms" : "35 ms");
+  }
+  return 0;
+}

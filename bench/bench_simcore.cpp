@@ -1,0 +1,66 @@
+// Wall-clock microbenchmarks of the simulation substrate itself (google-
+// benchmark): event throughput, future fan-out, end-to-end program cost.
+// These bound how large a cluster the figure benches can afford to model.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "hw/cluster.h"
+#include "pathways/pathways.h"
+#include "sim/future.h"
+#include "sim/simulator.h"
+#include "xlasim/compiled_function.h"
+
+namespace {
+
+using namespace pw;
+
+void BM_EventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.Schedule(Duration::Nanos(i % 997), [] {});
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventLoop)->Arg(1000)->Arg(100000);
+
+void BM_FutureFanout(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::SimPromise<int> p(&sim);
+    int sink = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      p.future().Then([&sink](const int& v) { sink += v; });
+    }
+    p.Set(1);
+    sim.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FutureFanout)->Arg(1000)->Arg(10000);
+
+void BM_SingleNodeProgram(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    auto cluster = hw::Cluster::ConfigA(&sim, static_cast<int>(state.range(0)));
+    pathways::PathwaysRuntime runtime(cluster.get(), {});
+    pathways::Client* client = runtime.CreateClient();
+    auto slice = client->AllocateSlice(cluster->num_devices()).value();
+    auto fn = xlasim::CompiledFunction::Synthetic(
+        "op", cluster->num_devices(), Duration::Micros(100),
+        net::CollectiveKind::kAllReduce, 4);
+    auto r = client->RunFunction(fn, slice);
+    sim.Run();
+    benchmark::DoNotOptimize(r.ready());
+  }
+}
+BENCHMARK(BM_SingleNodeProgram)->Arg(2)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

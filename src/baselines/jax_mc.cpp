@@ -1,0 +1,111 @@
+#include "baselines/jax_mc.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace pw::baselines {
+
+JaxMultiController::JaxMultiController(hw::Cluster* cluster)
+    : cluster_(cluster), rng_(cluster->params().seed ^ 0x9a9a) {
+  PW_CHECK_EQ(cluster_->num_islands(), 1)
+      << "multi-controller JAX cannot span islands (XLA collectives are "
+      << "ICI-only; the paper's motivation for Pathways)";
+  controllers_.reserve(static_cast<std::size_t>(cluster_->num_hosts()));
+  for (int h = 0; h < cluster_->num_hosts(); ++h) {
+    HostController hc;
+    hc.host = &cluster_->host(h);
+    hc.python = std::make_unique<sim::SerialResource>(
+        &cluster_->simulator(), "python" + std::to_string(h));
+    controllers_.push_back(std::move(hc));
+  }
+}
+
+Duration JaxMultiController::UnitKernelTime(const MicrobenchSpec& spec) const {
+  const net::CollectiveModel& model = cluster_->island(0).collectives();
+  return model.AllReduce(/*bytes=*/4, cluster_->num_devices()) +
+         spec.unit_compute;
+}
+
+std::shared_ptr<hw::CollectiveGroup> JaxMultiController::GroupForStep(
+    std::int64_t step) {
+  auto& slot = groups_[step];
+  if (slot == nullptr) {
+    slot = std::make_shared<hw::CollectiveGroup>(
+        &cluster_->simulator(), &cluster_->island(0).collectives(),
+        net::CollectiveKind::kAllReduce, cluster_->num_devices(),
+        "jax_step" + std::to_string(step));
+  }
+  return slot;
+}
+
+void JaxMultiController::PumpHost(HostController* hc,
+                                  const MicrobenchSpec& spec) {
+  if (hc->inflight >= spec.max_inflight_calls) return;
+  ++hc->inflight;
+  const std::int64_t step = hc->next_step++;
+  const hw::SystemParams& params = cluster_->params();
+
+  // Interpreter overhead for the user-level call, jittered.
+  const Duration python = params.python_call_overhead *
+                          (1.0 + rng_.NextExponential(params.host_jitter_frac));
+  // Note: `spec` outlives all events (Measure keeps a member copy).
+  hc->python->Submit(python, [this, hc, step, &spec] {
+    const hw::SystemParams& p = cluster_->params();
+    // The call covers `n_computations` device computations:
+    //   OpByOp: 1 per call;  Fused: chain_length fused into one kernel.
+    const bool fused = spec.mode == CallMode::kFused;
+    const int n_computations = fused ? spec.chain_length : 1;
+    // Fused chains keep the collectives inside one kernel: one gang
+    // rendezvous, then (chain_length - 1) more unit computations of fused
+    // execution.
+    const Duration fused_body =
+        fused ? (UnitKernelTime(spec) * (n_computations - 1)) : Duration::Zero();
+    auto latch = std::make_shared<sim::CountdownLatch>(
+        &cluster_->simulator(), static_cast<int>(hc->host->devices().size()));
+    latch->done().Then([this, hc, &spec](const sim::Unit&) {
+      --hc->inflight;
+      if (counting_) ++gang_steps_done_;
+      PumpHost(hc, spec);
+    });
+    for (hw::Device* dev : hc->host->devices()) {
+      hw::KernelDesc kernel;
+      kernel.label = fused ? "jax_fused" : "jax_op";
+      kernel.client = 0;
+      kernel.pre_time = Duration::Zero();
+      kernel.collective = GroupForStep(step);
+      kernel.collective_bytes = 4;
+      kernel.post_time = spec.unit_compute + fused_body;
+      hc->host->DispatchKernel(dev, std::move(kernel),
+                               p.host_kernel_dispatch_cost)
+          .Then([latch](const sim::Unit&) { latch->CountDown(); });
+    }
+    // Python proceeds to the next call immediately (async dispatch).
+    PumpHost(hc, spec);
+  });
+}
+
+MicrobenchResult JaxMultiController::Measure(const MicrobenchSpec& spec) {
+  PW_CHECK(spec.mode != CallMode::kChained)
+      << "there is no analog of Chained for a multi-controller (paper §5.1)";
+  spec_ = spec;  // keep alive for in-flight event lambdas
+  sim::Simulator& sim = cluster_->simulator();
+  gang_steps_done_ = 0;
+  counting_ = false;
+  for (auto& hc : controllers_) PumpHost(&hc, spec_);
+  sim.RunFor(spec_.warmup);
+  counting_ = true;
+  sim.RunFor(spec_.measure);
+  counting_ = false;
+  const double secs = spec_.measure.ToSeconds();
+  // Every host counts each gang step once; normalize to whole-gang steps.
+  const double gangs =
+      static_cast<double>(gang_steps_done_) / cluster_->num_hosts();
+  const int per_call = spec_.mode == CallMode::kFused ? spec_.chain_length : 1;
+  MicrobenchResult result;
+  result.calls_per_sec = gangs / secs;
+  result.computations_per_sec = gangs * per_call / secs;
+  return result;
+}
+
+}  // namespace pw::baselines

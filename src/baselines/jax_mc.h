@@ -1,0 +1,57 @@
+// JAX-style multi-controller baseline (paper §2, Fig. 1a).
+//
+// One controller per host runs an identical copy of the user program.
+// Each user-level call pays interpreter overhead on the host ("transitions
+// to Python for every computation"), then enqueues kernels for the host's
+// local devices over PCIe — there is no cross-host control plane at all;
+// hosts coordinate only through the gang collective inside the kernels.
+// Dispatch is asynchronous: a controller keeps up to `max_inflight_calls`
+// steps enqueued ahead, so throughput is min(python rate, device rate) —
+// the low-dispatch-latency behaviour Pathways has to match.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/microbench.h"
+#include "common/rng.h"
+#include "hw/cluster.h"
+#include "sim/serial_resource.h"
+
+namespace pw::baselines {
+
+class JaxMultiController {
+ public:
+  explicit JaxMultiController(hw::Cluster* cluster);
+
+  // Runs the micro-benchmark across all devices of the cluster and returns
+  // steady-state throughput. Drives the cluster's simulator.
+  MicrobenchResult Measure(const MicrobenchSpec& spec);
+
+  // Per-step gang time on the device for one computation (collective +
+  // scalar add), exposed for calibration and tests.
+  Duration UnitKernelTime(const MicrobenchSpec& spec) const;
+
+ private:
+  struct HostController {
+    hw::Host* host = nullptr;
+    std::unique_ptr<sim::SerialResource> python;
+    int inflight = 0;
+    std::int64_t next_step = 0;
+  };
+
+  void PumpHost(HostController* hc, const MicrobenchSpec& spec);
+  std::shared_ptr<hw::CollectiveGroup> GroupForStep(std::int64_t step);
+
+  hw::Cluster* cluster_;
+  Rng rng_;
+  MicrobenchSpec spec_;
+  std::vector<HostController> controllers_;
+  std::map<std::int64_t, std::shared_ptr<hw::CollectiveGroup>> groups_;
+  std::int64_t gang_steps_done_ = 0;
+  bool counting_ = false;
+};
+
+}  // namespace pw::baselines

@@ -1,0 +1,46 @@
+// Shared vocabulary for the paper's §5.1 dispatch-overhead micro-benchmark.
+//
+// The workload: "a trivial gang-scheduled computation containing a single
+// AllReduce of a scalar followed by a scalar addition, feeding the output of
+// one computation to the input of the next". Three enqueue modes:
+//   OpByOp  (-O): one user-level call per computation.
+//   Chained (-C): one call executes a chain of 128 nodes (system-side chain).
+//   Fused   (-F): one call executes a single node containing a chain of 128
+//                 computations (compiler-side fusion).
+#pragma once
+
+#include "common/units.h"
+
+namespace pw::baselines {
+
+enum class CallMode { kOpByOp, kChained, kFused };
+
+inline const char* CallModeName(CallMode m) {
+  switch (m) {
+    case CallMode::kOpByOp: return "O";
+    case CallMode::kChained: return "C";
+    case CallMode::kFused: return "F";
+  }
+  return "?";
+}
+
+struct MicrobenchSpec {
+  CallMode mode = CallMode::kOpByOp;
+  int chain_length = 128;  // nodes per call for -C / computations per node for -F
+  // Device time of the scalar addition part of one computation; the
+  // AllReduce part is charged by each system's own collective model.
+  Duration unit_compute = Duration::Micros(1);
+  // Measurement window (simulated time).
+  Duration warmup = Duration::Millis(20);
+  Duration measure = Duration::Millis(200);
+  // How many user-level calls may be in flight at once (async dispatch
+  // pipelining; 1 reproduces a strictly synchronous client).
+  int max_inflight_calls = 8;
+};
+
+struct MicrobenchResult {
+  double computations_per_sec = 0;
+  double calls_per_sec = 0;
+};
+
+}  // namespace pw::baselines

@@ -1,0 +1,101 @@
+#include "baselines/pathways_driver.h"
+
+#include "common/logging.h"
+
+namespace pw::baselines {
+
+PathwaysDriver::PathwaysDriver(hw::Cluster* cluster,
+                               pathways::PathwaysOptions options)
+    : cluster_(cluster) {
+  runtime_ = std::make_unique<pathways::PathwaysRuntime>(cluster, options);
+  client_ = runtime_->CreateClient();
+  slice_ = client_->AllocateSlice(cluster_->num_devices()).value();
+}
+
+Duration PathwaysDriver::UnitKernelTime(const MicrobenchSpec& spec) const {
+  return cluster_->island(0).collectives().AllReduce(4, cluster_->num_devices()) +
+         spec.unit_compute;
+}
+
+std::unique_ptr<pathways::PathwaysProgram> PathwaysDriver::BuildProgram(
+    const MicrobenchSpec& spec) {
+  using xlasim::CompiledFunction;
+  const int shards = cluster_->num_devices();
+  pathways::ProgramBuilder pb("micro");
+  switch (spec.mode) {
+    case CallMode::kOpByOp: {
+      auto fn = CompiledFunction::Synthetic("op", shards, spec.unit_compute,
+                                            net::CollectiveKind::kAllReduce, 4);
+      pb.Call(fn, slice_, {});
+      break;
+    }
+    case CallMode::kChained: {
+      auto fn = CompiledFunction::Synthetic("link", shards, spec.unit_compute,
+                                            net::CollectiveKind::kAllReduce, 4);
+      pathways::ValueRef v = pb.Call(fn, slice_, {});
+      for (int i = 1; i < spec.chain_length; ++i) {
+        v = pb.Call(fn, slice_, {v});
+      }
+      pb.Result(v);
+      break;
+    }
+    case CallMode::kFused: {
+      // One kernel: a single rendezvous then the fused chain body — the same
+      // kernel shape the JAX baseline compiles (collectives stay on-device).
+      const Duration body =
+          spec.unit_compute + UnitKernelTime(spec) * (spec.chain_length - 1);
+      auto fn = CompiledFunction::Synthetic("fused", shards, body,
+                                            net::CollectiveKind::kAllReduce, 4);
+      pb.Call(fn, slice_, {});
+      break;
+    }
+  }
+  return std::make_unique<pathways::PathwaysProgram>(std::move(pb).Build());
+}
+
+void PathwaysDriver::Pump() {
+  if (!running_) return;
+  const int window =
+      spec_.mode == CallMode::kOpByOp ? 1 : spec_.max_inflight_calls;
+  while (inflight_ < window) {
+    ++inflight_;
+    client_->Run(program_.get())
+        .Then([this](const pathways::ExecutionResult& result) {
+          --inflight_;
+          if (counting_) {
+            computations_done_ += spec_.mode == CallMode::kOpByOp
+                                      ? 1
+                                      : spec_.chain_length;
+          }
+          // Micro-benchmark results are scalars: release immediately.
+          for (const auto& out : result.outputs) {
+            runtime_->object_store().Release(out.id);
+          }
+          Pump();
+        });
+  }
+}
+
+MicrobenchResult PathwaysDriver::Measure(const MicrobenchSpec& spec) {
+  spec_ = spec;
+  program_ = BuildProgram(spec_);
+  computations_done_ = 0;
+  counting_ = false;
+  running_ = true;
+  Pump();
+  sim::Simulator& sim = cluster_->simulator();
+  sim.RunFor(spec_.warmup);
+  counting_ = true;
+  sim.RunFor(spec_.measure);
+  counting_ = false;
+  running_ = false;
+  sim.Run();
+  MicrobenchResult result;
+  result.computations_per_sec =
+      static_cast<double>(computations_done_) / spec_.measure.ToSeconds();
+  const int per_call = spec_.mode == CallMode::kOpByOp ? 1 : spec_.chain_length;
+  result.calls_per_sec = result.computations_per_sec / per_call;
+  return result;
+}
+
+}  // namespace pw::baselines

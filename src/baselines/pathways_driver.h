@@ -1,0 +1,51 @@
+// Drives the Pathways runtime through the §5.1 micro-benchmark so it can be
+// compared head-to-head with the baselines (Fig. 5/6/8).
+//
+//   PW-O: one single-node program per call; the client waits for the output
+//         handles of each call before issuing the next (the overhead source
+//         the paper names for OpByOp).
+//   PW-C: one traced program per call containing a chain of `chain_length`
+//         nodes; the runtime executes the chain back-to-back from C++.
+//   PW-F: one single-node program whose node fuses `chain_length`
+//         computations (same kernel shape as JAX-F).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/microbench.h"
+#include "hw/cluster.h"
+#include "pathways/pathways.h"
+
+namespace pw::baselines {
+
+class PathwaysDriver {
+ public:
+  // Constructs a runtime over `cluster` (single island) with one client.
+  PathwaysDriver(hw::Cluster* cluster, pathways::PathwaysOptions options = {});
+
+  MicrobenchResult Measure(const MicrobenchSpec& spec);
+
+  Duration UnitKernelTime(const MicrobenchSpec& spec) const;
+  pathways::PathwaysRuntime& runtime() { return *runtime_; }
+  pathways::Client* client() { return client_; }
+
+ private:
+  void Pump();
+  std::unique_ptr<pathways::PathwaysProgram> BuildProgram(
+      const MicrobenchSpec& spec);
+
+  hw::Cluster* cluster_;
+  std::unique_ptr<pathways::PathwaysRuntime> runtime_;
+  pathways::Client* client_;
+  pathways::VirtualSlice slice_;
+  MicrobenchSpec spec_;
+  std::unique_ptr<pathways::PathwaysProgram> program_;
+  int inflight_ = 0;
+  std::int64_t computations_done_ = 0;
+  bool counting_ = false;
+  bool running_ = false;
+};
+
+}  // namespace pw::baselines

@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace pw {
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kWarning};
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kFatal: return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetMinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+void SetMinLogLevel(LogLevel level) { g_min_level.store(level, std::memory_order_relaxed); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  // Trim the path to the basename for readability.
+  std::string_view path(file);
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string_view::npos) path.remove_prefix(slash + 1);
+  stream_ << "[" << LevelName(level) << " " << path << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  if (level_ == LogLevel::kFatal) {
+    std::cerr.flush();
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace pw

@@ -1,0 +1,76 @@
+// Lightweight logging and invariant-checking macros.
+//
+// PW_CHECK* terminate the process on violation — they guard programming
+// errors (broken invariants), not recoverable conditions (use pw::Status).
+// PW_LOG(level) streams to stderr; verbosity is controlled globally so
+// benchmarks can silence info logs.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace pw {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Global minimum level actually emitted. Defaults to kWarning so tests and
+// benches are quiet; examples raise it to kInfo.
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed operands when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+}  // namespace pw
+
+#define PW_LOG(level)                                                      \
+  if (::pw::LogLevel::level < ::pw::GetMinLogLevel()) {                    \
+  } else                                                                   \
+    ::pw::internal::LogMessage(::pw::LogLevel::level, __FILE__, __LINE__)  \
+        .stream()
+
+#define PW_CHECK(cond)                                                       \
+  if (cond) {                                                                \
+  } else                                                                     \
+    ::pw::internal::LogMessage(::pw::LogLevel::kFatal, __FILE__, __LINE__)   \
+            .stream()                                                        \
+        << "Check failed: " #cond " "
+
+#define PW_CHECK_OP_(a, b, op)                                           \
+  PW_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define PW_CHECK_EQ(a, b) PW_CHECK_OP_(a, b, ==)
+#define PW_CHECK_NE(a, b) PW_CHECK_OP_(a, b, !=)
+#define PW_CHECK_LT(a, b) PW_CHECK_OP_(a, b, <)
+#define PW_CHECK_LE(a, b) PW_CHECK_OP_(a, b, <=)
+#define PW_CHECK_GT(a, b) PW_CHECK_OP_(a, b, >)
+#define PW_CHECK_GE(a, b) PW_CHECK_OP_(a, b, >=)
+
+#define PW_CHECK_OK(expr)                                 \
+  do {                                                    \
+    const auto& pw_check_ok_status_ = (expr);             \
+    PW_CHECK(pw_check_ok_status_.ok())                    \
+        << pw_check_ok_status_.ToString();                \
+  } while (0)

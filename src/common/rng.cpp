@@ -1,0 +1,24 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace pw {
+
+double Rng::NextExponential(double mean) {
+  // Inverse CDF; clamp u away from 0 to avoid log(0).
+  double u = NextDouble();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+double Rng::NextNormal(double mean, double stddev) {
+  // Box-Muller using two fresh uniforms each call; simple and deterministic.
+  double u1 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  return mean + stddev * r * std::cos(theta);
+}
+
+}  // namespace pw

@@ -1,0 +1,70 @@
+// Online statistics helpers used by benchmarks and the trace recorder.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace pw {
+
+// Streaming mean/variance (Welford) with min/max.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Stores samples for exact percentile queries. Suitable for the modest
+// sample counts benchmarks produce (≤ millions).
+class PercentileSampler {
+ public:
+  void Add(double x) { samples_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return samples_.size(); }
+
+  // p in [0, 100]. Returns 0 for an empty sampler.
+  double Percentile(double p);
+  double Median() { return Percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+// Fixed-bucket histogram over [lo, hi) for utilization traces.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+  std::int64_t bucket_count(int i) const { return counts_.at(static_cast<std::size_t>(i)); }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  std::int64_t total() const { return total_; }
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+};
+
+}  // namespace pw

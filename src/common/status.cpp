@@ -1,0 +1,57 @@
+#include "common/status.h"
+
+namespace pw {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status OkStatus() { return Status(); }
+
+namespace {
+Status Make(StatusCode code, std::string_view msg) {
+  return Status(code, std::string(msg));
+}
+}  // namespace
+
+Status CancelledError(std::string_view m) { return Make(StatusCode::kCancelled, m); }
+Status InvalidArgumentError(std::string_view m) { return Make(StatusCode::kInvalidArgument, m); }
+Status DeadlineExceededError(std::string_view m) { return Make(StatusCode::kDeadlineExceeded, m); }
+Status NotFoundError(std::string_view m) { return Make(StatusCode::kNotFound, m); }
+Status AlreadyExistsError(std::string_view m) { return Make(StatusCode::kAlreadyExists, m); }
+Status ResourceExhaustedError(std::string_view m) { return Make(StatusCode::kResourceExhausted, m); }
+Status FailedPreconditionError(std::string_view m) { return Make(StatusCode::kFailedPrecondition, m); }
+Status AbortedError(std::string_view m) { return Make(StatusCode::kAborted, m); }
+Status OutOfRangeError(std::string_view m) { return Make(StatusCode::kOutOfRange, m); }
+Status UnimplementedError(std::string_view m) { return Make(StatusCode::kUnimplemented, m); }
+Status InternalError(std::string_view m) { return Make(StatusCode::kInternal, m); }
+Status UnavailableError(std::string_view m) { return Make(StatusCode::kUnavailable, m); }
+
+}  // namespace pw

@@ -1,0 +1,59 @@
+// StrongId<Tag>: a zero-cost, type-safe integer identifier. Prevents mixing
+// up DeviceId / HostId / ProgramId etc. at compile time — the Pathways
+// runtime routes everything by id, so this catches a whole bug class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace pw {
+
+template <typename Tag>
+class StrongId {
+ public:
+  using ValueType = std::int64_t;
+
+  constexpr StrongId() = default;  // invalid id (-1)
+  constexpr explicit StrongId(ValueType value) : value_(value) {}
+
+  constexpr ValueType value() const { return value_; }
+  constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(StrongId a, StrongId b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(StrongId a, StrongId b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(StrongId a, StrongId b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  ValueType value_ = -1;
+};
+
+// Hands out sequential ids for a given tag. Not thread-safe; the simulator
+// is single-threaded by design.
+template <typename Tag>
+class IdGenerator {
+ public:
+  StrongId<Tag> Next() { return StrongId<Tag>(next_++); }
+  std::int64_t issued() const { return next_; }
+
+ private:
+  std::int64_t next_ = 0;
+};
+
+}  // namespace pw
+
+namespace std {
+template <typename Tag>
+struct hash<pw::StrongId<Tag>> {
+  size_t operator()(pw::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,96 @@
+#include "hw/cluster.h"
+
+namespace pw::hw {
+
+Island::Island(sim::Simulator* sim, IslandId id, const SystemParams& params)
+    : sim_(sim), id_(id), params_(params), collective_model_(params.ici) {}
+
+void Island::AddDevice(Device* d) {
+  devices_.push_back(d);
+  egress_.push_back(std::make_unique<net::Link>(
+      sim_, "ici" + std::to_string(d->id().value()), params_.ici_ptp_latency,
+      params_.ici_ptp_bandwidth));
+}
+
+sim::SimFuture<sim::Unit> Island::Transfer(DeviceId src, DeviceId dst, Bytes bytes) {
+  // Locate the source device's egress link within this island.
+  net::Link* link = nullptr;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i]->id() == src) {
+      link = egress_[i].get();
+      break;
+    }
+  }
+  PW_CHECK(link != nullptr) << "device " << src << " not in island " << id_;
+  bool dst_found = false;
+  for (const Device* d : devices_) {
+    if (d->id() == dst) {
+      dst_found = true;
+      break;
+    }
+  }
+  PW_CHECK(dst_found) << "device " << dst << " not in island " << id_
+                      << " (cross-island transfers must use the DCN)";
+  ici_bytes_ += bytes;
+  return link->TransferAsync(bytes);
+}
+
+Cluster::Cluster(sim::Simulator* sim, const SystemParams& params, int islands,
+                 int hosts_per_island, int devices_per_host)
+    : sim_(sim), params_(params), dcn_(sim, params.dcn) {
+  PW_CHECK_GE(islands, 1);
+  PW_CHECK_GE(hosts_per_island, 1);
+  PW_CHECK_GE(devices_per_host, 1);
+  IdGenerator<DeviceTag> device_ids;
+  std::int64_t next_host = 0;
+  for (int isl = 0; isl < islands; ++isl) {
+    auto island = std::make_unique<Island>(sim, IslandId(isl), params_);
+    for (int h = 0; h < hosts_per_island; ++h) {
+      auto host = std::make_unique<Host>(sim, HostId(next_host++), params_, &dcn_);
+      island->AddHost(host.get());
+      for (int d = 0; d < devices_per_host; ++d) {
+        auto dev = std::make_unique<Device>(sim, device_ids.Next(), IslandId(isl),
+                                            params_.hbm_capacity,
+                                            params_.kernel_launch_overhead,
+                                            &trace_);
+        host->AttachDevice(dev.get());
+        island->AddDevice(dev.get());
+        host_of_.push_back(host.get());
+        devices_.push_back(std::move(dev));
+      }
+      hosts_.push_back(std::move(host));
+    }
+    islands_.push_back(std::move(island));
+  }
+}
+
+std::unique_ptr<Cluster> Cluster::ConfigA(sim::Simulator* sim, int hosts,
+                                          SystemParams params) {
+  PW_CHECK_LE(hosts, 512) << "config A tops out at 512 hosts (2048 TPUs)";
+  return std::make_unique<Cluster>(sim, params, /*islands=*/1, hosts,
+                                   /*devices_per_host=*/4);
+}
+
+std::unique_ptr<Cluster> Cluster::ConfigB(sim::Simulator* sim, int hosts,
+                                          SystemParams params) {
+  PW_CHECK_LE(hosts, 64) << "config B tops out at 64 hosts (512 TPUs)";
+  return std::make_unique<Cluster>(sim, params, /*islands=*/1, hosts,
+                                   /*devices_per_host=*/8);
+}
+
+std::unique_ptr<Cluster> Cluster::ConfigC(sim::Simulator* sim, SystemParams params) {
+  // Four islands, each 4 hosts x 8 TPUs = 32 TPUs per island.
+  return std::make_unique<Cluster>(sim, params, /*islands=*/4,
+                                   /*hosts_per_island=*/4,
+                                   /*devices_per_host=*/8);
+}
+
+std::unique_ptr<Cluster> Cluster::GpuVm(sim::Simulator* sim, int hosts,
+                                        SystemParams params) {
+  // Every VM is its own "island" of one GPU; all communication is DCN.
+  return std::make_unique<Cluster>(sim, params, /*islands=*/hosts,
+                                   /*hosts_per_island=*/1,
+                                   /*devices_per_host=*/1);
+}
+
+}  // namespace pw::hw

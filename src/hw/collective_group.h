@@ -1,0 +1,84 @@
+// Rendezvous object for one dynamic instance of a collective operation.
+//
+// TPU-like devices are single-threaded and non-preemptible: once a device's
+// kernel reaches its collective it parks at the rendezvous until *all*
+// participants arrive (paper §2: "the system will deadlock if communicating
+// computations are not enqueued in a consistent order"). The group completes
+// max(arrival times) + CollectiveModel time; every participant's future
+// fires then.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "net/collective_model.h"
+#include "sim/future.h"
+#include "sim/simulator.h"
+
+namespace pw::hw {
+
+class CollectiveGroup {
+ public:
+  CollectiveGroup(sim::Simulator* sim, const net::CollectiveModel* model,
+                  net::CollectiveKind kind, int num_participants,
+                  std::string label = "collective")
+      : sim_(sim),
+        model_(model),
+        kind_(kind),
+        expected_(num_participants),
+        label_(std::move(label)) {
+    PW_CHECK_GE(num_participants, 1);
+  }
+
+  // A participant reached the collective with `bytes` payload per shard.
+  // The returned future completes when the collective completes (same
+  // simulated instant for all participants).
+  sim::SimFuture<sim::Unit> Arrive(Bytes bytes) {
+    PW_CHECK_LT(arrived_, expected_) << label_ << ": too many arrivals";
+    bytes_ = std::max(bytes_, bytes);
+    ++arrived_;
+    sim::SimPromise<sim::Unit> p(sim_);
+    auto fut = p.future();
+    waiting_.push_back(std::move(p));
+    if (arrived_ == expected_) {
+      const Duration comm = model_->Time(kind_, bytes_, expected_);
+      completion_time_ = sim_->now() + comm;
+      // Release all participants at the completion time.
+      auto waiters = std::make_shared<std::vector<sim::SimPromise<sim::Unit>>>(
+          std::move(waiting_));
+      waiting_.clear();
+      sim_->ScheduleAt(completion_time_, [waiters] {
+        for (auto& w : *waiters) w.Set(sim::Unit{});
+      });
+      complete_ = true;
+    }
+    return fut;
+  }
+
+  bool complete() const { return complete_; }
+  int arrived() const { return arrived_; }
+  int expected() const { return expected_; }
+  const std::string& label() const { return label_; }
+
+  // Deadlock-probe helper: participants are stuck here if some but not all
+  // arrived and the rendezvous can no longer make progress.
+  bool stalled() const { return !complete_ && arrived_ > 0; }
+
+ private:
+  sim::Simulator* sim_;
+  const net::CollectiveModel* model_;
+  net::CollectiveKind kind_;
+  int expected_;
+  std::string label_;
+  int arrived_ = 0;
+  Bytes bytes_ = 0;
+  bool complete_ = false;
+  TimePoint completion_time_;
+  std::vector<sim::SimPromise<sim::Unit>> waiting_;
+};
+
+}  // namespace pw::hw

@@ -1,0 +1,100 @@
+#include "hw/device.h"
+
+#include <sstream>
+
+namespace pw::hw {
+
+Device::Device(sim::Simulator* sim, DeviceId id, IslandId island,
+               Bytes hbm_capacity, Duration launch_overhead,
+               sim::TraceRecorder* trace)
+    : sim_(sim),
+      id_(id),
+      island_(island),
+      hbm_(sim, hbm_capacity),
+      launch_overhead_(launch_overhead),
+      trace_(trace) {
+  sim_->RegisterBlockedProbe([this] { return BlockedReason(); });
+}
+
+sim::SimFuture<sim::Unit> Device::Enqueue(KernelDesc desc) {
+  queue_.push_back(QueuedKernel{std::move(desc), sim::SimPromise<sim::Unit>(sim_)});
+  auto fut = queue_.back().done.future();
+  // Start attempt runs as an event so Enqueue is safe to call from anywhere.
+  sim_->Schedule(Duration::Zero(), [this] { MaybeStart(); });
+  return fut;
+}
+
+void Device::MaybeStart() {
+  if (executing_ || waiting_inputs_ || queue_.empty()) return;
+  QueuedKernel& head = queue_.front();
+  // Gate on inputs (DMA completions). Futures are one-shot, so re-checking
+  // after WhenAll fires is cheap and exact.
+  std::vector<sim::SimFuture<sim::Unit>> pending;
+  for (const auto& f : head.desc.inputs) {
+    if (!f.ready()) pending.push_back(f);
+  }
+  if (!pending.empty()) {
+    waiting_inputs_ = true;
+    sim::WhenAll(sim_, pending).Then([this](const sim::Unit&) {
+      waiting_inputs_ = false;
+      MaybeStart();
+    });
+    return;
+  }
+  RunHead();
+}
+
+void Device::RunHead() {
+  executing_ = true;
+  const TimePoint started = sim_->now();
+  QueuedKernel& head = queue_.front();
+  const Duration pre = launch_overhead_ + head.desc.pre_time;
+  if (head.desc.collective != nullptr) {
+    auto group = head.desc.collective;
+    const Bytes bytes = head.desc.collective_bytes;
+    sim_->Schedule(pre, [this, group, bytes, started] {
+      at_rendezvous_ = true;
+      group->Arrive(bytes).Then([this, started](const sim::Unit&) {
+        at_rendezvous_ = false;
+        const Duration post = queue_.front().desc.post_time;
+        sim_->Schedule(post, [this, started] { FinishHead(started); });
+      });
+    });
+  } else {
+    sim_->Schedule(pre + head.desc.post_time,
+                   [this, started] { FinishHead(started); });
+  }
+}
+
+void Device::FinishHead(TimePoint started) {
+  QueuedKernel head = std::move(queue_.front());
+  queue_.pop_front();
+  executing_ = false;
+  ++completed_;
+  busy_accum_ += sim_->now() - started;
+  if (trace_ != nullptr) {
+    trace_->Record("dev" + std::to_string(id_.value()), head.desc.client,
+                   head.desc.label, started, sim_->now());
+  }
+  head.done.Set(sim::Unit{});
+  MaybeStart();
+}
+
+std::string Device::BlockedReason() const {
+  std::ostringstream out;
+  if (at_rendezvous_) {
+    const auto& head = queue_.front();
+    out << "dev" << id_ << " parked at collective '"
+        << head.desc.collective->label() << "' (" << head.desc.collective->arrived()
+        << "/" << head.desc.collective->expected() << " arrived)";
+    return out.str();
+  }
+  if (waiting_inputs_) {
+    out << "dev" << id_ << " waiting for inputs of '" << queue_.front().desc.label
+        << "'";
+    return out.str();
+  }
+  return "";
+}
+
+}  // namespace pw::hw

@@ -1,0 +1,48 @@
+#include "hw/hbm.h"
+
+namespace pw::hw {
+
+Status HbmAllocator::Allocate(Bytes bytes) {
+  PW_CHECK_GE(bytes, 0);
+  if (!waiters_.empty() || bytes > available()) {
+    return ResourceExhaustedError("HBM full");
+  }
+  Admit(bytes);
+  return OkStatus();
+}
+
+sim::SimFuture<sim::Unit> HbmAllocator::AllocateAsync(Bytes bytes) {
+  PW_CHECK_GE(bytes, 0);
+  PW_CHECK_LE(bytes, capacity_) << "allocation can never fit in HBM";
+  sim::SimPromise<sim::Unit> p(sim_);
+  if (waiters_.empty() && bytes <= available()) {
+    Admit(bytes);
+    p.Set(sim::Unit{});
+  } else {
+    waiters_.push_back(Waiter{bytes, p});
+  }
+  return p.future();
+}
+
+void HbmAllocator::Free(Bytes bytes) {
+  PW_CHECK_GE(bytes, 0);
+  PW_CHECK_LE(bytes, used_) << "freeing more than allocated";
+  used_ -= bytes;
+  ServeWaiters();
+}
+
+void HbmAllocator::Admit(Bytes bytes) {
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+}
+
+void HbmAllocator::ServeWaiters() {
+  while (!waiters_.empty() && waiters_.front().bytes <= available()) {
+    Waiter w = std::move(waiters_.front());
+    waiters_.pop_front();
+    Admit(w.bytes);
+    w.promise.Set(sim::Unit{});
+  }
+}
+
+}  // namespace pw::hw

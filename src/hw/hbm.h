@@ -1,0 +1,59 @@
+// HBM capacity accounting with back-pressure.
+//
+// The paper (§4.6): "We can use simple back-pressure to stall a computation
+// if it cannot allocate memory because other computations' buffers are
+// temporarily occupying HBM." AllocateAsync returns a future that stays
+// pending until capacity frees up; waiters are served FIFO so no request
+// starves.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/future.h"
+
+namespace pw::hw {
+
+class HbmAllocator {
+ public:
+  HbmAllocator(sim::Simulator* sim, Bytes capacity)
+      : sim_(sim), capacity_(capacity) {
+    PW_CHECK_GT(capacity, 0);
+  }
+
+  // Immediate allocation; fails (without queuing) if space is unavailable.
+  Status Allocate(Bytes bytes);
+
+  // Queued allocation: the returned future completes when the reservation
+  // succeeds. Requests larger than total capacity fail the process (caller
+  // bug). FIFO service order.
+  sim::SimFuture<sim::Unit> AllocateAsync(Bytes bytes);
+
+  void Free(Bytes bytes);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes available() const { return capacity_ - used_; }
+  Bytes peak_used() const { return peak_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    Bytes bytes;
+    sim::SimPromise<sim::Unit> promise;
+  };
+
+  void Admit(Bytes bytes);
+  void ServeWaiters();
+
+  sim::Simulator* sim_;
+  Bytes capacity_;
+  Bytes used_ = 0;
+  Bytes peak_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace pw::hw

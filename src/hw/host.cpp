@@ -1,0 +1,44 @@
+#include "hw/host.h"
+
+namespace pw::hw {
+
+Host::Host(sim::Simulator* sim, HostId id, const SystemParams& params,
+           net::DcnFabric* dcn)
+    : sim_(sim),
+      id_(id),
+      params_(params),
+      dcn_(dcn),
+      cpu_(sim, "host" + std::to_string(id.value()) + "/cpu") {
+  dcn_->AddHost(id_);
+}
+
+void Host::AttachDevice(Device* device) {
+  PW_CHECK(device != nullptr);
+  devices_.push_back(device);
+  pcie_[device->id()] = std::make_unique<net::Link>(
+      sim_, "pcie" + std::to_string(device->id().value()), params_.pcie_latency,
+      params_.pcie_bandwidth);
+}
+
+sim::SimFuture<sim::Unit> Host::DispatchKernel(Device* device, KernelDesc kernel,
+                                               Duration cpu_cost) {
+  PW_CHECK(device != nullptr);
+  sim::SimPromise<sim::Unit> done(sim_);
+  auto fut = done.future();
+  net::Link& link = pcie(device->id());
+  // CPU prep, then a small command descriptor crosses PCIe, then the kernel
+  // joins the device stream.
+  RunOnCpu(cpu_cost, [this, device, &link, kernel = std::move(kernel),
+                      done]() mutable {
+    (void)this;
+    link.Transfer(/*bytes=*/256, [device, kernel = std::move(kernel),
+                                  done]() mutable {
+      device->Enqueue(std::move(kernel)).Then([done](const sim::Unit&) mutable {
+        done.Set(sim::Unit{});
+      });
+    });
+  });
+  return fut;
+}
+
+}  // namespace pw::hw

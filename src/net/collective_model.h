@@ -1,0 +1,109 @@
+// Analytic cost model for collective operations over an interconnect.
+//
+// The simulator does not move real bytes for collectives; it charges the
+// time a bandwidth-optimal algorithm would take:
+//   ring all-reduce:      2·(n−1)/n · B / bw   +  2·(n−1) · hop_latency
+//   ring all-gather:        (n−1)/n · B / bw   +    (n−1) · hop_latency
+//   ring reduce-scatter:    (n−1)/n · B / bw   +    (n−1) · hop_latency
+//   tree (latency-bound):   ceil(log2 n) phases of hop_latency
+// Small transfers are latency-bound: for each algorithm we take the max of
+// the bandwidth term and a latency floor, plus a fixed per-collective launch
+// cost. TPU ICI uses a torus, whose ring embedding matches this model; the
+// same code with DCN parameters models cross-host GPU collectives (NCCL
+// rings over DCN) for the Ray baseline.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace pw::net {
+
+enum class CollectiveKind { kAllReduce, kAllGather, kReduceScatter, kBroadcast };
+
+// Latency scaling of the interconnect with participant count:
+//   kTree:    ceil(log2 n) hops — switch-based fabrics with tree reductions.
+//   kTorus2D: 2*(ceil(sqrt(n))-1) hops — TPU-style 2D torus (ring of rings).
+//   kRing:    (n-1) hops — flat rings (NCCL over DCN, GPU baseline).
+enum class LatencyTopology { kTree, kTorus2D, kRing };
+
+struct CollectiveParams {
+  Duration hop_latency = Duration::Micros(1);   // per-hop wire+switch latency
+  double link_bandwidth = 100e9;                // bytes/sec per direction
+  Duration launch_overhead = Duration::Micros(2);  // fixed per-collective cost
+  LatencyTopology topology = LatencyTopology::kTorus2D;
+};
+
+class CollectiveModel {
+ public:
+  explicit CollectiveModel(CollectiveParams params) : params_(params) {
+    PW_CHECK_GT(params_.link_bandwidth, 0.0);
+  }
+  CollectiveModel() : CollectiveModel(CollectiveParams{}) {}
+
+  const CollectiveParams& params() const { return params_; }
+
+  // Time for `kind` over `bytes` payload per participant among n participants.
+  Duration Time(CollectiveKind kind, Bytes bytes, int n) const {
+    PW_CHECK_GE(n, 1);
+    PW_CHECK_GE(bytes, 0);
+    if (n == 1) return params_.launch_overhead;  // degenerate: local only
+
+    const double b = static_cast<double>(bytes);
+    const double bw = params_.link_bandwidth;
+    double bw_fraction = 0.0;  // multiples of B/bw moved over the ring
+    switch (kind) {
+      case CollectiveKind::kAllReduce:
+        bw_fraction = 2.0 * static_cast<double>(n - 1) / static_cast<double>(n);
+        break;
+      case CollectiveKind::kAllGather:
+      case CollectiveKind::kReduceScatter:
+        bw_fraction = static_cast<double>(n - 1) / static_cast<double>(n);
+        break;
+      case CollectiveKind::kBroadcast:
+        bw_fraction = 1.0;
+        break;
+    }
+    const Duration bandwidth_term = Duration::Seconds(bw_fraction * b / bw);
+
+    int base_hops = 0;
+    switch (params_.topology) {
+      case LatencyTopology::kTree:
+        base_hops = static_cast<int>(std::ceil(std::log2(static_cast<double>(n))));
+        break;
+      case LatencyTopology::kTorus2D:
+        base_hops = 2 * (static_cast<int>(std::ceil(
+                             std::sqrt(static_cast<double>(n)))) -
+                         1);
+        break;
+      case LatencyTopology::kRing:
+        base_hops = n - 1;
+        break;
+    }
+    base_hops = std::max(base_hops, 1);
+    // AllReduce = reduce phase + broadcast phase.
+    const int latency_hops =
+        (kind == CollectiveKind::kAllReduce) ? 2 * base_hops : base_hops;
+    const Duration latency_term = params_.hop_latency * latency_hops;
+
+    return params_.launch_overhead + std::max(bandwidth_term, latency_term);
+  }
+
+  Duration AllReduce(Bytes bytes, int n) const {
+    return Time(CollectiveKind::kAllReduce, bytes, n);
+  }
+  Duration AllGather(Bytes bytes, int n) const {
+    return Time(CollectiveKind::kAllGather, bytes, n);
+  }
+  Duration ReduceScatter(Bytes bytes, int n) const {
+    return Time(CollectiveKind::kReduceScatter, bytes, n);
+  }
+
+ private:
+  CollectiveParams params_;
+};
+
+}  // namespace pw::net

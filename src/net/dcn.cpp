@@ -1,0 +1,60 @@
+#include "net/dcn.h"
+
+#include <string>
+
+namespace pw::net {
+
+void DcnFabric::AddHost(HostId host) {
+  PW_CHECK(!nics_.contains(host)) << "host " << host << " already registered";
+  nics_[host] = std::make_unique<Link>(
+      sim_, "nic" + std::to_string(host.value()), params_.latency,
+      params_.nic_bandwidth);
+}
+
+TimePoint DcnFabric::Send(HostId src, HostId dst, Bytes bytes,
+                          std::function<void()> on_delivered) {
+  PW_CHECK(nics_.contains(src)) << "unknown src host " << src;
+  PW_CHECK(nics_.contains(dst)) << "unknown dst host " << dst;
+  ++messages_;
+  bytes_ += bytes;
+  if (src == dst) {
+    // Loopback: no NIC serialization, small fixed cost.
+    const TimePoint at = sim_->now() + Duration::Micros(1);
+    sim_->ScheduleAt(at, std::move(on_delivered));
+    return at;
+  }
+  return nics_[src]->Transfer(bytes + params_.per_message_header,
+                              std::move(on_delivered));
+}
+
+sim::SimFuture<sim::Unit> DcnFabric::SendAsync(HostId src, HostId dst, Bytes bytes) {
+  sim::SimPromise<sim::Unit> p(sim_);
+  Send(src, dst, bytes, [p]() mutable { p.Set(sim::Unit{}); });
+  return p.future();
+}
+
+void DcnBatcher::Send(HostId dst, Bytes bytes, std::function<void()> on_delivered) {
+  Pending& pend = pending_[dst];
+  pend.bytes += bytes;
+  pend.callbacks.push_back(std::move(on_delivered));
+  if (!pend.flush_scheduled) {
+    pend.flush_scheduled = true;
+    sim_->Schedule(window_, [this, dst] { Flush(dst); });
+  }
+}
+
+void DcnBatcher::Flush(HostId dst) {
+  auto it = pending_.find(dst);
+  if (it == pending_.end()) return;
+  Pending batch = std::move(it->second);
+  pending_.erase(it);
+  if (batch.callbacks.empty()) return;
+  ++flushes_;
+  auto callbacks = std::make_shared<std::vector<std::function<void()>>>(
+      std::move(batch.callbacks));
+  fabric_->Send(self_, dst, batch.bytes, [callbacks] {
+    for (auto& cb : *callbacks) cb();
+  });
+}
+
+}  // namespace pw::net

@@ -1,0 +1,98 @@
+// Datacenter-network fabric connecting hosts (and islands).
+//
+// Each host owns a NIC whose egress is a serializing Link; messages between
+// hosts pay NIC serialization + fabric latency (an order of magnitude above
+// PCIe, per the paper §2). The fabric also offers a Batcher that coalesces
+// small control messages destined for the same host within a short window —
+// the PLAQUE requirement of "batch messages destined for the same host when
+// high throughput is required" (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strong_id.h"
+#include "common/units.h"
+#include "net/link.h"
+#include "sim/simulator.h"
+
+namespace pw::net {
+
+struct HostTag {};
+using HostId = StrongId<HostTag>;
+
+struct DcnParams {
+  Duration latency = Duration::Micros(20);       // one-way fabric latency
+  double nic_bandwidth = 12.5e9;                 // bytes/sec per host NIC
+  Bytes per_message_header = 128;                // framing overhead per message
+};
+
+class DcnFabric {
+ public:
+  DcnFabric(sim::Simulator* sim, DcnParams params)
+      : sim_(sim), params_(params) {}
+
+  DcnFabric(const DcnFabric&) = delete;
+  DcnFabric& operator=(const DcnFabric&) = delete;
+
+  // Registers a host endpoint; must be called before sending to/from it.
+  void AddHost(HostId host);
+  bool HasHost(HostId host) const { return nics_.contains(host); }
+
+  // Sends `bytes` from src to dst; on_delivered runs at arrival. Local
+  // (src == dst) messages are delivered after a loopback cost only.
+  TimePoint Send(HostId src, HostId dst, Bytes bytes,
+                 std::function<void()> on_delivered);
+
+  sim::SimFuture<sim::Unit> SendAsync(HostId src, HostId dst, Bytes bytes);
+
+  const DcnParams& params() const { return params_; }
+  std::int64_t messages_sent() const { return messages_; }
+  Bytes bytes_sent() const { return bytes_; }
+
+ private:
+  sim::Simulator* sim_;
+  DcnParams params_;
+  std::map<HostId, std::unique_ptr<Link>> nics_;
+  std::int64_t messages_ = 0;
+  Bytes bytes_ = 0;
+};
+
+// Coalesces messages to the same destination host: messages enqueued within
+// `window` of the first unflushed message are sent as one DCN message (sum
+// of payloads + one header), and their delivery callbacks all run on
+// arrival. Used by the PLAQUE runtime for high-fanout edges.
+class DcnBatcher {
+ public:
+  DcnBatcher(sim::Simulator* sim, DcnFabric* fabric, HostId self,
+             Duration window)
+      : sim_(sim), fabric_(fabric), self_(self), window_(window) {}
+
+  void Send(HostId dst, Bytes bytes, std::function<void()> on_delivered);
+
+  // Number of physical DCN messages actually emitted.
+  std::int64_t flushes() const { return flushes_; }
+
+ private:
+  struct Pending {
+    Bytes bytes = 0;
+    std::vector<std::function<void()>> callbacks;
+    bool flush_scheduled = false;
+  };
+
+  void Flush(HostId dst);
+
+  sim::Simulator* sim_;
+  DcnFabric* fabric_;
+  HostId self_;
+  Duration window_;
+  std::map<HostId, Pending> pending_;
+  std::int64_t flushes_ = 0;
+};
+
+}  // namespace pw::net

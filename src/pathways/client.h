@@ -1,0 +1,73 @@
+// Pathways client library (paper §4.2, Fig. 2).
+//
+// A client allocates virtual slices, stages data onto devices, traces
+// programs with ProgramBuilder, and runs them. Run() issues a single RPC
+// per island carrying the whole subgraph (parallel asynchronous dispatch);
+// the returned future resolves when every result shard has reported back.
+// Clients may keep many programs in flight — the paper's asynchronous
+// pipelining — or chain Run().Then(...) for the OpByOp pattern.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "hw/cluster.h"
+#include "pathways/execution.h"
+#include "pathways/ids.h"
+#include "pathways/object_store.h"
+#include "pathways/program.h"
+#include "pathways/virtual_device.h"
+#include "sim/serial_resource.h"
+
+namespace pw::pathways {
+
+class PathwaysRuntime;
+
+class Client {
+ public:
+  Client(PathwaysRuntime* runtime, ClientId id, hw::Host* host, double weight);
+
+  ClientId id() const { return id_; }
+  double weight() const { return weight_; }
+  hw::Host* host() { return host_; }
+
+  // --- Resource allocation (Fig. 2: make_virtual_device_set().add_slice) ---
+  StatusOr<VirtualSlice> AllocateSlice(
+      int num_devices, std::optional<hw::IslandId> island = std::nullopt);
+  void ReleaseSlice(const VirtualSlice& slice);
+
+  // --- Data staging ---
+  // Creates a device-resident buffer sharded over the slice's devices,
+  // paying host→device PCIe transfer time for each shard.
+  ShardedBuffer TransferToDevice(const VirtualSlice& slice, Bytes bytes_per_shard);
+  void ReleaseBuffer(const ShardedBuffer& buffer);
+
+  // --- Execution ---
+  // Runs a traced program. Arguments must match program.num_arguments().
+  // The future resolves on the client host when all results are complete.
+  sim::SimFuture<ExecutionResult> Run(const PathwaysProgram* program,
+                                      std::vector<ShardedBuffer> args = {});
+
+  // Convenience: runs one compiled function as a single-node program.
+  sim::SimFuture<ExecutionResult> RunFunction(
+      const xlasim::CompiledFunction& fn, const VirtualSlice& slice,
+      std::vector<ShardedBuffer> args = {});
+
+  sim::SerialResource& cpu() { return cpu_; }
+  PathwaysRuntime& runtime() { return *runtime_; }
+  std::int64_t programs_submitted() const { return programs_submitted_; }
+
+ private:
+  PathwaysRuntime* runtime_;
+  ClientId id_;
+  hw::Host* host_;
+  double weight_;
+  sim::SerialResource cpu_;
+  std::int64_t programs_submitted_ = 0;
+};
+
+}  // namespace pw::pathways

@@ -1,0 +1,332 @@
+#include "pathways/execution.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "pathways/runtime.h"
+
+namespace pw::pathways {
+
+std::shared_ptr<ProgramExecution> ProgramExecution::Create(
+    PathwaysRuntime* runtime, ClientId client, double client_weight,
+    net::HostId client_host, sim::SerialResource* client_cpu,
+    const PathwaysProgram* program, std::vector<ShardedBuffer> args,
+    ExecutionId id) {
+  auto exec = std::shared_ptr<ProgramExecution>(new ProgramExecution(
+      runtime, client, client_weight, client_host, client_cpu, program,
+      std::move(args), id));
+  exec->Lower();
+  exec->WireTransfers();
+  exec->WireRelease();
+  return exec;
+}
+
+ProgramExecution::ProgramExecution(PathwaysRuntime* runtime, ClientId client,
+                                   double client_weight, net::HostId client_host,
+                                   sim::SerialResource* client_cpu,
+                                   const PathwaysProgram* program,
+                                   std::vector<ShardedBuffer> args,
+                                   ExecutionId id)
+    : runtime_(runtime),
+      client_(client),
+      client_weight_(client_weight),
+      client_host_(client_host),
+      client_cpu_(client_cpu),
+      program_(program),
+      args_(std::move(args)),
+      id_(id) {
+  PW_CHECK_EQ(static_cast<int>(args_.size()), program_->num_arguments())
+      << program_->name() << ": argument count mismatch";
+  done_promise_ = std::make_unique<sim::SimPromise<ExecutionResult>>(
+      &runtime_->simulator());
+}
+
+void ProgramExecution::Lower() {
+  // Resolve virtual devices to physical (re-lowering happens per execution,
+  // so resource-manager remaps take effect here), create output buffers, and
+  // initialize per-shard dataflow state.
+  sim::Simulator* sim = &runtime_->simulator();
+  nodes_.resize(static_cast<std::size_t>(program_->num_nodes()));
+  for (const ComputationNode& n : program_->nodes()) {
+    NodeState& state = nodes_[static_cast<std::size_t>(n.id)];
+    state.devices.reserve(n.slice.devices.size());
+    for (const VirtualDevice& v : n.slice.devices) {
+      state.devices.push_back(runtime_->resource_manager().Lookup(v.id));
+    }
+    state.output = runtime_->object_store().CreateBufferDeferred(
+        client_, id_, state.devices, n.fn.output_bytes_per_shard);
+    state.client_release = std::make_unique<sim::SimPromise<sim::Unit>>(sim);
+    state.enqueue_latch =
+        std::make_unique<sim::CountdownLatch>(sim, n.fn.num_shards);
+    state.completion_latch =
+        std::make_unique<sim::CountdownLatch>(sim, n.fn.num_shards);
+    state.consumers_remaining =
+        static_cast<int>(program_->ConsumersOf(n.id).size());
+    state.shards.resize(static_cast<std::size_t>(n.fn.num_shards));
+    for (ShardState& s : state.shards) {
+      s.prep_done = std::make_unique<sim::SimPromise<sim::Unit>>(sim);
+      s.output_ready = std::make_unique<sim::SimPromise<sim::Unit>>(sim);
+      s.inputs.resize(n.inputs.size());
+    }
+  }
+  // Completion accounting: one message per shard of each distinct result
+  // node arrives at the client.
+  std::set<int> result_nodes;
+  for (const ValueRef& r : program_->results()) {
+    if (r.kind == ValueRef::Kind::kNodeOutput) result_nodes.insert(r.index);
+  }
+  PW_CHECK(!result_nodes.empty()) << program_->name() << ": no computed results";
+  for (const int n : result_nodes) {
+    result_shard_messages_expected_ += program_->node(n).fn.num_shards;
+  }
+}
+
+void ProgramExecution::WireTransfers() {
+  for (const ComputationNode& n : program_->nodes()) {
+    for (std::size_t op = 0; op < n.inputs.size(); ++op) {
+      WireEdge(n.id, static_cast<int>(op));
+    }
+  }
+}
+
+void ProgramExecution::WireEdge(int consumer_node, int operand_index) {
+  const ComputationNode& consumer = program_->node(consumer_node);
+  const ValueRef src = consumer.inputs[static_cast<std::size_t>(operand_index)];
+  NodeState& cstate = nodes_[static_cast<std::size_t>(consumer_node)];
+  const int n_dst = consumer.fn.num_shards;
+  sim::Simulator* sim = &runtime_->simulator();
+
+  // Producer-side geometry.
+  int n_src = 0;
+  Bytes src_shard_bytes = 0;
+  if (src.kind == ValueRef::Kind::kNodeOutput) {
+    const ComputationNode& producer = program_->node(src.index);
+    n_src = producer.fn.num_shards;
+    src_shard_bytes = producer.fn.output_bytes_per_shard;
+  } else {
+    const ShardedBuffer& arg = args_.at(static_cast<std::size_t>(src.index));
+    n_src = arg.num_shards();
+    src_shard_bytes = arg.shards.empty() ? 0 : arg.shards[0].bytes;
+  }
+
+  // Shard mapping: 1:1 when counts match, full scatter/gather exchange
+  // otherwise (each destination shard receives a slice from every source
+  // shard).
+  const bool one_to_one = (n_src == n_dst);
+  const int pieces = one_to_one ? 1 : n_src;
+  const Bytes piece_bytes = one_to_one
+                                ? src_shard_bytes
+                                : std::max<Bytes>(src_shard_bytes / n_dst, 1);
+
+  for (int j = 0; j < n_dst; ++j) {
+    auto latch = std::make_shared<sim::CountdownLatch>(sim, pieces);
+    cstate.shards[static_cast<std::size_t>(j)]
+        .inputs[static_cast<std::size_t>(operand_index)] = latch;
+    const hw::DeviceId dst_dev = cstate.devices[static_cast<std::size_t>(j)];
+    for (int i = one_to_one ? j : 0; i < (one_to_one ? j + 1 : n_src); ++i) {
+      // Trigger: producer shard i ready AND consumer shard j prepped.
+      sim::SimFuture<sim::Unit> producer_ready;
+      hw::DeviceId src_dev;
+      if (src.kind == ValueRef::Kind::kNodeOutput) {
+        NodeState& pstate = nodes_[static_cast<std::size_t>(src.index)];
+        producer_ready =
+            pstate.shards[static_cast<std::size_t>(i)].output_ready->future();
+        src_dev = pstate.devices[static_cast<std::size_t>(i)];
+      } else {
+        const ShardedBuffer& arg = args_[static_cast<std::size_t>(src.index)];
+        producer_ready = arg.ready;
+        src_dev = arg.shards[static_cast<std::size_t>(i)].device;
+      }
+      const auto consumer_prepped =
+          cstate.shards[static_cast<std::size_t>(j)].prep_done->future();
+      auto self = shared_from_this();
+      sim::WhenAll(sim, {producer_ready, consumer_prepped})
+          .Then([self, src_dev, dst_dev, piece_bytes, latch](const sim::Unit&) {
+            self->StartTransfer(src_dev, dst_dev, piece_bytes, latch);
+          });
+    }
+  }
+}
+
+void ProgramExecution::StartTransfer(hw::DeviceId src, hw::DeviceId dst,
+                                     Bytes bytes,
+                                     std::shared_ptr<sim::CountdownLatch> latch) {
+  hw::Cluster& cluster = runtime_->cluster();
+  if (src == dst) {
+    // Producer output is directly addressable: no data movement.
+    latch->CountDown();
+    return;
+  }
+  ++transfers_;
+  const hw::IslandId src_island = cluster.device(src).island();
+  const hw::IslandId dst_island = cluster.device(dst).island();
+  if (src_island == dst_island) {
+    // Device-to-device over the island's private interconnect.
+    cluster.island_of(src).Transfer(src, dst, bytes).Then(
+        [latch](const sim::Unit&) { latch->CountDown(); });
+    return;
+  }
+  // Cross-island: PCIe device→host, DCN host→host, PCIe host→device.
+  hw::Host& src_host = cluster.host_of(src);
+  hw::Host& dst_host = cluster.host_of(dst);
+  auto self = shared_from_this();
+  src_host.pcie(src).Transfer(bytes, [self, &src_host, &dst_host, dst, bytes,
+                                      latch] {
+    src_host.SendDcn(dst_host.id(), bytes, [&dst_host, dst, bytes, latch] {
+      dst_host.pcie(dst).Transfer(bytes, [latch] { latch->CountDown(); });
+    });
+  });
+}
+
+void ProgramExecution::WireRelease() {
+  // Intermediate outputs are garbage once every consumer node completed.
+  auto self = shared_from_this();
+  for (const ComputationNode& n : program_->nodes()) {
+    NodeState& state = nodes_[static_cast<std::size_t>(n.id)];
+    const int node_id = n.id;
+    state.completion_latch->done().Then([self, node_id](const sim::Unit&) {
+      // This node is done: credit each distinct producer it consumed.
+      std::set<int> producers;
+      for (const ValueRef& in : self->program_->node(node_id).inputs) {
+        if (in.kind == ValueRef::Kind::kNodeOutput) producers.insert(in.index);
+      }
+      for (const int p : producers) {
+        NodeState& pstate = self->nodes_[static_cast<std::size_t>(p)];
+        if (--pstate.consumers_remaining == 0 &&
+            !self->program_->IsResult(ValueRef::Node(p))) {
+          self->runtime_->object_store().Release(pstate.output.id);
+        }
+      }
+      // A sink node that is not a result frees its own output immediately.
+      NodeState& own = self->nodes_[static_cast<std::size_t>(node_id)];
+      if (own.consumers_remaining == 0 &&
+          !self->program_->IsResult(ValueRef::Node(node_id))) {
+        self->runtime_->object_store().Release(own.output.id);
+      }
+    });
+  }
+}
+
+hw::DeviceId ProgramExecution::DeviceFor(int node, int shard) const {
+  return nodes_.at(static_cast<std::size_t>(node))
+      .devices.at(static_cast<std::size_t>(shard));
+}
+
+bool ProgramExecution::IsResultNode(int node) const {
+  return program_->IsResult(ValueRef::Node(node));
+}
+
+sim::SimFuture<sim::Unit> ProgramExecution::ReserveOutputShard(int node,
+                                                               int shard) {
+  return runtime_->object_store().ReserveShard(
+      nodes_.at(static_cast<std::size_t>(node)).output.id, shard);
+}
+
+void ProgramExecution::MarkPrepDone(int node, int shard) {
+  nodes_.at(static_cast<std::size_t>(node))
+      .shards.at(static_cast<std::size_t>(shard))
+      .prep_done->Set(sim::Unit{});
+}
+
+sim::SimFuture<sim::Unit> ProgramExecution::PrepDone(int node, int shard) const {
+  return nodes_.at(static_cast<std::size_t>(node))
+      .shards.at(static_cast<std::size_t>(shard))
+      .prep_done->future();
+}
+
+void ProgramExecution::MarkEnqueued(int node, int shard) {
+  (void)shard;
+  nodes_.at(static_cast<std::size_t>(node)).enqueue_latch->CountDown();
+}
+
+sim::SimFuture<sim::Unit> ProgramExecution::NodeEnqueued(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).enqueue_latch->done();
+}
+
+void ProgramExecution::MarkShardComplete(int node, int shard) {
+  NodeState& state = nodes_.at(static_cast<std::size_t>(node));
+  state.shards.at(static_cast<std::size_t>(shard)).output_ready->Set(sim::Unit{});
+  state.completion_latch->CountDown();
+}
+
+sim::SimFuture<sim::Unit> ProgramExecution::OutputReady(int node, int shard) const {
+  return nodes_.at(static_cast<std::size_t>(node))
+      .shards.at(static_cast<std::size_t>(shard))
+      .output_ready->future();
+}
+
+sim::SimFuture<sim::Unit> ProgramExecution::NodeComplete(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).completion_latch->done();
+}
+
+void ProgramExecution::MarkClientReleased(int node) {
+  nodes_.at(static_cast<std::size_t>(node)).client_release->Set(sim::Unit{});
+}
+
+sim::SimFuture<sim::Unit> ProgramExecution::ClientReleased(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).client_release->future();
+}
+
+std::vector<sim::SimFuture<sim::Unit>> ProgramExecution::InputFutures(
+    int node, int shard) const {
+  const ShardState& state = nodes_.at(static_cast<std::size_t>(node))
+                                .shards.at(static_cast<std::size_t>(shard));
+  std::vector<sim::SimFuture<sim::Unit>> out;
+  out.reserve(state.inputs.size());
+  for (const auto& latch : state.inputs) {
+    out.push_back(latch->done());
+  }
+  return out;
+}
+
+std::shared_ptr<hw::CollectiveGroup> ProgramExecution::GroupFor(int node) {
+  NodeState& state = nodes_.at(static_cast<std::size_t>(node));
+  const ComputationNode& n = program_->node(node);
+  if (!n.fn.collective.has_value() || n.fn.num_shards <= 1) return nullptr;
+  if (state.group == nullptr) {
+    hw::Island& island = runtime_->cluster().island_of(state.devices[0]);
+    state.group = std::make_shared<hw::CollectiveGroup>(
+        &runtime_->simulator(), &island.collectives(), *n.fn.collective,
+        n.fn.num_shards, n.name);
+  }
+  return state.group;
+}
+
+void ProgramExecution::OnResultShardMessage() {
+  // Bookkeeping cost on the client thread: with the sharded-buffer
+  // abstraction, per-shard processing is a cheap network-stack touch and the
+  // logical-buffer update is charged once at the end; without it, each shard
+  // pays the full handle-tracking cost (the §4.2 scalability argument).
+  const bool sharded = runtime_->options().sharded_buffer_bookkeeping;
+  const Duration per_message =
+      sharded ? Duration::Nanos(200) : Duration::Micros(2);
+  auto self = shared_from_this();
+  client_cpu_->Submit(per_message, [self] {
+    ++self->result_shard_messages_received_;
+    if (self->result_shard_messages_received_ <
+        self->result_shard_messages_expected_) {
+      return;
+    }
+    const Duration logical_cost =
+        self->runtime_->options().sharded_buffer_bookkeeping
+            ? Duration::Micros(2) *
+                  static_cast<std::int64_t>(self->program_->results().size())
+            : Duration::Zero();
+    self->client_cpu_->Submit(logical_cost, [self] {
+      ExecutionResult result;
+      for (const ValueRef& r : self->program_->results()) {
+        if (r.kind == ValueRef::Kind::kNodeOutput) {
+          result.outputs.push_back(
+              self->nodes_[static_cast<std::size_t>(r.index)].output);
+        } else {
+          result.outputs.push_back(
+              self->args_[static_cast<std::size_t>(r.index)]);
+        }
+      }
+      self->finished_ = true;
+      self->done_promise_->Set(std::move(result));
+    });
+  });
+}
+
+}  // namespace pw::pathways

@@ -1,0 +1,148 @@
+// ProgramExecution: one run of a lowered PathwaysProgram.
+//
+// Owns the per-(node, shard) dataflow state: prep/enqueue/output futures,
+// the collective rendezvous groups of each gang, and the transfer subgraph
+// (paper §4.2: "operations to transfer outputs from a source computation
+// shard to the locations of its destination shards, including scatter and
+// gather operations"). Executions are shared-ptr-owned by the callbacks in
+// flight; when the last completion message reaches the client the object
+// drains naturally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "hw/cluster.h"
+#include "hw/collective_group.h"
+#include "pathways/ids.h"
+#include "pathways/object_store.h"
+#include "pathways/program.h"
+#include "sim/future.h"
+
+namespace pw::pathways {
+
+class PathwaysRuntime;
+
+struct ExecutionResult {
+  std::vector<ShardedBuffer> outputs;  // one per program result
+};
+
+class ProgramExecution
+    : public std::enable_shared_from_this<ProgramExecution> {
+ public:
+  // Created by Client::Run. `args` must be device-resident buffers.
+  // `client_cpu` is the client host thread on which completion bookkeeping
+  // is charged (per logical buffer or per shard, per PathwaysOptions).
+  static std::shared_ptr<ProgramExecution> Create(
+      PathwaysRuntime* runtime, ClientId client, double client_weight,
+      net::HostId client_host, sim::SerialResource* client_cpu,
+      const PathwaysProgram* program, std::vector<ShardedBuffer> args,
+      ExecutionId id);
+
+  ExecutionId id() const { return id_; }
+  ClientId client() const { return client_; }
+  double client_weight() const { return client_weight_; }
+  net::HostId client_host() const { return client_host_; }
+  const PathwaysProgram& program() const { return *program_; }
+
+  // --- Lowered placement (physical devices, resolved at creation) ---
+  hw::DeviceId DeviceFor(int node, int shard) const;
+  // True if this node's output is a program result (its shards report
+  // completion to the client).
+  bool IsResultNode(int node) const;
+
+  // --- Executor-facing state transitions ---
+  // Reserves HBM for one output shard (called from executor prep; lazy so
+  // queued programs hold no memory).
+  sim::SimFuture<sim::Unit> ReserveOutputShard(int node, int shard);
+  void MarkPrepDone(int node, int shard);
+  sim::SimFuture<sim::Unit> PrepDone(int node, int shard) const;
+  void MarkEnqueued(int node, int shard);
+  // Completes when all shards of `node` have been enqueued on their devices
+  // (sequential dispatch gates the next node on this).
+  sim::SimFuture<sim::Unit> NodeEnqueued(int node) const;
+  void MarkShardComplete(int node, int shard);
+  sim::SimFuture<sim::Unit> OutputReady(int node, int shard) const;
+  // Completes when every shard of `node` has finished executing (the
+  // scheduler's in-flight admission control subscribes to this).
+  sim::SimFuture<sim::Unit> NodeComplete(int node) const;
+
+  // Input-data futures the device kernel gates on (one per operand).
+  std::vector<sim::SimFuture<sim::Unit>> InputFutures(int node, int shard) const;
+
+  // Collective rendezvous group for a node's gang (lazily created; all the
+  // node's shards share it).
+  std::shared_ptr<hw::CollectiveGroup> GroupFor(int node);
+
+  // --- Client-side descriptor streaming ---
+  // The client thread produces each gang's launch descriptors (~17 us per
+  // shard, serialized per client); the scheduler may not dispatch a gang
+  // before its descriptors exist. For single-node programs this puts the
+  // fan-out on the critical path (Figs. 5/6); for multi-node programs the
+  // stream runs ahead of execution and costs nothing at steady state.
+  void MarkClientReleased(int node);
+  sim::SimFuture<sim::Unit> ClientReleased(int node) const;
+
+  // --- Completion ---
+  sim::SimFuture<ExecutionResult> done() const { return done_promise_->future(); }
+  // Called on the client host when a result-shard completion message lands.
+  void OnResultShardMessage();
+  bool finished() const { return finished_; }
+
+  // Stats.
+  std::int64_t transfers_started() const { return transfers_; }
+
+ private:
+  ProgramExecution(PathwaysRuntime* runtime, ClientId client,
+                   double client_weight, net::HostId client_host,
+                   sim::SerialResource* client_cpu,
+                   const PathwaysProgram* program,
+                   std::vector<ShardedBuffer> args, ExecutionId id);
+
+  void Lower();
+  void WireTransfers();
+  void WireEdge(int consumer_node, int operand_index);
+  // Schedules the physical movement for one (src,dst) shard pair; fulfills
+  // `done_latch` when the data lands in the consumer's input buffer.
+  void StartTransfer(hw::DeviceId src, hw::DeviceId dst, Bytes bytes,
+                     std::shared_ptr<sim::CountdownLatch> done_latch);
+  void WireRelease();
+
+  struct ShardState {
+    std::unique_ptr<sim::SimPromise<sim::Unit>> prep_done;
+    std::unique_ptr<sim::SimPromise<sim::Unit>> output_ready;
+    // One latch per operand; input future = latch.done().
+    std::vector<std::shared_ptr<sim::CountdownLatch>> inputs;
+  };
+  struct NodeState {
+    std::vector<ShardState> shards;
+    std::vector<hw::DeviceId> devices;  // lowered placement per shard
+    ShardedBuffer output;               // deferred: shards reserved at prep
+    std::unique_ptr<sim::SimPromise<sim::Unit>> client_release;
+    std::unique_ptr<sim::CountdownLatch> enqueue_latch;
+    std::unique_ptr<sim::CountdownLatch> completion_latch;
+    std::shared_ptr<hw::CollectiveGroup> group;
+    int consumers_remaining = 0;
+  };
+
+  PathwaysRuntime* runtime_;
+  ClientId client_;
+  double client_weight_;
+  net::HostId client_host_;
+  sim::SerialResource* client_cpu_;
+  const PathwaysProgram* program_;
+  std::vector<ShardedBuffer> args_;
+  ExecutionId id_;
+
+  std::vector<NodeState> nodes_;
+  std::unique_ptr<sim::SimPromise<ExecutionResult>> done_promise_;
+  int result_shard_messages_expected_ = 0;
+  int result_shard_messages_received_ = 0;
+  bool finished_ = false;
+  std::int64_t transfers_ = 0;
+};
+
+}  // namespace pw::pathways

@@ -1,0 +1,78 @@
+#include "pathways/executor.h"
+
+#include "common/logging.h"
+#include "pathways/runtime.h"
+
+namespace pw::pathways {
+
+DeviceExecutor::DeviceExecutor(PathwaysRuntime* runtime, hw::Device* device,
+                               hw::Host* host)
+    : runtime_(runtime), device_(device), host_(host) {}
+
+void DeviceExecutor::Dispatch(std::shared_ptr<ProgramExecution> exec, int node,
+                              int shard) {
+  const std::uint64_t seq = next_arrival_seq_++;
+  const ComputationNode& n = exec->program().node(node);
+  const hw::SystemParams& params = runtime_->params();
+
+  // Host-side prep: input-buffer allocation, address exchange with the
+  // producers' hosts, launch descriptor construction (paper §4.5 "performs
+  // most of the preparatory work to launch node B's function").
+  const Bytes staging =
+      n.fn.scratch_bytes_per_shard + n.fn.input_bytes_per_shard;
+  host_->RunOnCpu(
+      runtime_->Jitter(params.executor_prep_cost),
+      [this, exec, node, shard, seq, staging] {
+        auto scratch = runtime_->object_store().AllocateScratch(device_->id(),
+                                                                staging);
+        auto output_reserved = exec->ReserveOutputShard(node, shard);
+        sim::WhenAll(&runtime_->simulator(), {scratch, output_reserved})
+            .Then([this, exec, node, shard, seq, staging](const sim::Unit&) {
+              exec->MarkPrepDone(node, shard);
+              EnqueueInOrder(seq, [this, exec, node, shard, staging] {
+                const ComputationNode& cn = exec->program().node(node);
+                hw::KernelDesc kernel;
+                kernel.label = cn.name;
+                kernel.client = exec->client().value();
+                kernel.pre_time = cn.fn.pre_collective_time;
+                kernel.post_time = cn.fn.post_collective_time;
+                kernel.collective = exec->GroupFor(node);
+                kernel.collective_bytes = cn.fn.collective_bytes_per_shard;
+                kernel.inputs = exec->InputFutures(node, shard);
+                device_->Enqueue(std::move(kernel))
+                    .Then([this, exec, node, shard, staging](const sim::Unit&) {
+                      runtime_->object_store().FreeScratch(device_->id(),
+                                                           staging);
+                      exec->MarkShardComplete(node, shard);
+                      if (exec->IsResultNode(node)) {
+                        host_->SendDcn(exec->client_host(), /*bytes=*/64,
+                                       [exec] { exec->OnResultShardMessage(); });
+                      }
+                    });
+                exec->MarkEnqueued(node, shard);
+              });
+            });
+      });
+}
+
+void DeviceExecutor::EnqueueInOrder(std::uint64_t seq,
+                                    std::function<void()> enqueue_fn) {
+  // Kernels must join the device stream in scheduler order even when preps
+  // complete out of order (jitter, HBM back-pressure): stash until every
+  // earlier dispatch has enqueued.
+  ready_[seq] = std::move(enqueue_fn);
+  DrainReady();
+}
+
+void DeviceExecutor::DrainReady() {
+  while (true) {
+    auto it = ready_.find(next_enqueue_seq_);
+    if (it == ready_.end()) return;
+    std::function<void()> fn = std::move(it->second);
+    ready_.erase(it);
+    ++next_enqueue_seq_;
+    fn();
+  }
+}
+
+}  // namespace pw::pathways

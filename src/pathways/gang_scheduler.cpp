@@ -1,0 +1,188 @@
+#include "pathways/gang_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "pathways/runtime.h"
+
+namespace pw::pathways {
+
+GangScheduler::GangScheduler(PathwaysRuntime* runtime, hw::Island* island,
+                             hw::Host* home)
+    : runtime_(runtime),
+      island_(island),
+      home_(home),
+      sched_cpu_(&runtime->simulator(),
+                 "sched" + std::to_string(island->id().value())) {}
+
+hw::IslandId GangScheduler::island_id() const { return island_->id(); }
+
+void GangScheduler::SubmitSubgraph(std::shared_ptr<ProgramExecution> exec,
+                                   std::vector<int> nodes) {
+  PW_CHECK(!nodes.empty());
+  // FIFO policy uses one shared queue; stride keeps one queue per client.
+  const std::int64_t key =
+      runtime_->options().policy == SchedulerPolicy::kFifo
+          ? 0
+          : exec->client().value();
+  ClientQueue& q = queues_[key];
+  if (q.entries.empty()) {
+    // A newly busy client starts at the current virtual time so it cannot
+    // claim a catch-up burst (standard stride-scheduler re-entry rule).
+    double min_pass = std::numeric_limits<double>::infinity();
+    for (const auto& [k, other] : queues_) {
+      if (!other.entries.empty()) min_pass = std::min(min_pass, other.pass);
+    }
+    if (min_pass != std::numeric_limits<double>::infinity()) {
+      q.pass = std::max(q.pass, min_pass);
+    }
+  }
+  q.stride = 1.0 / std::max(exec->client_weight(), 1e-9);
+  q.entries.push_back(Entry{std::move(exec), std::move(nodes), 0});
+  Pump();
+}
+
+std::deque<GangScheduler::Entry>* GangScheduler::PickQueue() {
+  ClientQueue* best = nullptr;
+  for (auto& [key, q] : queues_) {
+    if (q.entries.empty()) continue;
+    if (best == nullptr || q.pass < best->pass) best = &q;
+  }
+  if (best == nullptr) return nullptr;
+  best->pass += best->stride;
+  return &best->entries;
+}
+
+void GangScheduler::Pump() {
+  if (pumping_ || inflight_gangs_ >= runtime_->options().max_inflight_gangs) {
+    return;
+  }
+  std::deque<Entry>* q = PickQueue();
+  if (q == nullptr) return;
+  pumping_ = true;
+  Entry entry = std::move(q->front());
+  q->pop_front();
+  // Scheduling decision cost, then emit the gang's dispatch messages.
+  sched_cpu_.Submit(runtime_->params().scheduler_decision_cost,
+                    [this, entry = std::move(entry)]() mutable {
+                      DispatchGang(std::move(entry));
+                    });
+}
+
+void GangScheduler::DispatchGang(Entry entry) {
+  const int node = entry.nodes[entry.next_node];
+  auto exec = entry.exec;
+  const ComputationNode& cn = exec->program().node(node);
+  const int num_shards = cn.fn.num_shards;
+  const hw::SystemParams& params = runtime_->params();
+
+  // Two reasons to park an entry instead of dispatching:
+  //  * the client has not yet streamed this gang's launch descriptors
+  //    (Client::Run streams them at ~17 us/shard on its own thread);
+  //  * data-dependent control flow (paper §4.5): an irregular node's
+  //    resource requirements are unknown until its predecessors complete,
+  //    so its host-side work cannot be pre-run — the traditional
+  //    (sequential) model applies to that node only.
+  {
+    std::vector<sim::SimFuture<sim::Unit>> preds;
+    auto released = exec->ClientReleased(node);
+    if (!released.ready()) preds.push_back(released);
+    if (cn.irregular) {
+      for (const ValueRef& in : cn.inputs) {
+        if (in.kind == ValueRef::Kind::kNodeOutput) {
+          auto done = exec->NodeComplete(in.index);
+          if (!done.ready()) preds.push_back(done);
+        }
+      }
+    }
+    if (!preds.empty()) {
+      auto shared_entry = std::make_shared<Entry>(std::move(entry));
+      sim::WhenAll(&runtime_->simulator(), preds)
+          .Then([this, shared_entry](const sim::Unit&) {
+            const std::int64_t key =
+                runtime_->options().policy == SchedulerPolicy::kFifo
+                    ? 0
+                    : shared_entry->exec->client().value();
+            queues_[key].entries.push_front(std::move(*shared_entry));
+            Pump();
+          });
+      pumping_ = false;
+      Pump();  // serve other tenants while this entry waits
+      return;
+    }
+  }
+
+  // Admission control: hold a slot until the gang's last shard completes
+  // (completion notice rides back over the DCN).
+  ++inflight_gangs_;
+  exec->NodeComplete(node).Then([this](const sim::Unit&) {
+    runtime_->simulator().Schedule(runtime_->params().dcn.latency, [this] {
+      --inflight_gangs_;
+      Pump();
+    });
+  });
+
+  // One dispatch message per device executor. The scheduler only *orders*
+  // and forwards (cheap, ~1us per message, so many tenants share it without
+  // it becoming a bottleneck); the expensive per-shard fan-out work —
+  // lowering, launch descriptors, handle registration — was already charged
+  // on the submitting client's thread (Client::Run), which is what Figure 6
+  // measures. Messages for one gang are fully emitted before the next gang
+  // is considered, and per-host DCN links are FIFO, so every device sees
+  // gangs in the same order.
+  for (int shard = 0; shard < num_shards; ++shard) {
+    const hw::DeviceId dev = exec->DeviceFor(node, shard);
+    hw::Host& target = runtime_->cluster().host_of(dev);
+    sched_cpu_.Submit(Duration::Micros(1),
+                      [this, exec, node, shard, &target] {
+                        ++dispatch_messages_;
+                        home_->dcn().Send(
+                            home_->id(), target.id(), /*bytes=*/96,
+                            [this, exec, node, shard] {
+                              runtime_->executor(exec->DeviceFor(node, shard))
+                                  .Dispatch(exec, node, shard);
+                            });
+                      });
+  }
+  (void)params;
+
+  // After the last message is emitted, advance this entry and keep pumping.
+  sched_cpu_.Submit(Duration::Zero(), [this, entry = std::move(entry),
+                                       node]() mutable {
+    ++gangs_dispatched_;
+    ++entry.next_node;
+    auto exec2 = entry.exec;
+    const bool more = entry.next_node < entry.nodes.size();
+    auto continue_pumping = [this, entry = std::move(entry), more]() mutable {
+      if (more) {
+        const std::int64_t key =
+            runtime_->options().policy == SchedulerPolicy::kFifo
+                ? 0
+                : entry.exec->client().value();
+        queues_[key].entries.push_back(std::move(entry));
+      }
+      pumping_ = false;
+      Pump();
+    };
+    if (runtime_->options().dispatch == DispatchMode::kSequential) {
+      // Traditional dispatch (paper Fig. 4a): wait until every shard of this
+      // node has actually been enqueued (ack ride back over the DCN) before
+      // any host-side work for the next node starts.
+      const Duration ack_delay = runtime_->params().dcn.latency;
+      exec2->NodeEnqueued(node).Then(
+          [this, ack_delay,
+           continue_pumping = std::move(continue_pumping)](const sim::Unit&) mutable {
+            runtime_->simulator().Schedule(
+                ack_delay, [this, continue_pumping = std::move(continue_pumping)]() mutable {
+                  sched_cpu_.Submit(runtime_->params().coordinator_msg_cost,
+                                    std::move(continue_pumping));
+                });
+          });
+    } else {
+      continue_pumping();
+    }
+  });
+}
+
+}  // namespace pw::pathways

@@ -1,0 +1,84 @@
+// Centralized per-island gang scheduler (paper §4.4).
+//
+// Consistently orders all computations on its island: programs submit their
+// subgraphs in a single message; the scheduler picks the next gang (= one
+// sharded computation node) by policy — FIFO, or weighted stride for
+// proportional share across clients (Fig. 9) — and emits one dispatch
+// message per device executor. Emission is serialized on the scheduler's
+// own CPU thread at `coordinator_msg_cost` per message: that serialization
+// is the single-controller overhead Figures 5/6 measure. A gang's messages
+// are always fully emitted before the next gang's, which (with FIFO links)
+// guarantees every device observes the same relative order of gangs — the
+// property that makes non-preemptible collectives deadlock-free.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "hw/cluster.h"
+#include "pathways/execution.h"
+#include "pathways/ids.h"
+#include "pathways/options.h"
+#include "sim/serial_resource.h"
+
+namespace pw::pathways {
+
+class PathwaysRuntime;
+
+class GangScheduler {
+ public:
+  GangScheduler(PathwaysRuntime* runtime, hw::Island* island, hw::Host* home);
+
+  GangScheduler(const GangScheduler&) = delete;
+  GangScheduler& operator=(const GangScheduler&) = delete;
+
+  hw::IslandId island_id() const;
+  hw::Host* home() const { return home_; }
+
+  // Called when a program's subgraph RPC arrives: `nodes` are the program's
+  // node ids placed on this island, in program (topological) order.
+  void SubmitSubgraph(std::shared_ptr<ProgramExecution> exec,
+                      std::vector<int> nodes);
+
+  // Stats.
+  std::int64_t gangs_dispatched() const { return gangs_dispatched_; }
+  std::int64_t dispatch_messages() const { return dispatch_messages_; }
+  Duration scheduler_busy() const { return sched_cpu_.total_busy(); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<ProgramExecution> exec;
+    std::vector<int> nodes;
+    std::size_t next_node = 0;
+  };
+
+  void Pump();
+  // Picks the client queue to serve next (stride scheduling); returns
+  // nullptr if all queues are empty.
+  std::deque<Entry>* PickQueue();
+  void DispatchGang(Entry entry);
+
+  PathwaysRuntime* runtime_;
+  hw::Island* island_;
+  hw::Host* home_;
+  sim::SerialResource sched_cpu_;
+
+  // Per-client FIFO queues + stride scheduler state.
+  struct ClientQueue {
+    std::deque<Entry> entries;
+    double pass = 0;
+    double stride = 1.0;
+  };
+  std::map<std::int64_t, ClientQueue> queues_;
+  bool pumping_ = false;
+  int inflight_gangs_ = 0;
+  std::int64_t gangs_dispatched_ = 0;
+  std::int64_t dispatch_messages_ = 0;
+};
+
+}  // namespace pw::pathways

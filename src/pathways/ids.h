@@ -1,0 +1,26 @@
+// Strongly typed identifiers used across the Pathways runtime.
+#pragma once
+
+#include "common/strong_id.h"
+
+namespace pw::pathways {
+
+struct ClientTag {};
+using ClientId = StrongId<ClientTag>;
+
+struct ProgramTag {};
+using ProgramId = StrongId<ProgramTag>;
+
+struct ExecutionTag {};
+using ExecutionId = StrongId<ExecutionTag>;
+
+struct BufferTag {};
+using LogicalBufferId = StrongId<BufferTag>;
+
+struct ShardBufferTag {};
+using ShardBufferId = StrongId<ShardBufferTag>;
+
+struct VirtualDeviceTag {};
+using VirtualDeviceId = StrongId<VirtualDeviceTag>;
+
+}  // namespace pw::pathways

@@ -1,0 +1,135 @@
+#include "pathways/object_store.h"
+
+namespace pw::pathways {
+
+ShardedBuffer ObjectStore::CreateBuffer(
+    ClientId owner, ExecutionId producer,
+    const std::vector<hw::DeviceId>& devices, Bytes bytes_per_shard,
+    std::vector<sim::SimFuture<sim::Unit>>* per_shard_reservations) {
+  PW_CHECK(!devices.empty());
+  PW_CHECK_GE(bytes_per_shard, 0);
+  Entry entry;
+  entry.owner = owner;
+  entry.producer = producer;
+  std::vector<sim::SimFuture<sim::Unit>> reservations;
+  reservations.reserve(devices.size());
+  for (const hw::DeviceId dev : devices) {
+    entry.shards.push_back(
+        ShardBuffer{shard_ids_.Next(), dev, bytes_per_shard, BufferLocation::kHbm});
+    reservations.push_back(
+        cluster_->device(dev).hbm().AllocateAsync(bytes_per_shard));
+  }
+  entry.shard_reserved.assign(devices.size(), true);
+  ShardedBuffer handle;
+  handle.id = logical_ids_.Next();
+  handle.shards = entry.shards;
+  handle.ready = sim::WhenAll(&cluster_->simulator(), reservations);
+  if (per_shard_reservations != nullptr) {
+    *per_shard_reservations = reservations;
+  }
+  entries_[handle.id] = std::move(entry);
+  return handle;
+}
+
+ShardedBuffer ObjectStore::CreateBufferDeferred(
+    ClientId owner, ExecutionId producer,
+    const std::vector<hw::DeviceId>& devices, Bytes bytes_per_shard) {
+  PW_CHECK(!devices.empty());
+  PW_CHECK_GE(bytes_per_shard, 0);
+  Entry entry;
+  entry.owner = owner;
+  entry.producer = producer;
+  for (const hw::DeviceId dev : devices) {
+    entry.shards.push_back(
+        ShardBuffer{shard_ids_.Next(), dev, bytes_per_shard, BufferLocation::kHbm});
+  }
+  entry.shard_reserved.assign(devices.size(), false);
+  ShardedBuffer handle;
+  handle.id = logical_ids_.Next();
+  handle.shards = entry.shards;
+  handle.ready = sim::ReadyFuture(&cluster_->simulator(), sim::Unit{});
+  entries_[handle.id] = std::move(entry);
+  return handle;
+}
+
+sim::SimFuture<sim::Unit> ObjectStore::ReserveShard(LogicalBufferId id,
+                                                    int shard) {
+  auto it = entries_.find(id);
+  PW_CHECK(it != entries_.end()) << "ReserveShard on unknown buffer " << id;
+  Entry& entry = it->second;
+  const ShardBuffer& sb = entry.shards.at(static_cast<std::size_t>(shard));
+  PW_CHECK(!entry.shard_reserved.at(static_cast<std::size_t>(shard)))
+      << "shard " << shard << " of buffer " << id << " reserved twice";
+  sim::SimPromise<sim::Unit> granted(&cluster_->simulator());
+  auto fut = granted.future();
+  cluster_->device(sb.device)
+      .hbm()
+      .AllocateAsync(sb.bytes)
+      .Then([this, id, shard, device = sb.device, bytes = sb.bytes,
+             granted](const sim::Unit&) mutable {
+        auto it2 = entries_.find(id);
+        if (it2 == entries_.end()) {
+          // Buffer released (e.g. failed client GC) while the reservation
+          // queued: hand the memory straight back.
+          cluster_->device(device).hbm().Free(bytes);
+          return;
+        }
+        it2->second.shard_reserved[static_cast<std::size_t>(shard)] = true;
+        granted.Set(sim::Unit{});
+      });
+  return fut;
+}
+
+sim::SimFuture<sim::Unit> ObjectStore::AllocateScratch(hw::DeviceId device,
+                                                       Bytes bytes) {
+  return cluster_->device(device).hbm().AllocateAsync(bytes);
+}
+
+void ObjectStore::FreeScratch(hw::DeviceId device, Bytes bytes) {
+  cluster_->device(device).hbm().Free(bytes);
+}
+
+void ObjectStore::AddRef(LogicalBufferId id) {
+  auto it = entries_.find(id);
+  PW_CHECK(it != entries_.end()) << "AddRef on unknown buffer " << id;
+  ++it->second.refcount;
+}
+
+void ObjectStore::Release(LogicalBufferId id) {
+  auto it = entries_.find(id);
+  PW_CHECK(it != entries_.end()) << "Release on unknown buffer " << id;
+  if (--it->second.refcount > 0) return;
+  FreeEntry(it->second);
+  entries_.erase(it);
+}
+
+int ObjectStore::ReleaseAllForOwner(ClientId owner) {
+  int collected = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.owner == owner) {
+      FreeEntry(it->second);
+      it = entries_.erase(it);
+      ++collected;
+    } else {
+      ++it;
+    }
+  }
+  return collected;
+}
+
+int ObjectStore::refcount(LogicalBufferId id) const {
+  auto it = entries_.find(id);
+  PW_CHECK(it != entries_.end());
+  return it->second.refcount;
+}
+
+void ObjectStore::FreeEntry(const Entry& entry) {
+  for (std::size_t i = 0; i < entry.shards.size(); ++i) {
+    const ShardBuffer& s = entry.shards[i];
+    if (s.location == BufferLocation::kHbm && entry.shard_reserved[i]) {
+      cluster_->device(s.device).hbm().Free(s.bytes);
+    }
+  }
+}
+
+}  // namespace pw::pathways

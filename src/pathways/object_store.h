@@ -1,0 +1,121 @@
+// Sharded object store (paper §4.6).
+//
+// Buffers live in device HBM (or host DRAM for spilled/staged data) and are
+// referenced by opaque handles, so the system is free to migrate them.
+// Client-visible buffers are *logical*: one ShardedBuffer covers N device
+// shards with a single reference count, which is what lets the client scale
+// ("amortizing the cost of bookkeeping tasks at the granularity of logical
+// buffers instead of individual shards", §4.2). Objects carry ownership
+// labels so everything a failed client or program held can be garbage
+// collected. Allocation is asynchronous: when HBM is full the returned
+// ready-future blocks, the back-pressure mechanism of §4.6.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "hw/cluster.h"
+#include "pathways/ids.h"
+#include "sim/future.h"
+
+namespace pw::pathways {
+
+enum class BufferLocation { kHbm, kHostDram };
+
+struct ShardBuffer {
+  ShardBufferId id;
+  hw::DeviceId device;
+  Bytes bytes = 0;
+  BufferLocation location = BufferLocation::kHbm;
+};
+
+// Client-visible handle to a logical buffer distributed over devices.
+struct ShardedBuffer {
+  LogicalBufferId id;
+  std::vector<ShardBuffer> shards;
+  // Completes when every shard's memory is reserved AND its data is
+  // resident (for program outputs: when the producing kernels finished).
+  sim::SimFuture<sim::Unit> ready;
+
+  int num_shards() const { return static_cast<int>(shards.size()); }
+  Bytes total_bytes() const {
+    Bytes total = 0;
+    for (const auto& s : shards) total += s.bytes;
+    return total;
+  }
+};
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(hw::Cluster* cluster) : cluster_(cluster) {}
+
+  // Allocates a logical buffer with one shard of `bytes_per_shard` on each
+  // listed device. The buffer's `ready` future completes when all shards'
+  // HBM reservations succeed (data-readiness for program outputs is layered
+  // on top by the execution engine). Initial refcount is 1. If
+  // `per_shard_reservations` is non-null it receives one future per shard —
+  // executors gate each shard's kernel enqueue on its own reservation so one
+  // full device back-pressures only its own shard's prep.
+  ShardedBuffer CreateBuffer(
+      ClientId owner, ExecutionId producer,
+      const std::vector<hw::DeviceId>& devices, Bytes bytes_per_shard,
+      std::vector<sim::SimFuture<sim::Unit>>* per_shard_reservations = nullptr);
+
+  // Creates the logical buffer *without* reserving HBM: shards are reserved
+  // individually via ReserveShard during executor prep. This is how program
+  // outputs avoid over-committing memory — a queued program's buffers claim
+  // no HBM until its kernels are actually being prepared (paper §4.6
+  // back-pressure composes with deep program queues only if reservations
+  // are lazy).
+  ShardedBuffer CreateBufferDeferred(ClientId owner, ExecutionId producer,
+                                     const std::vector<hw::DeviceId>& devices,
+                                     Bytes bytes_per_shard);
+
+  // Reserves HBM for one shard of a deferred buffer. If the buffer was
+  // released (or its owner failed) before the reservation is granted, the
+  // grant is returned to the allocator immediately.
+  sim::SimFuture<sim::Unit> ReserveShard(LogicalBufferId id, int shard);
+
+  // Raw per-device scratch allocation (executor-internal); same back-pressure.
+  sim::SimFuture<sim::Unit> AllocateScratch(hw::DeviceId device, Bytes bytes);
+  void FreeScratch(hw::DeviceId device, Bytes bytes);
+
+  // Logical refcounting. Release drops one reference; at zero, every
+  // shard's memory is freed.
+  void AddRef(LogicalBufferId id);
+  void Release(LogicalBufferId id);
+
+  // Garbage collection by ownership label (client failed / disconnected).
+  // Returns the number of logical buffers collected.
+  int ReleaseAllForOwner(ClientId owner);
+
+  // --- Introspection ---
+  bool Contains(LogicalBufferId id) const { return entries_.contains(id); }
+  int refcount(LogicalBufferId id) const;
+  std::int64_t live_buffers() const { return static_cast<std::int64_t>(entries_.size()); }
+  Bytes hbm_used(hw::DeviceId device) const {
+    return cluster_->device(device).hbm().used();
+  }
+
+ private:
+  struct Entry {
+    ClientId owner;
+    ExecutionId producer;
+    std::vector<ShardBuffer> shards;
+    std::vector<bool> shard_reserved;  // HBM actually held for this shard
+    int refcount = 1;
+  };
+
+  void FreeEntry(const Entry& entry);
+
+  hw::Cluster* cluster_;
+  std::map<LogicalBufferId, Entry> entries_;
+  IdGenerator<BufferTag> logical_ids_;
+  IdGenerator<ShardBufferTag> shard_ids_;
+};
+
+}  // namespace pw::pathways

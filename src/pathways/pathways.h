@@ -1,0 +1,35 @@
+// Umbrella header: the public API of the Pathways reproduction.
+//
+// Typical use (mirrors the paper's Fig. 2):
+//
+//   sim::Simulator sim;
+//   auto cluster = hw::Cluster::ConfigB(&sim, /*hosts=*/16);
+//   pathways::PathwaysRuntime runtime(cluster.get(), {});
+//   pathways::Client* client = runtime.CreateClient();
+//
+//   auto slice = client->AllocateSlice(8).value();
+//   auto fn = xlasim::CompiledFunction::Synthetic(
+//       "mul2", 8, Duration::Micros(50), net::CollectiveKind::kAllReduce, 4);
+//
+//   pathways::ProgramBuilder pb("f");
+//   auto v = pb.Argument();
+//   auto x = pb.Call(fn, slice, {v});
+//   pb.Result(pb.Call(fn, slice, {x}));
+//   auto program = std::move(pb).Build();
+//
+//   auto input = client->TransferToDevice(slice, KiB(4));
+//   auto result = client->Run(&program, {input});
+//   sim.Run();   // drive the world
+//   // result.value().outputs holds device-resident ShardedBuffers.
+#pragma once
+
+#include "pathways/client.h"          // IWYU pragma: export
+#include "pathways/execution.h"       // IWYU pragma: export
+#include "pathways/gang_scheduler.h"  // IWYU pragma: export
+#include "pathways/ids.h"             // IWYU pragma: export
+#include "pathways/object_store.h"    // IWYU pragma: export
+#include "pathways/options.h"         // IWYU pragma: export
+#include "pathways/program.h"         // IWYU pragma: export
+#include "pathways/resource_manager.h"  // IWYU pragma: export
+#include "pathways/runtime.h"         // IWYU pragma: export
+#include "pathways/virtual_device.h"  // IWYU pragma: export

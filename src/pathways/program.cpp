@@ -1,0 +1,68 @@
+#include "pathways/program.h"
+
+namespace pw::pathways {
+
+std::vector<int> PathwaysProgram::ConsumersOf(int node_id) const {
+  std::vector<int> out;
+  for (const ComputationNode& n : nodes_) {
+    for (const ValueRef& in : n.inputs) {
+      if (in.kind == ValueRef::Kind::kNodeOutput && in.index == node_id) {
+        out.push_back(n.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool PathwaysProgram::IsResult(ValueRef v) const {
+  for (const ValueRef& r : results_) {
+    if (r.kind == v.kind && r.index == v.index) return true;
+  }
+  return false;
+}
+
+ValueRef ProgramBuilder::Call(const xlasim::CompiledFunction& fn,
+                              const VirtualSlice& slice,
+                              std::vector<ValueRef> inputs, std::string name) {
+  PW_CHECK_EQ(fn.num_shards, slice.num_devices())
+      << "function " << fn.name << " has " << fn.num_shards
+      << " shards but slice has " << slice.num_devices() << " devices";
+  for (const ValueRef& in : inputs) {
+    if (in.kind == ValueRef::Kind::kNodeOutput) {
+      PW_CHECK_GE(in.index, 0);
+      PW_CHECK_LT(in.index, program_.num_nodes()) << "input from unknown node";
+    } else {
+      PW_CHECK_GE(in.index, 0);
+      PW_CHECK_LT(in.index, program_.num_arguments());
+    }
+  }
+  ComputationNode node;
+  node.id = program_.num_nodes();
+  node.fn = fn;
+  node.slice = slice;
+  node.inputs = std::move(inputs);
+  node.name = name.empty() ? fn.name : std::move(name);
+  program_.nodes_.push_back(std::move(node));
+  return ValueRef::Node(program_.num_nodes() - 1);
+}
+
+ValueRef ProgramBuilder::CallIrregular(const xlasim::CompiledFunction& fn,
+                                       const VirtualSlice& slice,
+                                       std::vector<ValueRef> inputs,
+                                       std::string name) {
+  const ValueRef ref = Call(fn, slice, std::move(inputs), std::move(name));
+  program_.nodes_.back().irregular = true;
+  return ref;
+}
+
+PathwaysProgram ProgramBuilder::Build() && {
+  PW_CHECK_GT(program_.num_nodes(), 0) << "empty program";
+  if (program_.results_.empty()) {
+    // Default: the last node's output is the result.
+    program_.results_.push_back(ValueRef::Node(program_.num_nodes() - 1));
+  }
+  return std::move(program_);
+}
+
+}  // namespace pw::pathways

@@ -1,0 +1,104 @@
+// Pathways program IR and tracer (paper §3, §4.2).
+//
+// A PathwaysProgram is a device-location-agnostic DAG: each node is one
+// *sharded* compiled function placed on a virtual slice, each edge is a
+// logical (sharded) buffer flowing between nodes — the compact
+// representation requirement again: node/edge counts are independent of
+// shard counts. The ProgramBuilder is the "program tracer" of Fig. 2: user
+// code calls compiled functions on traced values and gets a single
+// multi-node program instead of one RPC per function.
+//
+// Lowering (virtual→physical placement and transfer-subgraph construction)
+// happens at dispatch time in the execution engine, so a program can be
+// re-lowered when the resource manager changes the mapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "pathways/ids.h"
+#include "pathways/virtual_device.h"
+#include "xlasim/compiled_function.h"
+
+namespace pw::pathways {
+
+// A value traced by the ProgramBuilder: either a program argument or the
+// output of a computation node.
+struct ValueRef {
+  enum class Kind { kArgument, kNodeOutput };
+  Kind kind = Kind::kArgument;
+  int index = -1;  // argument index or node id
+
+  static ValueRef Arg(int i) { return ValueRef{Kind::kArgument, i}; }
+  static ValueRef Node(int i) { return ValueRef{Kind::kNodeOutput, i}; }
+};
+
+struct ComputationNode {
+  int id = -1;
+  xlasim::CompiledFunction fn;
+  VirtualSlice slice;             // slice.num_devices() == fn.num_shards
+  std::vector<ValueRef> inputs;   // operand order
+  std::string name;
+  // Data-dependent control flow: this node's resource requirements are not
+  // known until its predecessors complete, so parallel asynchronous
+  // dispatch cannot pre-run its host-side work — the scheduler falls back
+  // to the traditional model for it (paper §4.5).
+  bool irregular = false;
+};
+
+class PathwaysProgram {
+ public:
+  explicit PathwaysProgram(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_arguments() const { return num_arguments_; }
+  const ComputationNode& node(int id) const {
+    return nodes_.at(static_cast<std::size_t>(id));
+  }
+  const std::vector<ComputationNode>& nodes() const { return nodes_; }
+  const std::vector<ValueRef>& results() const { return results_; }
+
+  // Consumers of a node's output (node ids), in program order.
+  std::vector<int> ConsumersOf(int node_id) const;
+  // True if the value is returned as a program result.
+  bool IsResult(ValueRef v) const;
+
+ private:
+  friend class ProgramBuilder;
+  std::string name_;
+  int num_arguments_ = 0;
+  std::vector<ComputationNode> nodes_;
+  std::vector<ValueRef> results_;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) : program_(std::move(name)) {}
+
+  // Declares a program argument (a ShardedBuffer supplied at run time).
+  ValueRef Argument() { return ValueRef::Arg(program_.num_arguments_++); }
+
+  // Traces a call of `fn` on `inputs`, placed on `slice`.
+  ValueRef Call(const xlasim::CompiledFunction& fn, const VirtualSlice& slice,
+                std::vector<ValueRef> inputs, std::string name = "");
+
+  // Traces a call whose shapes depend on its input *values* (data-dependent
+  // control flow, e.g. MoE routing): dispatched with the sequential
+  // fallback.
+  ValueRef CallIrregular(const xlasim::CompiledFunction& fn,
+                         const VirtualSlice& slice,
+                         std::vector<ValueRef> inputs, std::string name = "");
+
+  // Marks a value as a program result.
+  void Result(ValueRef v) { program_.results_.push_back(v); }
+
+  PathwaysProgram Build() &&;
+
+ private:
+  PathwaysProgram program_;
+};
+
+}  // namespace pw::pathways

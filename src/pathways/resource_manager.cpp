@@ -1,0 +1,153 @@
+#include "pathways/resource_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pw::pathways {
+
+ResourceManager::ResourceManager(hw::Cluster* cluster) : cluster_(cluster) {
+  PW_CHECK(cluster != nullptr);
+  for (int i = 0; i < cluster_->num_devices(); ++i) {
+    const hw::DeviceId id = cluster_->device(i).id();
+    load_[id] = 0;
+    in_service_[id] = true;
+  }
+}
+
+std::vector<hw::DeviceId> ResourceManager::PickDevices(hw::IslandId island,
+                                                       int count) const {
+  std::vector<hw::DeviceId> candidates;
+  for (const hw::Device* d :
+       cluster_->island(static_cast<int>(island.value())).devices()) {
+    if (in_service_.at(d->id())) candidates.push_back(d->id());
+  }
+  if (static_cast<int>(candidates.size()) < count) return {};
+  // Least-loaded first; ties broken by id for determinism.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](hw::DeviceId a, hw::DeviceId b) {
+                     const int la = load_.at(a), lb = load_.at(b);
+                     if (la != lb) return la < lb;
+                     return a < b;
+                   });
+  candidates.resize(static_cast<std::size_t>(count));
+  return candidates;
+}
+
+int ResourceManager::FreeCapacityRank(hw::IslandId island) const {
+  int free = 0;
+  for (const hw::Device* d :
+       cluster_->island(static_cast<int>(island.value())).devices()) {
+    if (in_service_.at(d->id()) && load_.at(d->id()) == 0) ++free;
+  }
+  return free;
+}
+
+StatusOr<VirtualSlice> ResourceManager::AllocateSlice(
+    ClientId client, int num_devices, std::optional<hw::IslandId> island) {
+  if (num_devices <= 0) return InvalidArgumentError("slice needs >= 1 device");
+  hw::IslandId target;
+  if (island.has_value()) {
+    if (island->value() < 0 || island->value() >= cluster_->num_islands()) {
+      return NotFoundError("no such island");
+    }
+    target = *island;
+  } else {
+    // Spread load: island with the most completely free devices wins.
+    int best_rank = -1;
+    for (int i = 0; i < cluster_->num_islands(); ++i) {
+      const int rank = FreeCapacityRank(hw::IslandId(i));
+      if (rank > best_rank) {
+        best_rank = rank;
+        target = hw::IslandId(i);
+      }
+    }
+  }
+  std::vector<hw::DeviceId> devices = PickDevices(target, num_devices);
+  if (devices.empty()) {
+    return ResourceExhaustedError("island cannot host slice of requested size");
+  }
+  VirtualSlice slice;
+  slice.owner = client;
+  slice.island = target;
+  slice.devices.reserve(static_cast<std::size_t>(num_devices));
+  for (const hw::DeviceId dev : devices) {
+    const VirtualDeviceId vid = vdev_ids_.Next();
+    vdevs_[vid] = VDevState{dev, client};
+    ++load_[dev];
+    slice.devices.push_back(VirtualDevice{vid});
+  }
+  ++slices_allocated_;
+  return slice;
+}
+
+void ResourceManager::ReleaseSlice(const VirtualSlice& slice) {
+  for (const VirtualDevice& v : slice.devices) {
+    auto it = vdevs_.find(v.id);
+    if (it == vdevs_.end()) continue;
+    --load_[it->second.physical];
+    vdevs_.erase(it);
+  }
+}
+
+void ResourceManager::ReleaseClient(ClientId client) {
+  for (auto it = vdevs_.begin(); it != vdevs_.end();) {
+    if (it->second.owner == client) {
+      --load_[it->second.physical];
+      it = vdevs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+hw::DeviceId ResourceManager::Lookup(VirtualDeviceId vdev) const {
+  auto it = vdevs_.find(vdev);
+  PW_CHECK(it != vdevs_.end()) << "unknown virtual device " << vdev;
+  return it->second.physical;
+}
+
+Status ResourceManager::RemoveDevice(hw::DeviceId dev) {
+  auto it = in_service_.find(dev);
+  if (it == in_service_.end()) return NotFoundError("no such device");
+  if (!it->second) return FailedPreconditionError("device already removed");
+  const hw::IslandId island = cluster_->device(dev).island();
+  it->second = false;
+  // Remap every virtual device that pointed at it.
+  for (auto& [vid, state] : vdevs_) {
+    if (state.physical != dev) continue;
+    const auto replacement = PickDevices(island, 1);
+    if (replacement.empty()) {
+      it->second = true;  // roll back
+      return ResourceExhaustedError("no replacement device on island");
+    }
+    --load_[dev];
+    state.physical = replacement[0];
+    ++load_[replacement[0]];
+  }
+  return OkStatus();
+}
+
+Status ResourceManager::AddDevice(hw::DeviceId dev) {
+  auto it = in_service_.find(dev);
+  if (it == in_service_.end()) return NotFoundError("no such device");
+  if (it->second) return FailedPreconditionError("device already in service");
+  it->second = true;
+  return OkStatus();
+}
+
+int ResourceManager::load(hw::DeviceId dev) const {
+  auto it = load_.find(dev);
+  PW_CHECK(it != load_.end());
+  return it->second;
+}
+
+int ResourceManager::num_available_devices() const {
+  int n = 0;
+  for (const auto& [dev, ok] : in_service_) {
+    if (ok) ++n;
+  }
+  return n;
+}
+
+}  // namespace pw::pathways

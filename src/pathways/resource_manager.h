@@ -1,0 +1,74 @@
+// Centralized resource manager (paper §4.1).
+//
+// Owns all devices across all islands; hands out "virtual slices" with the
+// requested device count, keeping a one-to-one virtual→physical mapping and
+// statically balancing load by preferring the least-loaded devices. Devices
+// can be removed (drain/maintenance) and added dynamically; virtual devices
+// mapped to a removed physical device are transparently remapped, and
+// clients pick up the new mapping the next time a program is lowered —
+// the paper's suspend/resume/migration hook.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "hw/cluster.h"
+#include "pathways/ids.h"
+#include "pathways/virtual_device.h"
+
+namespace pw::pathways {
+
+class ResourceManager {
+ public:
+  explicit ResourceManager(hw::Cluster* cluster);
+
+  // Allocates `num_devices` virtual devices on one island. If `island` is
+  // set, allocates there; otherwise picks the island with the most free
+  // capacity. Fails if no single island can host the slice.
+  StatusOr<VirtualSlice> AllocateSlice(ClientId client, int num_devices,
+                                       std::optional<hw::IslandId> island = std::nullopt);
+
+  // Releases a slice's load accounting and mappings.
+  void ReleaseSlice(const VirtualSlice& slice);
+
+  // Releases everything owned by a client (client failure / disconnect).
+  void ReleaseClient(ClientId client);
+
+  // Physical device currently backing a virtual device.
+  hw::DeviceId Lookup(VirtualDeviceId vdev) const;
+
+  // --- Dynamic reconfiguration ---
+  // Removes a physical device from service; virtual devices mapped to it are
+  // remapped to the least-loaded remaining device on the same island.
+  // Fails if the island has no other device.
+  Status RemoveDevice(hw::DeviceId dev);
+  // Returns a previously removed device to service.
+  Status AddDevice(hw::DeviceId dev);
+
+  // --- Introspection ---
+  int load(hw::DeviceId dev) const;
+  int num_available_devices() const;
+  std::int64_t slices_allocated() const { return slices_allocated_; }
+
+ private:
+  struct VDevState {
+    hw::DeviceId physical;
+    ClientId owner;
+  };
+
+  // Least-loaded in-service devices of an island, stable order.
+  std::vector<hw::DeviceId> PickDevices(hw::IslandId island, int count) const;
+  int FreeCapacityRank(hw::IslandId island) const;
+
+  hw::Cluster* cluster_;
+  std::map<VirtualDeviceId, VDevState> vdevs_;
+  std::map<hw::DeviceId, int> load_;          // virtual devices per physical
+  std::map<hw::DeviceId, bool> in_service_;
+  IdGenerator<VirtualDeviceTag> vdev_ids_;
+  std::int64_t slices_allocated_ = 0;
+};
+
+}  // namespace pw::pathways

@@ -1,0 +1,54 @@
+#include "pathways/runtime.h"
+
+#include "pathways/client.h"
+
+namespace pw::pathways {
+
+PathwaysRuntime::PathwaysRuntime(hw::Cluster* cluster, PathwaysOptions options)
+    : cluster_(cluster),
+      options_(options),
+      resource_manager_(cluster),
+      object_store_(cluster),
+      rng_(cluster->params().seed),
+      next_client_host_id_(cluster->num_hosts()) {
+  schedulers_.reserve(static_cast<std::size_t>(cluster_->num_islands()));
+  for (int i = 0; i < cluster_->num_islands(); ++i) {
+    hw::Island& island = cluster_->island(i);
+    PW_CHECK(!island.hosts().empty());
+    schedulers_.push_back(std::make_unique<GangScheduler>(
+        this, &island, island.hosts().front()));
+  }
+  executors_.reserve(static_cast<std::size_t>(cluster_->num_devices()));
+  for (int d = 0; d < cluster_->num_devices(); ++d) {
+    hw::Device& dev = cluster_->device(d);
+    executors_.push_back(std::make_unique<DeviceExecutor>(
+        this, &dev, &cluster_->host_of(dev.id())));
+  }
+}
+
+PathwaysRuntime::~PathwaysRuntime() = default;
+
+Client* PathwaysRuntime::CreateClient(double weight) {
+  auto host = std::make_unique<hw::Host>(&simulator(),
+                                         net::HostId(next_client_host_id_++),
+                                         cluster_->params(), &cluster_->dcn());
+  auto client = std::make_unique<Client>(this, client_ids_.Next(), host.get(),
+                                         weight);
+  Client* raw = client.get();
+  client_hosts_.push_back(std::move(host));
+  clients_.push_back(std::move(client));
+  return raw;
+}
+
+int PathwaysRuntime::FailClient(ClientId client) {
+  resource_manager_.ReleaseClient(client);
+  return object_store_.ReleaseAllForOwner(client);
+}
+
+Duration PathwaysRuntime::Jitter(Duration nominal) {
+  const double frac = cluster_->params().host_jitter_frac;
+  if (frac <= 0.0) return nominal;
+  return nominal * (1.0 + rng_.NextExponential(frac));
+}
+
+}  // namespace pw::pathways

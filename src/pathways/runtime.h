@@ -1,0 +1,76 @@
+// PathwaysRuntime: composition root for the single-controller runtime.
+//
+// Owns the resource manager, object store, one gang scheduler per island,
+// and one executor per device, all layered over a hw::Cluster. Clients are
+// created against the runtime; each gets a dedicated client host on the DCN
+// (the paper's client-server split: clients are "farther away" than the
+// per-host controllers of multi-controller systems).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "hw/cluster.h"
+#include "pathways/executor.h"
+#include "pathways/gang_scheduler.h"
+#include "pathways/ids.h"
+#include "pathways/object_store.h"
+#include "pathways/options.h"
+#include "pathways/resource_manager.h"
+
+namespace pw::pathways {
+
+class Client;
+
+class PathwaysRuntime {
+ public:
+  PathwaysRuntime(hw::Cluster* cluster, PathwaysOptions options);
+  ~PathwaysRuntime();
+
+  PathwaysRuntime(const PathwaysRuntime&) = delete;
+  PathwaysRuntime& operator=(const PathwaysRuntime&) = delete;
+
+  hw::Cluster& cluster() { return *cluster_; }
+  sim::Simulator& simulator() { return cluster_->simulator(); }
+  const PathwaysOptions& options() const { return options_; }
+  const hw::SystemParams& params() const { return cluster_->params(); }
+
+  ResourceManager& resource_manager() { return resource_manager_; }
+  ObjectStore& object_store() { return object_store_; }
+  GangScheduler& scheduler(hw::IslandId island) {
+    return *schedulers_.at(static_cast<std::size_t>(island.value()));
+  }
+  DeviceExecutor& executor(hw::DeviceId device) {
+    return *executors_.at(static_cast<std::size_t>(device.value()));
+  }
+
+  // Creates a client with its own host attached to the DCN. `weight` is the
+  // proportional-share weight used by the stride scheduler.
+  Client* CreateClient(double weight = 1.0);
+  // Simulates a client failure: garbage-collects all buffers and virtual
+  // devices the client owned. Returns the number of buffers collected.
+  int FailClient(ClientId client);
+
+  // Host-side work jitter (exponential tail on CPU costs); deterministic.
+  Duration Jitter(Duration nominal);
+
+  IdGenerator<ExecutionTag>& execution_ids() { return execution_ids_; }
+
+ private:
+  hw::Cluster* cluster_;
+  PathwaysOptions options_;
+  ResourceManager resource_manager_;
+  ObjectStore object_store_;
+  std::vector<std::unique_ptr<GangScheduler>> schedulers_;
+  std::vector<std::unique_ptr<DeviceExecutor>> executors_;
+  std::vector<std::unique_ptr<hw::Host>> client_hosts_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  IdGenerator<ClientTag> client_ids_;
+  IdGenerator<ExecutionTag> execution_ids_;
+  Rng rng_;
+  std::int64_t next_client_host_id_;
+};
+
+}  // namespace pw::pathways

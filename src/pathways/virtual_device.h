@@ -1,0 +1,31 @@
+// Virtual devices and slices (paper §4.1, Fig. 2).
+//
+// Clients never hold physical device ids: they hold virtual devices grouped
+// into slices. The resource manager owns the virtual→physical mapping and
+// may change it (device removal, defragmentation); programs are lowered
+// against the mapping current at dispatch time.
+#pragma once
+
+#include <vector>
+
+#include "hw/device.h"
+#include "pathways/ids.h"
+
+namespace pw::pathways {
+
+struct VirtualDevice {
+  VirtualDeviceId id;
+};
+
+// A set of virtual devices carved out of one island with a mesh shape that
+// suits the computation's communication pattern. One slice backs the shards
+// of one (sharded) computation: shard i runs on devices()[i].
+struct VirtualSlice {
+  ClientId owner;
+  hw::IslandId island;
+  std::vector<VirtualDevice> devices;
+
+  int num_devices() const { return static_cast<int>(devices.size()); }
+};
+
+}  // namespace pw::pathways

@@ -1,0 +1,106 @@
+// Compact sharded dataflow programs (the PLAQUE substrate, paper §4.3).
+//
+// The representation requirement is explicit in the paper: "a single node
+// for each sharded computation, to ensure a compact representation for
+// computations that span many shards" — a chain Arg → Compute(A) →
+// Compute(B) → Result is four nodes *regardless* of how many shards A and B
+// have. The graph here is exactly that: nodes carry a shard count; edges
+// connect nodes, not shards. At runtime, data tuples tagged with a
+// destination shard flow along the (logical) edges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strong_id.h"
+
+namespace pw::plaque {
+
+struct NodeTag {};
+using NodeId = StrongId<NodeTag>;
+struct EdgeTag {};
+using EdgeId = StrongId<EdgeTag>;
+
+enum class NodeKind {
+  kArg,      // externally injected inputs
+  kCompute,  // user handler runs per shard
+  kResult,   // terminal collection point
+};
+
+struct Node {
+  NodeId id;
+  NodeKind kind = NodeKind::kCompute;
+  std::string name;
+  int num_shards = 1;
+  // If true the runtime closes the shard's out-edges when its handler
+  // returns; handlers that emit asynchronously (e.g. after an accelerator
+  // kernel completes) set this false and call CloseShard themselves.
+  bool auto_close = true;
+};
+
+struct Edge {
+  EdgeId id;
+  NodeId from;
+  NodeId to;
+};
+
+class DataflowProgram {
+ public:
+  explicit DataflowProgram(std::string name) : name_(std::move(name)) {}
+
+  NodeId AddNode(NodeKind kind, std::string name, int num_shards,
+                 bool auto_close = true) {
+    PW_CHECK_GE(num_shards, 1);
+    const NodeId id(static_cast<std::int64_t>(nodes_.size()));
+    nodes_.push_back(Node{id, kind, std::move(name), num_shards, auto_close});
+    return id;
+  }
+
+  EdgeId AddEdge(NodeId from, NodeId to) {
+    PW_CHECK(valid(from) && valid(to)) << "edge references unknown node";
+    PW_CHECK(from != to) << "self-edges are not supported";
+    const EdgeId id(static_cast<std::int64_t>(edges_.size()));
+    edges_.push_back(Edge{id, from, to});
+    return id;
+  }
+
+  const std::string& name() const { return name_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const Node& node(NodeId id) const {
+    return nodes_.at(static_cast<std::size_t>(id.value()));
+  }
+  const Edge& edge(EdgeId id) const {
+    return edges_.at(static_cast<std::size_t>(id.value()));
+  }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  std::vector<EdgeId> in_edges(NodeId node) const {
+    std::vector<EdgeId> out;
+    for (const Edge& e : edges_) {
+      if (e.to == node) out.push_back(e.id);
+    }
+    return out;
+  }
+  std::vector<EdgeId> out_edges(NodeId node) const {
+    std::vector<EdgeId> out;
+    for (const Edge& e : edges_) {
+      if (e.from == node) out.push_back(e.id);
+    }
+    return out;
+  }
+
+ private:
+  bool valid(NodeId id) const {
+    return id.valid() && id.value() < num_nodes();
+  }
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace pw::plaque

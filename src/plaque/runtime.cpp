@@ -1,0 +1,203 @@
+#include "plaque/runtime.h"
+
+namespace pw::plaque {
+
+std::unique_ptr<ProgramInstance> PlaqueRuntime::Instantiate(
+    const DataflowProgram* program, Placement placement,
+    std::map<std::int64_t, ShardHandler> handlers) {
+  PW_CHECK(program != nullptr);
+  // unique_ptr via new: the constructor is private to this friend.
+  return std::unique_ptr<ProgramInstance>(new ProgramInstance(
+      this, program, std::move(placement), std::move(handlers)));
+}
+
+ProgramInstance::ProgramInstance(
+    PlaqueRuntime* rt, const DataflowProgram* program,
+    PlaqueRuntime::Placement placement,
+    std::map<std::int64_t, PlaqueRuntime::ShardHandler> handlers)
+    : rt_(rt),
+      program_(program),
+      placement_(std::move(placement)),
+      handlers_(std::move(handlers)) {
+  nodes_.resize(static_cast<std::size_t>(program_->num_nodes()));
+  for (const Node& n : program_->nodes()) {
+    NodeState& state = nodes_[static_cast<std::size_t>(n.id.value())];
+    state.shards.resize(static_cast<std::size_t>(n.num_shards));
+    for (const EdgeId e : program_->in_edges(n.id)) {
+      const Node& src = program_->node(program_->edge(e).from);
+      auto& trackers = state.trackers[e.value()];
+      trackers.reserve(static_cast<std::size_t>(n.num_shards));
+      for (int s = 0; s < n.num_shards; ++s) {
+        trackers.emplace_back(src.num_shards);
+      }
+    }
+    if (n.kind == NodeKind::kResult) results_expected_ += n.num_shards;
+  }
+}
+
+net::DcnBatcher& ProgramInstance::BatcherFor(hw::Host* src) {
+  auto& slot = batchers_[src->id().value()];
+  if (slot == nullptr) {
+    slot = std::make_unique<net::DcnBatcher>(rt_->sim_, &src->dcn(), src->id(),
+                                             rt_->options_.batch_window);
+  }
+  return *slot;
+}
+
+void ProgramInstance::Send(EdgeId edge, int src_shard, int dst_shard,
+                           Bytes bytes, std::any payload) {
+  const Edge& e = program_->edge(edge);
+  const Node& from = program_->node(e.from);
+  const Node& to = program_->node(e.to);
+  PW_CHECK_GE(src_shard, 0);
+  PW_CHECK_LT(src_shard, from.num_shards);
+  PW_CHECK_GE(dst_shard, 0);
+  PW_CHECK_LT(dst_shard, to.num_shards);
+  ShardState& src_state =
+      nodes_[static_cast<std::size_t>(e.from.value())].shards[static_cast<std::size_t>(src_shard)];
+  PW_CHECK(!src_state.closed)
+      << from.name << " shard " << src_shard << " sent after close";
+  src_state.sent[edge.value()][dst_shard] += 1;
+  ++tuples_routed_;
+
+  Tuple tuple{e.from, src_shard, bytes, std::move(payload)};
+  hw::Host* src_host = placement_(e.from, src_shard);
+  hw::Host* dst_host = placement_(e.to, dst_shard);
+  if (src_host->id() == dst_host->id()) {
+    // Local edge: no DCN hop, deliver as a zero-delay event.
+    rt_->sim_->Schedule(Duration::Zero(),
+                        [this, edge, dst_shard, tuple = std::move(tuple)] {
+                          DeliverTuple(edge, dst_shard, tuple);
+                        });
+  } else {
+    BatcherFor(src_host).Send(dst_host->id(), bytes,
+                              [this, edge, dst_shard, tuple = std::move(tuple)] {
+                                DeliverTuple(edge, dst_shard, tuple);
+                              });
+  }
+}
+
+void ProgramInstance::CloseShard(NodeId node, int src_shard) {
+  const Node& n = program_->node(node);
+  ShardState& state =
+      nodes_[static_cast<std::size_t>(node.value())].shards[static_cast<std::size_t>(src_shard)];
+  PW_CHECK(!state.closed) << n.name << " shard " << src_shard << " closed twice";
+  state.closed = true;
+  hw::Host* src_host = placement_(node, src_shard);
+  for (const EdgeId eid : program_->out_edges(node)) {
+    const Edge& e = program_->edge(eid);
+    const Node& to = program_->node(e.to);
+    const auto& sent_map = state.sent[eid.value()];
+    // Punctuation to every destination shard (including zero-count ones —
+    // that is what makes sparse exchanges terminate).
+    for (int d = 0; d < to.num_shards; ++d) {
+      const auto it = sent_map.find(d);
+      const std::int64_t promised = it == sent_map.end() ? 0 : it->second;
+      hw::Host* dst_host = placement_(e.to, d);
+      if (src_host->id() == dst_host->id()) {
+        rt_->sim_->Schedule(Duration::Zero(), [this, eid, d, promised] {
+          DeliverClose(eid, d, promised);
+        });
+      } else {
+        BatcherFor(src_host).Send(dst_host->id(), rt_->options_.punctuation_bytes,
+                                  [this, eid, d, promised] {
+                                    DeliverClose(eid, d, promised);
+                                  });
+      }
+    }
+  }
+}
+
+void ProgramInstance::InjectArg(NodeId node, int shard, Bytes bytes,
+                                std::any payload) {
+  const Node& n = program_->node(node);
+  PW_CHECK(n.kind == NodeKind::kArg) << n.name << " is not an Arg node";
+  ShardState& state =
+      nodes_[static_cast<std::size_t>(node.value())].shards[static_cast<std::size_t>(shard)];
+  state.inbox.push_back(Tuple{node, shard, bytes, std::move(payload)});
+  MaybeFire(node, shard);
+}
+
+void ProgramInstance::DeliverTuple(EdgeId edge, int dst_shard, Tuple tuple) {
+  const Edge& e = program_->edge(edge);
+  NodeState& node_state = nodes_[static_cast<std::size_t>(e.to.value())];
+  node_state.shards[static_cast<std::size_t>(dst_shard)].inbox.push_back(
+      std::move(tuple));
+  node_state.trackers[edge.value()][static_cast<std::size_t>(dst_shard)]
+      .TupleArrived();
+  CheckEdgeComplete(edge, dst_shard);
+}
+
+void ProgramInstance::DeliverClose(EdgeId edge, int dst_shard,
+                                   std::int64_t promised) {
+  const Edge& e = program_->edge(edge);
+  NodeState& node_state = nodes_[static_cast<std::size_t>(e.to.value())];
+  node_state.trackers[edge.value()][static_cast<std::size_t>(dst_shard)]
+      .CloseArrived(promised);
+  CheckEdgeComplete(edge, dst_shard);
+}
+
+void ProgramInstance::CheckEdgeComplete(EdgeId edge, int dst_shard) {
+  const Edge& e = program_->edge(edge);
+  NodeState& node_state = nodes_[static_cast<std::size_t>(e.to.value())];
+  ProgressTracker& tracker =
+      node_state.trackers[edge.value()][static_cast<std::size_t>(dst_shard)];
+  ShardState& shard = node_state.shards[static_cast<std::size_t>(dst_shard)];
+  if (shard.fired || !tracker.complete()) return;
+  // An edge transitions to complete exactly once: completeness is monotonic
+  // (closes and counts only grow), so count it the first time we see it.
+  // We mark by counting: recompute from scratch to stay simple and exact.
+  int complete_edges = 0;
+  for (const EdgeId eid : program_->in_edges(e.to)) {
+    if (node_state.trackers[eid.value()][static_cast<std::size_t>(dst_shard)]
+            .complete()) {
+      ++complete_edges;
+    }
+  }
+  shard.edges_complete = complete_edges;
+  MaybeFire(e.to, dst_shard);
+}
+
+void ProgramInstance::MaybeFire(NodeId node, int shard) {
+  const Node& n = program_->node(node);
+  NodeState& node_state = nodes_[static_cast<std::size_t>(node.value())];
+  ShardState& state = node_state.shards[static_cast<std::size_t>(shard)];
+  if (state.fired) return;
+  const auto in_degree = program_->in_edges(node).size();
+  if (n.kind != NodeKind::kArg &&
+      static_cast<std::size_t>(state.edges_complete) < in_degree) {
+    return;
+  }
+  state.fired = true;
+  Fire(node, shard);
+}
+
+void ProgramInstance::Fire(NodeId node, int shard) {
+  const Node& n = program_->node(node);
+  hw::Host* host = placement_(node, shard);
+  ShardState& state =
+      nodes_[static_cast<std::size_t>(node.value())].shards[static_cast<std::size_t>(shard)];
+  std::vector<Tuple> inputs = std::move(state.inbox);
+  state.inbox.clear();
+  host->RunOnCpu(rt_->options_.handler_cpu_cost,
+                 [this, node, shard, inputs = std::move(inputs)]() mutable {
+    const Node& n2 = program_->node(node);
+    if (n2.kind == NodeKind::kResult) {
+      ++results_fired_;
+      if (result_fn_) result_fn_(shard, std::move(inputs));
+      return;
+    }
+    const auto it = handlers_.find(node.value());
+    if (it != handlers_.end()) {
+      it->second(*this, shard, std::move(inputs));
+    }
+    if (n2.auto_close) CloseShard(node, shard);
+  });
+  (void)n;
+}
+
+bool ProgramInstance::AllResultsComplete() const {
+  return results_fired_ == results_expected_;
+}
+
+}  // namespace pw::plaque

@@ -1,0 +1,170 @@
+// PLAQUE-style sharded dataflow runtime over the simulated DCN.
+//
+// Executes a DataflowProgram whose node shards are placed on hosts. Data
+// tuples are tagged with a destination shard and routed point-to-point;
+// messages to the same destination host coalesce in a batching window
+// (paper §4.3: low latency for critical-path messages, batching for
+// throughput). Completion of *sparse* exchanges — where only a dynamically
+// chosen subset of source shards send — is detected with punctuation-based
+// progress tracking in the style of MillWheel/Naiad: when a source shard
+// closes an edge it advertises, to every destination shard, how many tuples
+// it sent there; a destination shard's input on that edge is complete once
+// every source shard has closed and all advertised tuples have arrived.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "hw/host.h"
+#include "net/dcn.h"
+#include "plaque/program.h"
+#include "sim/simulator.h"
+
+namespace pw::plaque {
+
+// A data tuple delivered to a node shard.
+struct Tuple {
+  NodeId from;
+  int src_shard = 0;
+  Bytes bytes = 0;
+  std::any payload;
+};
+
+// Tracks completion of one (edge, destination-shard) input.
+class ProgressTracker {
+ public:
+  explicit ProgressTracker(int num_src_shards)
+      : expected_closes_(num_src_shards) {}
+
+  void TupleArrived() { ++tuples_received_; }
+  void CloseArrived(std::int64_t tuples_promised) {
+    PW_CHECK_LT(closes_received_, expected_closes_);
+    ++closes_received_;
+    tuples_promised_ += tuples_promised;
+  }
+
+  bool complete() const {
+    return closes_received_ == expected_closes_ &&
+           tuples_received_ == tuples_promised_;
+  }
+  std::int64_t tuples_received() const { return tuples_received_; }
+
+ private:
+  int expected_closes_;
+  int closes_received_ = 0;
+  std::int64_t tuples_promised_ = 0;
+  std::int64_t tuples_received_ = 0;
+};
+
+struct RuntimeOptions {
+  Duration batch_window = Duration::Micros(5);
+  Duration handler_cpu_cost = Duration::Micros(5);  // per shard activation
+  Bytes punctuation_bytes = 32;
+};
+
+class ProgramInstance;
+
+class PlaqueRuntime {
+ public:
+  PlaqueRuntime(sim::Simulator* sim, RuntimeOptions options)
+      : sim_(sim), options_(options) {}
+
+  // Shard handler: runs on the owning host's CPU when the shard's inputs
+  // are complete. `inputs` holds every tuple delivered to the shard.
+  using ShardHandler =
+      std::function<void(ProgramInstance&, int shard, std::vector<Tuple> inputs)>;
+
+  // Placement: host owning each shard of each node.
+  using Placement = std::function<hw::Host*(NodeId, int shard)>;
+
+  // Instantiates a program. `handlers` maps node id values to handlers;
+  // kArg and kResult nodes may omit one (results collect via OnResult).
+  std::unique_ptr<ProgramInstance> Instantiate(
+      const DataflowProgram* program, Placement placement,
+      std::map<std::int64_t, ShardHandler> handlers);
+
+  sim::Simulator* simulator() { return sim_; }
+  const RuntimeOptions& options() const { return options_; }
+
+ private:
+  friend class ProgramInstance;
+  sim::Simulator* sim_;
+  RuntimeOptions options_;
+};
+
+class ProgramInstance {
+ public:
+  // --- Handler/driver API ---
+
+  // Sends a tuple from (edge.from, src_shard) to (edge.to, dst_shard).
+  void Send(EdgeId edge, int src_shard, int dst_shard, Bytes bytes,
+            std::any payload = {});
+
+  // Declares that src_shard will send nothing more on any out-edge of
+  // `node`. Must be called exactly once per shard of nodes with
+  // auto_close == false (auto_close nodes close implicitly).
+  void CloseShard(NodeId node, int src_shard);
+
+  // Injects an external input into an Arg node shard and closes it.
+  void InjectArg(NodeId node, int shard, Bytes bytes, std::any payload = {});
+
+  // Called once per Result-node shard completion.
+  void OnResult(std::function<void(int shard, std::vector<Tuple>)> fn) {
+    result_fn_ = std::move(fn);
+  }
+
+  // --- Introspection ---
+  bool AllResultsComplete() const;
+  std::int64_t tuples_routed() const { return tuples_routed_; }
+  const DataflowProgram& program() const { return *program_; }
+
+ private:
+  friend class PlaqueRuntime;
+
+  struct ShardState {
+    std::vector<Tuple> inbox;
+    int edges_complete = 0;
+    bool fired = false;
+    bool closed = false;
+    // Per out-edge: tuples sent per destination shard (for punctuation).
+    std::map<std::int64_t, std::map<int, std::int64_t>> sent;
+  };
+
+  struct NodeState {
+    std::vector<ShardState> shards;
+    // Per in-edge, per shard: progress tracker.
+    std::map<std::int64_t, std::vector<ProgressTracker>> trackers;
+  };
+
+  ProgramInstance(PlaqueRuntime* rt, const DataflowProgram* program,
+                  PlaqueRuntime::Placement placement,
+                  std::map<std::int64_t, PlaqueRuntime::ShardHandler> handlers);
+
+  net::DcnBatcher& BatcherFor(hw::Host* src);
+  void DeliverTuple(EdgeId edge, int dst_shard, Tuple tuple);
+  void DeliverClose(EdgeId edge, int dst_shard, std::int64_t promised);
+  void CheckEdgeComplete(EdgeId edge, int dst_shard);
+  void MaybeFire(NodeId node, int shard);
+  void Fire(NodeId node, int shard);
+
+  PlaqueRuntime* rt_;
+  const DataflowProgram* program_;
+  PlaqueRuntime::Placement placement_;
+  std::map<std::int64_t, PlaqueRuntime::ShardHandler> handlers_;
+  std::vector<NodeState> nodes_;
+  std::map<std::int64_t, std::unique_ptr<net::DcnBatcher>> batchers_;  // by host
+  std::function<void(int, std::vector<Tuple>)> result_fn_;
+  std::int64_t tuples_routed_ = 0;
+  int results_fired_ = 0;
+  int results_expected_ = 0;
+};
+
+}  // namespace pw::plaque

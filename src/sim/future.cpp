@@ -1,0 +1,13 @@
+#include "sim/future.h"
+
+namespace pw::sim {
+
+SimFuture<Unit> WhenAll(Simulator* sim, const std::vector<SimFuture<Unit>>& futures) {
+  auto latch = std::make_shared<CountdownLatch>(sim, static_cast<int>(futures.size()));
+  for (const auto& f : futures) {
+    f.Then([latch](const Unit&) { latch->CountDown(); });
+  }
+  return latch->done();
+}
+
+}  // namespace pw::sim

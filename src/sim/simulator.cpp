@@ -1,0 +1,54 @@
+#include "sim/simulator.h"
+
+namespace pw::sim {
+
+void Simulator::Step() {
+  // Move the event out before popping so the callback may schedule more
+  // events (priority_queue::top is const).
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  PW_CHECK_GE(ev.at.nanos(), now_.nanos());
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+}
+
+std::int64_t Simulator::Run() {
+  std::int64_t n = 0;
+  while (!events_.empty()) {
+    Step();
+    ++n;
+  }
+  return n;
+}
+
+std::int64_t Simulator::RunUntil(TimePoint t) {
+  PW_CHECK_GE(t.nanos(), now_.nanos());
+  std::int64_t n = 0;
+  while (!events_.empty() && events_.top().at <= t) {
+    Step();
+    ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+bool Simulator::RunUntilPredicate(const std::function<bool()>& pred) {
+  if (pred()) return true;
+  while (!events_.empty()) {
+    Step();
+    if (pred()) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Simulator::BlockedEntities() const {
+  std::vector<std::string> out;
+  for (const auto& probe : probes_) {
+    std::string desc = probe();
+    if (!desc.empty()) out.push_back(std::move(desc));
+  }
+  return out;
+}
+
+}  // namespace pw::sim

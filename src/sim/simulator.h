@@ -1,0 +1,103 @@
+// Deterministic single-threaded discrete-event simulator.
+//
+// All Pathways components (clients, resource manager, schedulers, executors,
+// devices, networks) interact only through events scheduled here, so a run
+// is bit-reproducible: events at equal timestamps execute in scheduling
+// order (FIFO tie-break via sequence numbers).
+//
+// The simulator deliberately knows nothing about the entities it drives.
+// Higher layers register "blocked entity" probes so that quiescence with
+// blocked entities can be reported as a deadlock (the situation the paper's
+// gang scheduler exists to prevent).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace pw::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules fn to run at now() + delay. delay must be >= 0.
+  void Schedule(Duration delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Schedules fn at an absolute time >= now().
+  void ScheduleAt(TimePoint at, std::function<void()> fn) {
+    PW_CHECK_GE(at.nanos(), now_.nanos()) << "cannot schedule in the past";
+    events_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+
+  // Runs events until the queue is empty. Returns the number of events run.
+  std::int64_t Run();
+
+  // Runs events with timestamp <= t; leaves later events queued and advances
+  // the clock to exactly t. Returns the number of events run.
+  std::int64_t RunUntil(TimePoint t);
+
+  // Convenience: RunUntil(now() + d).
+  std::int64_t RunFor(Duration d) { return RunUntil(now_ + d); }
+
+  // Runs until `pred()` becomes true (checked after every event) or the
+  // queue empties. Returns true if the predicate was satisfied.
+  bool RunUntilPredicate(const std::function<bool()>& pred);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t pending_events() const { return events_.size(); }
+  std::int64_t events_executed() const { return executed_; }
+
+  // --- Blocked-entity probes (deadlock detection support) ---
+  //
+  // A probe returns a human-readable description of an entity that is
+  // currently blocked waiting for an external stimulus (e.g. a device parked
+  // at a collective rendezvous), or an empty string if not blocked. After
+  // Run() returns with blocked entities, the system has deadlocked.
+  using BlockedProbe = std::function<std::string()>;
+  void RegisterBlockedProbe(BlockedProbe probe) {
+    probes_.push_back(std::move(probe));
+  }
+
+  // Descriptions of all currently blocked entities (empty => none).
+  std::vector<std::string> BlockedEntities() const;
+
+  // True if the event queue is empty but some entity is still blocked.
+  bool Deadlocked() const { return empty() && !BlockedEntities().empty(); }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return b.at < a.at;
+      return b.seq < a.seq;  // FIFO among equal timestamps
+    }
+  };
+
+  void Step();
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<BlockedProbe> probes_;
+};
+
+}  // namespace pw::sim

@@ -1,0 +1,78 @@
+// C++20 coroutine support for writing simulated processes as straight-line
+// code:
+//
+//   sim::Task ClientLoop(Simulator& sim, ...) {
+//     for (;;) {
+//       auto result = co_await client.Run(program);
+//       co_await SleepFor(sim, Duration::Micros(10));
+//     }
+//   }
+//
+// Task is fire-and-forget: it starts eagerly and destroys its own frame on
+// completion. A task suspended on a future that is never fulfilled simply
+// parks (its frame is reclaimed at process exit) — this mirrors a blocked
+// thread and is what the deadlock probes report on.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+
+#include "sim/future.h"
+#include "sim/simulator.h"
+
+namespace pw::sim {
+
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() { return Task{}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+// Awaitable adapter for SimFuture<T>; resumes the coroutine (as a zero-delay
+// event) when the future is fulfilled. Usage: `T v = co_await fut;`
+template <typename T>
+class FutureAwaiter {
+ public:
+  explicit FutureAwaiter(SimFuture<T> fut) : fut_(std::move(fut)) {}
+
+  bool await_ready() const { return fut_.ready(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    fut_.Then([h](const T&) { h.resume(); });
+  }
+  T await_resume() const { return fut_.value(); }
+
+ private:
+  SimFuture<T> fut_;
+};
+
+template <typename T>
+FutureAwaiter<T> operator co_await(SimFuture<T> fut) {
+  return FutureAwaiter<T>(std::move(fut));
+}
+
+// Awaitable that resumes after a simulated delay.
+class SleepAwaiter {
+ public:
+  SleepAwaiter(Simulator* sim, Duration d) : sim_(sim), delay_(d) {}
+
+  bool await_ready() const { return delay_ <= Duration::Zero(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim_->Schedule(delay_, [h] { h.resume(); });
+  }
+  void await_resume() const {}
+
+ private:
+  Simulator* sim_;
+  Duration delay_;
+};
+
+inline SleepAwaiter SleepFor(Simulator* sim, Duration d) {
+  return SleepAwaiter(sim, d);
+}
+
+}  // namespace pw::sim

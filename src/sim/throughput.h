@@ -1,0 +1,48 @@
+// Throughput measurement helper for benchmarks: counts completions during a
+// measurement window of simulated time, excluding a warm-up prefix so
+// steady-state rates are reported (the paper reports steady-state
+// computations/sec and tokens/sec).
+#pragma once
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace pw::sim {
+
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(Simulator* sim) : sim_(sim) {}
+
+  // Begins the measurement window at the current simulated time.
+  void StartWindow() {
+    window_start_ = sim_->now();
+    count_ = 0;
+    started_ = true;
+  }
+
+  // Records one completed unit (a computation, a token batch, ...).
+  void Count(std::int64_t n = 1) {
+    if (started_) count_ += n;
+  }
+
+  std::int64_t count() const { return count_; }
+
+  // Units per second over the window ending now.
+  double RatePerSecond() const {
+    PW_CHECK(started_);
+    const Duration elapsed = sim_->now() - window_start_;
+    PW_CHECK_GT(elapsed.nanos(), 0);
+    return static_cast<double>(count_) / elapsed.ToSeconds();
+  }
+
+ private:
+  Simulator* sim_;
+  TimePoint window_start_;
+  std::int64_t count_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace pw::sim

@@ -1,0 +1,100 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pw::sim {
+
+void TraceRecorder::Record(std::string resource, std::int64_t client,
+                           std::string label, TimePoint start, TimePoint end) {
+  PW_CHECK_LE(start.nanos(), end.nanos());
+  spans_.push_back(TraceSpan{std::move(resource), client, std::move(label), start, end});
+}
+
+namespace {
+Duration Overlap(const TraceSpan& s, TimePoint begin, TimePoint end) {
+  const auto lo = std::max(s.start.nanos(), begin.nanos());
+  const auto hi = std::min(s.end.nanos(), end.nanos());
+  return Duration::Nanos(std::max<std::int64_t>(0, hi - lo));
+}
+}  // namespace
+
+double TraceRecorder::Utilization(const std::string& resource, TimePoint begin,
+                                  TimePoint end) const {
+  PW_CHECK_LT(begin.nanos(), end.nanos());
+  Duration busy = Duration::Zero();
+  for (const auto& s : spans_) {
+    if (s.resource == resource) busy += Overlap(s, begin, end);
+  }
+  return busy / (end - begin);
+}
+
+double TraceRecorder::MeanUtilization(TimePoint begin, TimePoint end) const {
+  const auto resources = Resources();
+  if (resources.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : resources) sum += Utilization(r, begin, end);
+  return sum / static_cast<double>(resources.size());
+}
+
+std::map<std::int64_t, Duration> TraceRecorder::BusyPerClient(TimePoint begin,
+                                                              TimePoint end) const {
+  std::map<std::int64_t, Duration> out;
+  for (const auto& s : spans_) {
+    out[s.client] += Overlap(s, begin, end);
+  }
+  return out;
+}
+
+std::vector<std::string> TraceRecorder::Resources() const {
+  std::set<std::string> names;
+  for (const auto& s : spans_) names.insert(s.resource);
+  return {names.begin(), names.end()};
+}
+
+std::string TraceRecorder::RenderAscii(TimePoint begin, TimePoint end,
+                                       int columns, int max_rows) const {
+  PW_CHECK_GT(columns, 0);
+  PW_CHECK_LT(begin.nanos(), end.nanos());
+  auto resources = Resources();
+  if (static_cast<int>(resources.size()) > max_rows) {
+    resources.resize(static_cast<std::size_t>(max_rows));
+  }
+  const std::int64_t span_ns = (end - begin).nanos();
+  std::ostringstream out;
+  for (const auto& r : resources) {
+    // For each column pick the client with the most busy time in the bucket.
+    std::string row(static_cast<std::size_t>(columns), '.');
+    for (int c = 0; c < columns; ++c) {
+      const TimePoint b0 = begin + Duration::Nanos(span_ns * c / columns);
+      const TimePoint b1 = begin + Duration::Nanos(span_ns * (c + 1) / columns);
+      std::map<std::int64_t, Duration> busy;
+      for (const auto& s : spans_) {
+        if (s.resource != r) continue;
+        const Duration o = Overlap(s, b0, b1);
+        if (o > Duration::Zero()) busy[s.client] += o;
+      }
+      if (busy.empty()) continue;
+      auto best = std::max_element(
+          busy.begin(), busy.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      const std::int64_t client = best->first;
+      if (client < 0) {
+        row[static_cast<std::size_t>(c)] = '#';
+      } else if (client < 10) {
+        row[static_cast<std::size_t>(c)] = static_cast<char>('0' + client);
+      } else if (client < 36) {
+        row[static_cast<std::size_t>(c)] = static_cast<char>('a' + (client - 10));
+      } else {
+        row[static_cast<std::size_t>(c)] = '+';
+      }
+    }
+    out << row << "  " << r << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pw::sim

@@ -1,0 +1,55 @@
+// Execution trace recording, for the paper's Figure 9/11/12-style traces.
+//
+// Spans record which resource (device/core) ran which client's computation
+// over which simulated interval. The recorder can compute utilization,
+// per-client busy shares (for proportional-share validation), and render a
+// compact ASCII Gantt chart for bench output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace pw::sim {
+
+struct TraceSpan {
+  std::string resource;   // e.g. "island0/dev3"
+  std::int64_t client;    // client id, or -1 for system work
+  std::string label;      // e.g. "fwd", "allreduce", "xfer"
+  TimePoint start;
+  TimePoint end;
+};
+
+class TraceRecorder {
+ public:
+  void Record(std::string resource, std::int64_t client, std::string label,
+              TimePoint start, TimePoint end);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  void Clear() { spans_.clear(); }
+
+  // Fraction of [begin, end) during which `resource` was busy.
+  double Utilization(const std::string& resource, TimePoint begin, TimePoint end) const;
+
+  // Mean utilization over all resources seen in the trace.
+  double MeanUtilization(TimePoint begin, TimePoint end) const;
+
+  // Busy time per client over [begin, end), summed across resources.
+  std::map<std::int64_t, Duration> BusyPerClient(TimePoint begin, TimePoint end) const;
+
+  // Renders one text row per resource; each column is a time bucket showing
+  // the client digit that dominated the bucket ('.' = idle). Resources are
+  // sorted by name; at most `max_rows` rows are emitted.
+  std::string RenderAscii(TimePoint begin, TimePoint end, int columns,
+                          int max_rows = 16) const;
+
+  std::vector<std::string> Resources() const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace pw::sim

@@ -1,0 +1,92 @@
+#include "xlasim/cost_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pw::xlasim {
+
+OpCost CostModel::InstructionCost(const HloModule& module, int index) const {
+  const HloInstruction& instr = module.instruction(index);
+  OpCost cost;
+  const auto out_bytes = static_cast<double>(instr.shape.byte_size());
+  double in_bytes = 0;
+  for (const int op : instr.operands) {
+    in_bytes += static_cast<double>(module.instruction(op).shape.byte_size());
+  }
+  switch (instr.opcode) {
+    case HloOpcode::kParameter:
+    case HloOpcode::kConstant:
+      return cost;  // no runtime work
+    case HloOpcode::kAdd:
+    case HloOpcode::kMultiply:
+      cost.flops = static_cast<double>(instr.shape.num_elements());
+      cost.bytes = in_bytes + out_bytes;
+      return cost;
+    case HloOpcode::kSoftmax:
+      // exp + sum + div ~ 5 flops/element, two passes over the data.
+      cost.flops = 5.0 * static_cast<double>(instr.shape.num_elements());
+      cost.bytes = 2.0 * in_bytes + out_bytes;
+      return cost;
+    case HloOpcode::kReduce:
+      cost.flops = static_cast<double>(
+          module.instruction(instr.operands[0]).shape.num_elements());
+      cost.bytes = in_bytes;
+      return cost;
+    case HloOpcode::kMatMul: {
+      const Shape& a = module.instruction(instr.operands[0]).shape;
+      const Shape& b = module.instruction(instr.operands[1]).shape;
+      cost.flops = 2.0 * static_cast<double>(a.dim(0)) *
+                   static_cast<double>(a.dim(1)) * static_cast<double>(b.dim(1));
+      cost.bytes = in_bytes + out_bytes;
+      return cost;
+    }
+    case HloOpcode::kEmbeddingLookup: {
+      // Gather: reads one table row per id.
+      cost.flops = 0;
+      cost.bytes = out_bytes * 2.0;
+      return cost;
+    }
+    case HloOpcode::kAllReduce:
+    case HloOpcode::kAllGather:
+    case HloOpcode::kReduceScatter:
+      // Charged at the rendezvous, not on the core.
+      return cost;
+  }
+  return cost;
+}
+
+Duration CostModel::Time(const OpCost& cost, int num_ops) const {
+  PW_CHECK_GT(params_.peak_flops, 0.0);
+  PW_CHECK_GT(params_.hbm_bandwidth, 0.0);
+  const double compute_s = cost.flops / (params_.peak_flops * params_.mfu);
+  const double memory_s = cost.bytes / params_.hbm_bandwidth;
+  return Duration::Seconds(std::max(compute_s, memory_s)) +
+         params_.per_op_overhead * num_ops;
+}
+
+Duration CostModel::ModuleComputeTime(const HloModule& module) const {
+  OpCost total;
+  int ops = 0;
+  for (int i = 0; i < module.num_instructions(); ++i) {
+    const OpCost c = InstructionCost(module, i);
+    if (c.flops == 0 && c.bytes == 0) continue;
+    total.flops += c.flops;
+    total.bytes += c.bytes;
+    ++ops;
+  }
+  return Time(total, ops);
+}
+
+Duration CostModel::MatMulTime(std::int64_t m, std::int64_t k, std::int64_t n,
+                               Bytes dtype_size) const {
+  OpCost cost;
+  cost.flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+               static_cast<double>(n);
+  cost.bytes = static_cast<double>(dtype_size) *
+               (static_cast<double>(m * k) + static_cast<double>(k * n) +
+                static_cast<double>(m * n));
+  return Time(cost, 1);
+}
+
+}  // namespace pw::xlasim

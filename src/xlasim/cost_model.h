@@ -1,0 +1,55 @@
+// Analytic device-time cost model for compiled functions.
+//
+// Substitutes for XLA's performance model: per-instruction FLOP and
+// byte-traffic counts are rolled up into a roofline estimate
+//   time = max(flops / (peak_flops * mfu), bytes / hbm_bw) + per_op_overhead
+// where `mfu` (model flops utilization) captures everything a real compiler
+// and kernel library would decide. Collectives are *not* charged here —
+// they become rendezvous operations on the device (hw::CollectiveGroup), so
+// their cost depends on runtime arrival times, exactly as on real hardware.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "xlasim/hlo.h"
+
+namespace pw::xlasim {
+
+struct CostParams {
+  double peak_flops = 61.5e12;   // per-core peak
+  double mfu = 0.45;             // achieved fraction of peak on dense math
+  double hbm_bandwidth = 700e9;  // bytes/sec
+  Duration per_op_overhead = Duration::Nanos(300);  // fused-op issue cost
+};
+
+struct OpCost {
+  double flops = 0;
+  double bytes = 0;  // HBM traffic (reads + writes)
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostParams params) : params_(params) {}
+  CostModel() : CostModel(CostParams{}) {}
+
+  const CostParams& params() const { return params_; }
+
+  // FLOPs and HBM bytes for one instruction at the given (per-shard) shapes.
+  OpCost InstructionCost(const HloModule& module, int index) const;
+
+  // Roofline time for an already-aggregated cost.
+  Duration Time(const OpCost& cost, int num_ops) const;
+
+  // Device time for a whole module's non-collective work (per shard).
+  Duration ModuleComputeTime(const HloModule& module) const;
+
+  // Convenience for dense layers: time of an [m,k]x[k,n] matmul.
+  Duration MatMulTime(std::int64_t m, std::int64_t k, std::int64_t n,
+                      Bytes dtype_size = 2) const;
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace pw::xlasim

@@ -1,0 +1,110 @@
+#include "xlasim/hlo.h"
+
+namespace pw::xlasim {
+
+std::string HloOpcodeName(HloOpcode op) {
+  switch (op) {
+    case HloOpcode::kParameter: return "parameter";
+    case HloOpcode::kConstant: return "constant";
+    case HloOpcode::kAdd: return "add";
+    case HloOpcode::kMultiply: return "multiply";
+    case HloOpcode::kMatMul: return "matmul";
+    case HloOpcode::kSoftmax: return "softmax";
+    case HloOpcode::kReduce: return "reduce";
+    case HloOpcode::kAllReduce: return "all-reduce";
+    case HloOpcode::kAllGather: return "all-gather";
+    case HloOpcode::kReduceScatter: return "reduce-scatter";
+    case HloOpcode::kEmbeddingLookup: return "embedding-lookup";
+  }
+  return "?";
+}
+
+std::vector<int> HloModule::parameters() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_instructions(); ++i) {
+    if (instructions_[static_cast<std::size_t>(i)].opcode == HloOpcode::kParameter) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+int HloBuilder::Emit(HloInstruction instr) {
+  for (const int op : instr.operands) {
+    PW_CHECK_GE(op, 0);
+    PW_CHECK_LT(op, module_.num_instructions()) << "operand index out of range";
+  }
+  module_.instructions_.push_back(std::move(instr));
+  return module_.num_instructions() - 1;
+}
+
+int HloBuilder::Parameter(Shape shape, std::string name) {
+  return Emit({HloOpcode::kParameter, std::move(shape), {}, std::move(name)});
+}
+
+int HloBuilder::Constant(Shape shape, std::string name) {
+  return Emit({HloOpcode::kConstant, std::move(shape), {}, std::move(name)});
+}
+
+int HloBuilder::Add(int lhs, int rhs) {
+  PW_CHECK(shape_of(lhs) == shape_of(rhs))
+      << "add operand shapes differ: " << shape_of(lhs) << " vs " << shape_of(rhs);
+  return Emit({HloOpcode::kAdd, shape_of(lhs), {lhs, rhs}, "add"});
+}
+
+int HloBuilder::Multiply(int lhs, int rhs) {
+  PW_CHECK(shape_of(lhs) == shape_of(rhs))
+      << "multiply operand shapes differ";
+  return Emit({HloOpcode::kMultiply, shape_of(lhs), {lhs, rhs}, "multiply"});
+}
+
+int HloBuilder::MatMul(int lhs, int rhs) {
+  const Shape& a = shape_of(lhs);
+  const Shape& b = shape_of(rhs);
+  PW_CHECK_EQ(a.rank(), 2);
+  PW_CHECK_EQ(b.rank(), 2);
+  PW_CHECK_EQ(a.dim(1), b.dim(0)) << "matmul contraction mismatch: " << a << " x " << b;
+  return Emit({HloOpcode::kMatMul, Shape(a.dtype(), {a.dim(0), b.dim(1)}),
+               {lhs, rhs}, "matmul"});
+}
+
+int HloBuilder::Softmax(int input) {
+  return Emit({HloOpcode::kSoftmax, shape_of(input), {input}, "softmax"});
+}
+
+int HloBuilder::Reduce(int input) {
+  return Emit({HloOpcode::kReduce, Shape::Scalar(shape_of(input).dtype()),
+               {input}, "reduce"});
+}
+
+int HloBuilder::AllReduce(int input) {
+  return Emit({HloOpcode::kAllReduce, shape_of(input), {input}, "all-reduce"});
+}
+
+int HloBuilder::AllGather(int input, int gather_dim, int num_shards) {
+  const Shape& in = shape_of(input);
+  PW_CHECK_GE(gather_dim, 0);
+  PW_CHECK_LT(gather_dim, in.rank());
+  std::vector<std::int64_t> dims = in.dims();
+  dims[static_cast<std::size_t>(gather_dim)] *= num_shards;
+  return Emit({HloOpcode::kAllGather, Shape(in.dtype(), std::move(dims)),
+               {input}, "all-gather"});
+}
+
+int HloBuilder::ReduceScatter(int input, int scatter_dim, int num_shards) {
+  return Emit({HloOpcode::kReduceScatter,
+               shape_of(input).ShardDim(scatter_dim, num_shards), {input},
+               "reduce-scatter"});
+}
+
+int HloBuilder::EmbeddingLookup(int ids, int table) {
+  const Shape& i = shape_of(ids);
+  const Shape& t = shape_of(table);
+  PW_CHECK_EQ(i.rank(), 1);
+  PW_CHECK_EQ(t.rank(), 2);
+  return Emit({HloOpcode::kEmbeddingLookup,
+               Shape(t.dtype(), {i.dim(0), t.dim(1)}), {ids, table},
+               "embedding-lookup"});
+}
+
+}  // namespace pw::xlasim

@@ -1,0 +1,102 @@
+// A miniature HLO: enough of an op graph to express the computations the
+// paper's evaluation runs (dense matmuls, elementwise chains, collectives)
+// and to give the compiler something real to cost-model and shard.
+//
+// Instructions are owned by their HloModule and referenced by index; the
+// builder validates operand shapes at construction, mirroring XLA's shape
+// inference.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "net/collective_model.h"
+#include "xlasim/shape.h"
+
+namespace pw::xlasim {
+
+enum class HloOpcode {
+  kParameter,
+  kConstant,
+  kAdd,
+  kMultiply,
+  kMatMul,       // [m,k] x [k,n] -> [m,n]
+  kSoftmax,      // rowwise
+  kReduce,       // full reduction to scalar
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+  kEmbeddingLookup,  // [tokens] x table[vocab, d] -> [tokens, d]
+};
+
+std::string HloOpcodeName(HloOpcode op);
+
+struct HloInstruction {
+  HloOpcode opcode;
+  Shape shape;                      // result shape
+  std::vector<int> operands;        // indices into the module
+  std::string name;
+  // For collectives: the payload is the operand's shape; participants are
+  // supplied at compile time by the sharding environment.
+};
+
+class HloModule {
+ public:
+  explicit HloModule(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  int num_instructions() const { return static_cast<int>(instructions_.size()); }
+  const HloInstruction& instruction(int i) const {
+    return instructions_.at(static_cast<std::size_t>(i));
+  }
+  const std::vector<HloInstruction>& instructions() const { return instructions_; }
+
+  // The root is the last added instruction.
+  int root() const {
+    PW_CHECK_GT(num_instructions(), 0);
+    return num_instructions() - 1;
+  }
+  const Shape& root_shape() const { return instruction(root()).shape; }
+
+  std::vector<int> parameters() const;
+
+ private:
+  friend class HloBuilder;
+  std::string name_;
+  std::vector<HloInstruction> instructions_;
+};
+
+// Builder with shape inference. Returns instruction indices.
+class HloBuilder {
+ public:
+  explicit HloBuilder(std::string name) : module_(std::move(name)) {}
+
+  int Parameter(Shape shape, std::string name = "param");
+  int Constant(Shape shape, std::string name = "const");
+  int Add(int lhs, int rhs);
+  int Multiply(int lhs, int rhs);
+  int MatMul(int lhs, int rhs);
+  int Softmax(int input);
+  int Reduce(int input);
+  int AllReduce(int input);
+  int AllGather(int input, int gather_dim, int num_shards);
+  int ReduceScatter(int input, int scatter_dim, int num_shards);
+  int EmbeddingLookup(int ids, int table);
+
+  const Shape& shape_of(int idx) const {
+    return module_.instruction(idx).shape;
+  }
+
+  // Finalizes and returns the module; the builder must not be reused.
+  HloModule Build() && { return std::move(module_); }
+
+ private:
+  int Emit(HloInstruction instr);
+  HloModule module_;
+};
+
+}  // namespace pw::xlasim

@@ -1,0 +1,44 @@
+#include "xlasim/shape.h"
+
+#include <sstream>
+
+namespace pw::xlasim {
+
+std::string DTypeName(DType t) {
+  switch (t) {
+    case DType::kF32: return "f32";
+    case DType::kBF16: return "bf16";
+    case DType::kS32: return "s32";
+    case DType::kPred: return "pred";
+  }
+  return "?";
+}
+
+Shape Shape::ShardDim(int dim, int shards) const {
+  PW_CHECK_GE(dim, 0);
+  PW_CHECK_LT(dim, rank());
+  PW_CHECK_GT(shards, 0);
+  PW_CHECK_EQ(dims_[static_cast<std::size_t>(dim)] % shards, 0)
+      << "dimension " << dim << " of " << ToString() << " not divisible by "
+      << shards;
+  std::vector<std::int64_t> d = dims_;
+  d[static_cast<std::size_t>(dim)] /= shards;
+  return Shape(dtype_, std::move(d));
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << DTypeName(dtype_) << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  return os << s.ToString();
+}
+
+}  // namespace pw::xlasim

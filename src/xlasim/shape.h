@@ -1,0 +1,75 @@
+// Tensor dtypes and static shapes.
+//
+// Pathways relies on "compiled functions" whose input/output types and
+// shapes are known before the data is computed (paper §3, Appendix B); this
+// is the static-shape vocabulary those contracts are written in.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace pw::xlasim {
+
+enum class DType { kF32, kBF16, kS32, kPred };
+
+constexpr Bytes DTypeSize(DType t) {
+  switch (t) {
+    case DType::kF32: return 4;
+    case DType::kBF16: return 2;
+    case DType::kS32: return 4;
+    case DType::kPred: return 1;
+  }
+  return 0;
+}
+
+std::string DTypeName(DType t);
+
+class Shape {
+ public:
+  Shape() = default;  // scalar-less invalid shape; rank 0 == scalar
+  Shape(DType dtype, std::vector<std::int64_t> dims)
+      : dtype_(dtype), dims_(std::move(dims)) {
+    for (const auto d : dims_) PW_CHECK_GE(d, 0) << "negative dimension";
+  }
+  Shape(DType dtype, std::initializer_list<std::int64_t> dims)
+      : Shape(dtype, std::vector<std::int64_t>(dims)) {}
+
+  static Shape Scalar(DType dtype) { return Shape(dtype, std::vector<std::int64_t>{}); }
+
+  DType dtype() const { return dtype_; }
+  int rank() const { return static_cast<int>(dims_.size()); }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::int64_t dim(int i) const { return dims_.at(static_cast<std::size_t>(i)); }
+
+  std::int64_t num_elements() const {
+    return std::accumulate(dims_.begin(), dims_.end(), std::int64_t{1},
+                           std::multiplies<>());
+  }
+  Bytes byte_size() const { return num_elements() * DTypeSize(dtype_); }
+
+  // Shape with dimension `dim` divided by `shards` (must divide evenly) —
+  // the per-shard shape under SPMD partitioning of that dimension.
+  Shape ShardDim(int dim, int shards) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.dtype_ == b.dtype_ && a.dims_ == b.dims_;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  DType dtype_ = DType::kF32;
+  std::vector<std::int64_t> dims_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Shape& s);
+
+}  // namespace pw::xlasim

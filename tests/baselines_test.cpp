@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/jax_mc.h"
+#include "baselines/microbench.h"
+#include "baselines/pathways_driver.h"
+#include "baselines/raylike.h"
+#include "baselines/tf1.h"
+#include "hw/cluster.h"
+#include "sim/simulator.h"
+
+namespace pw::baselines {
+namespace {
+
+MicrobenchSpec QuickSpec(CallMode mode) {
+  MicrobenchSpec spec;
+  spec.mode = mode;
+  spec.chain_length = 16;  // shorter chains keep unit tests fast
+  spec.unit_compute = Duration::Micros(2);
+  spec.warmup = Duration::Millis(10);
+  spec.measure = Duration::Millis(100);
+  return spec;
+}
+
+// ------------------------------------------------------------------- JAX --
+
+TEST(JaxMcTest, FusedAmortizesPythonOverhead) {
+  sim::Simulator sim;
+  auto cluster = hw::Cluster::ConfigA(&sim, /*hosts=*/4);
+  JaxMultiController jax(cluster.get());
+  const auto op = jax.Measure(QuickSpec(CallMode::kOpByOp));
+
+  sim::Simulator sim2;
+  auto cluster2 = hw::Cluster::ConfigA(&sim2, 4);
+  JaxMultiController jax2(cluster2.get());
+  const auto fused = jax2.Measure(QuickSpec(CallMode::kFused));
+
+  EXPECT_GT(op.computations_per_sec, 0);
+  // Fusing 16 computations into one call must beat per-call dispatch.
+  EXPECT_GT(fused.computations_per_sec, 4 * op.computations_per_sec);
+}
+
+TEST(JaxMcTest, OpByOpIsPythonBound) {
+  sim::Simulator sim;
+  auto cluster = hw::Cluster::ConfigA(&sim, 2);
+  JaxMultiController jax(cluster.get());
+  const auto r = jax.Measure(QuickSpec(CallMode::kOpByOp));
+  // Python overhead is 800us (+5% jitter tail): rate just above ~1190/s.
+  EXPECT_GT(r.computations_per_sec, 800);
+  EXPECT_LT(r.computations_per_sec, 1300);
+}
+
+TEST(JaxMcTest, UnitKernelTimeGrowsWithScale) {
+  sim::Simulator sim;
+  auto small = hw::Cluster::ConfigA(&sim, 2);
+  sim::Simulator sim2;
+  auto large = hw::Cluster::ConfigA(&sim2, 256);
+  JaxMultiController jax_small(small.get());
+  JaxMultiController jax_large(large.get());
+  const MicrobenchSpec spec = QuickSpec(CallMode::kFused);
+  EXPECT_LT(jax_small.UnitKernelTime(spec).nanos(),
+            jax_large.UnitKernelTime(spec).nanos());
+}
+
+// -------------------------------------------------------------------- TF1 --
+
+TEST(Tf1Test, BarrierSerializesComputations) {
+  sim::Simulator sim;
+  auto cluster = hw::Cluster::ConfigA(&sim, 4);
+  Tf1SingleController tf(cluster.get());
+  const auto r = tf.Measure(QuickSpec(CallMode::kOpByOp));
+  EXPECT_GT(r.computations_per_sec, 0);
+  // Per computation: 16 coordinator messages + DCN + barrier RTT: slow
+  // (well under the ~10k/s a pipelined dispatcher would reach).
+  EXPECT_LT(r.computations_per_sec, 4000);
+}
+
+TEST(Tf1Test, ChainedSkipsPerCallClientWork) {
+  sim::Simulator sim;
+  auto cluster = hw::Cluster::ConfigA(&sim, 4);
+  Tf1SingleController tf(cluster.get());
+  const auto op = tf.Measure(QuickSpec(CallMode::kOpByOp));
+  sim::Simulator sim2;
+  auto cluster2 = hw::Cluster::ConfigA(&sim2, 4);
+  Tf1SingleController tf2(cluster2.get());
+  const auto chained = tf2.Measure(QuickSpec(CallMode::kChained));
+  EXPECT_GT(chained.computations_per_sec, op.computations_per_sec);
+}
+
+TEST(Tf1Test, FusedBeatsChained) {
+  sim::Simulator sim;
+  auto cluster = hw::Cluster::ConfigA(&sim, 4);
+  Tf1SingleController tf(cluster.get());
+  const auto chained = tf.Measure(QuickSpec(CallMode::kChained));
+  sim::Simulator sim2;
+  auto cluster2 = hw::Cluster::ConfigA(&sim2, 4);
+  Tf1SingleController tf2(cluster2.get());
+  const auto fused = tf2.Measure(QuickSpec(CallMode::kFused));
+  EXPECT_GT(fused.computations_per_sec, chained.computations_per_sec);
+}
+
+// -------------------------------------------------------------------- Ray --
+
+TEST(RayTest, ModesOrderAsInPaper) {
+  // Ray-F > Ray-C > Ray-O (Fig. 5 legend order).
+  auto measure = [](CallMode mode) {
+    sim::Simulator sim;
+    auto cluster = hw::Cluster::GpuVm(&sim, /*hosts=*/8);
+    RayLike ray(cluster.get());
+    return ray.Measure(QuickSpec(mode)).computations_per_sec;
+  };
+  const double o = measure(CallMode::kOpByOp);
+  const double c = measure(CallMode::kChained);
+  const double f = measure(CallMode::kFused);
+  EXPECT_GT(f, c);
+  EXPECT_GT(c, o);
+  EXPECT_GT(o, 0);
+}
+
+TEST(RayTest, DcnRingCollectivesAreSlow) {
+  sim::Simulator sim;
+  auto cluster = hw::Cluster::GpuVm(&sim, 16);
+  RayLike ray(cluster.get());
+  // 2*(16-1) hops of 25us plus launch: ~760us for a scalar all-reduce.
+  EXPECT_GT(ray.UnitCollectiveTime().ToMicros(), 700.0);
+}
+
+// --------------------------------------------------------------- Pathways --
+
+TEST(PathwaysDriverTest, ModesOrderAsInPaper) {
+  // PW-F > PW-C > PW-O (Fig. 5).
+  auto measure = [](CallMode mode) {
+    sim::Simulator sim;
+    auto cluster = hw::Cluster::ConfigA(&sim, 4);
+    PathwaysDriver pw(cluster.get());
+    return pw.Measure(QuickSpec(mode)).computations_per_sec;
+  };
+  const double o = measure(CallMode::kOpByOp);
+  const double c = measure(CallMode::kChained);
+  const double f = measure(CallMode::kFused);
+  EXPECT_GT(f, c);
+  EXPECT_GT(c, o);
+  EXPECT_GT(o, 0);
+}
+
+TEST(PathwaysDriverTest, FusedMatchesJaxAtScale) {
+  // The paper's headline: PW-F matches JAX-F once enough work is fused.
+  sim::Simulator sim;
+  auto cluster = hw::Cluster::ConfigA(&sim, 8);
+  JaxMultiController jax(cluster.get());
+  MicrobenchSpec spec = QuickSpec(CallMode::kFused);
+  spec.chain_length = 128;
+  const double jax_rate = jax.Measure(spec).computations_per_sec;
+
+  sim::Simulator sim2;
+  auto cluster2 = hw::Cluster::ConfigA(&sim2, 8);
+  PathwaysDriver pw(cluster2.get());
+  const double pw_rate = pw.Measure(spec).computations_per_sec;
+
+  EXPECT_GT(pw_rate, 0.85 * jax_rate);
+  EXPECT_LT(pw_rate, 1.25 * jax_rate);
+}
+
+TEST(PathwaysDriverTest, ChainedBeatsJaxOpByOp) {
+  // Paper: "PATHWAYS Chained outperforms JAX OpByOp up to 256 cores,
+  // because PATHWAYS can execute back-to-back computations directly from
+  // C++ while JAX OpByOp transitions to Python for every computation."
+  sim::Simulator sim;
+  auto cluster = hw::Cluster::ConfigA(&sim, 8);  // 32 cores
+  JaxMultiController jax(cluster.get());
+  MicrobenchSpec spec = QuickSpec(CallMode::kOpByOp);
+  const double jax_o = jax.Measure(spec).computations_per_sec;
+
+  sim::Simulator sim2;
+  auto cluster2 = hw::Cluster::ConfigA(&sim2, 8);
+  PathwaysDriver pw(cluster2.get());
+  MicrobenchSpec chain_spec = QuickSpec(CallMode::kChained);
+  chain_spec.chain_length = 128;
+  // A 128-node chained program takes tens of ms (32 dispatch messages per
+  // gang); give the meter whole programs to observe.
+  chain_spec.max_inflight_calls = 2;
+  chain_spec.warmup = Duration::Millis(100);
+  chain_spec.measure = Duration::Seconds(1);
+  const double pw_c = pw.Measure(chain_spec).computations_per_sec;
+
+  EXPECT_GT(pw_c, jax_o);
+}
+
+}  // namespace
+}  // namespace pw::baselines

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "common/units.h"
+
+namespace pw {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad mesh shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad mesh shape");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad mesh shape");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("x"), NotFoundError("x"));
+  EXPECT_FALSE(NotFoundError("x") == NotFoundError("y"));
+  EXPECT_FALSE(NotFoundError("x") == InternalError("x"));
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << ResourceExhaustedError("HBM full");
+  EXPECT_EQ(os.str(), "RESOURCE_EXHAUSTED: HBM full");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::unordered_set<int> codes;
+  for (const Status& s :
+       {CancelledError(""), InvalidArgumentError(""), DeadlineExceededError(""),
+        NotFoundError(""), AlreadyExistsError(""), ResourceExhaustedError(""),
+        FailedPreconditionError(""), AbortedError(""), OutOfRangeError(""),
+        UnimplementedError(""), InternalError(""), UnavailableError("")}) {
+    EXPECT_FALSE(s.ok());
+    codes.insert(static_cast<int>(s.code()));
+  }
+  EXPECT_EQ(codes.size(), 12u);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("no device");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+Status UsesAssignOrReturn(int x, int* out) {
+  PW_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return OkStatus();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  Status s = UsesAssignOrReturn(-1, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------------- StrongId --
+
+struct DeviceTag {};
+struct HostTag {};
+using TestDeviceId = StrongId<DeviceTag>;
+using TestHostId = StrongId<HostTag>;
+
+TEST(StrongIdTest, DefaultInvalid) {
+  TestDeviceId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), -1);
+}
+
+TEST(StrongIdTest, ComparisonAndHash) {
+  TestDeviceId a(1), b(2), a2(1);
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  std::unordered_set<TestDeviceId> set{a, b, a2};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<TestDeviceId, TestHostId>);
+}
+
+TEST(StrongIdTest, GeneratorIsSequential) {
+  IdGenerator<DeviceTag> gen;
+  EXPECT_EQ(gen.Next().value(), 0);
+  EXPECT_EQ(gen.Next().value(), 1);
+  EXPECT_EQ(gen.issued(), 2);
+}
+
+// ------------------------------------------------------------------ Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(13);
+  RunningStat st;
+  for (int i = 0; i < 20000; ++i) st.Add(rng.NextNormal(10.0, 2.0));
+  EXPECT_NEAR(st.mean(), 10.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.1);
+}
+
+// ---------------------------------------------------------------- Units --
+
+TEST(UnitsTest, DurationConversions) {
+  EXPECT_EQ(Duration::Micros(1).nanos(), 1000);
+  EXPECT_EQ(Duration::Millis(1).nanos(), 1000000);
+  EXPECT_EQ(Duration::Seconds(1).nanos(), 1000000000);
+  EXPECT_DOUBLE_EQ(Duration::Millis(2.5).ToMicros(), 2500.0);
+}
+
+TEST(UnitsTest, DurationArithmetic) {
+  const Duration a = Duration::Micros(3);
+  const Duration b = Duration::Micros(2);
+  EXPECT_EQ((a + b).nanos(), 5000);
+  EXPECT_EQ((a - b).nanos(), 1000);
+  EXPECT_EQ((a * 2).nanos(), 6000);
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+}
+
+TEST(UnitsTest, TimePointArithmetic) {
+  TimePoint t0;
+  const TimePoint t1 = t0 + Duration::Millis(5);
+  EXPECT_EQ((t1 - t0).ToMillis(), 5.0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(UnitsTest, ByteHelpers) {
+  EXPECT_EQ(KiB(1), 1024);
+  EXPECT_EQ(MiB(1), 1024 * 1024);
+  EXPECT_EQ(GiB(2), 2LL * 1024 * 1024 * 1024);
+}
+
+// ---------------------------------------------------------------- Stats --
+
+TEST(RunningStatTest, MeanVarianceMinMax) {
+  RunningStat st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.Add(x);
+  EXPECT_EQ(st.count(), 8);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+}
+
+TEST(RunningStatTest, EmptyIsSafe) {
+  RunningStat st;
+  EXPECT_EQ(st.count(), 0);
+  EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+}
+
+TEST(PercentileSamplerTest, ExactPercentiles) {
+  PercentileSampler ps;
+  for (int i = 1; i <= 100; ++i) ps.Add(i);
+  EXPECT_NEAR(ps.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(ps.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(ps.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(ps.Percentile(99), 99.01, 0.1);
+}
+
+TEST(PercentileSamplerTest, InterleavedAddAndQuery) {
+  PercentileSampler ps;
+  ps.Add(10);
+  EXPECT_DOUBLE_EQ(ps.Median(), 10.0);
+  ps.Add(20);
+  EXPECT_DOUBLE_EQ(ps.Median(), 15.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {0.5, 1.5, 1.7, 9.9, -1.0, 10.0, 25.0}) h.Add(x);
+  EXPECT_EQ(h.total(), 7);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 2);
+  EXPECT_EQ(h.bucket_count(9), 1);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+}
+
+}  // namespace
+}  // namespace pw

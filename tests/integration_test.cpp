@@ -1,0 +1,239 @@
+// Cross-module integration scenarios: whole-system behaviours that no
+// single module test covers — failure mid-flight, mixed tenancy across
+// islands, policy comparisons, and end-to-end accounting invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/jax_mc.h"
+#include "baselines/pathways_driver.h"
+#include "hw/cluster.h"
+#include "models/step_builder.h"
+#include "pathways/pathways.h"
+#include "sim/simulator.h"
+
+namespace pw {
+namespace {
+
+using pathways::Client;
+using pathways::ExecutionResult;
+using pathways::PathwaysOptions;
+using pathways::PathwaysProgram;
+using pathways::PathwaysRuntime;
+using pathways::ProgramBuilder;
+using pathways::SchedulerPolicy;
+using pathways::ValueRef;
+using xlasim::CompiledFunction;
+
+struct IntWorld {
+  IntWorld(int islands, int hosts, int devs, PathwaysOptions options = {}) {
+    hw::SystemParams params;
+    params.host_jitter_frac = 0;
+    cluster = std::make_unique<hw::Cluster>(&sim, params, islands, hosts, devs);
+    runtime = std::make_unique<PathwaysRuntime>(cluster.get(), options);
+  }
+  sim::Simulator sim;
+  std::unique_ptr<hw::Cluster> cluster;
+  std::unique_ptr<PathwaysRuntime> runtime;
+};
+
+// ----------------------------------------------------------------------- //
+
+TEST(IntegrationTest, HbmFullyReclaimedAfterManyPrograms) {
+  // Accounting invariant: after N programs complete and their results are
+  // released, every device's HBM usage returns to exactly zero.
+  IntWorld w(1, 2, 4);
+  Client* client = w.runtime->CreateClient();
+  auto slice = client->AllocateSlice(8).value();
+  auto fn = CompiledFunction::Synthetic("step", 8, Duration::Micros(200),
+                                        net::CollectiveKind::kAllReduce, KiB(4),
+                                        MiB(16));
+  ProgramBuilder pb("p");
+  ValueRef v = pb.Call(fn, slice, {});
+  v = pb.Call(fn, slice, {v});
+  pb.Result(v);
+  PathwaysProgram prog = std::move(pb).Build();
+  for (int i = 0; i < 10; ++i) {
+    auto r = client->Run(&prog);
+    w.sim.RunUntilPredicate([&r] { return r.ready(); });
+    for (const auto& out : r.value().outputs) {
+      w.runtime->object_store().Release(out.id);
+    }
+  }
+  w.sim.Run();
+  for (int d = 0; d < w.cluster->num_devices(); ++d) {
+    EXPECT_EQ(w.cluster->device(d).hbm().used(), 0) << "device " << d;
+  }
+  EXPECT_EQ(w.runtime->object_store().live_buffers(), 0);
+}
+
+TEST(IntegrationTest, FifoAndStrideBothCompleteIdenticalWork) {
+  // Policy must not change *what* executes, only the order/fairness.
+  auto run = [](SchedulerPolicy policy) {
+    PathwaysOptions options;
+    options.policy = policy;
+    IntWorld w(1, 2, 4, options);
+    std::int64_t done = 0;
+    std::vector<std::unique_ptr<PathwaysProgram>> programs;
+    for (int c = 0; c < 3; ++c) {
+      Client* client = w.runtime->CreateClient(1.0 + c);
+      auto slice = client->AllocateSlice(8).value();
+      ProgramBuilder pb("p");
+      pb.Call(CompiledFunction::Synthetic("op", 8, Duration::Micros(100),
+                                          net::CollectiveKind::kAllReduce, 16),
+              slice, {});
+      programs.push_back(
+          std::make_unique<PathwaysProgram>(std::move(pb).Build()));
+      for (int k = 0; k < 5; ++k) {
+        client->Run(programs.back().get())
+            .Then([&done](const ExecutionResult&) { ++done; });
+      }
+    }
+    w.sim.Run();
+    return done;
+  };
+  EXPECT_EQ(run(SchedulerPolicy::kFifo), 15);
+  EXPECT_EQ(run(SchedulerPolicy::kWeightedStride), 15);
+}
+
+TEST(IntegrationTest, ClientFailureDoesNotDisturbOtherTenants) {
+  // A client's buffers are GC'd while another tenant keeps training.
+  IntWorld w(1, 2, 4);
+  Client* victim = w.runtime->CreateClient();
+  Client* survivor = w.runtime->CreateClient();
+  auto vs = victim->AllocateSlice(4).value();
+  auto ss = survivor->AllocateSlice(4).value();
+  pathways::ShardedBuffer leak = victim->TransferToDevice(vs, MiB(64));
+  w.sim.Run();
+  ASSERT_GT(w.runtime->object_store().hbm_used(leak.shards[0].device), 0);
+
+  auto fn = CompiledFunction::Synthetic("train", 4, Duration::Micros(300),
+                                        net::CollectiveKind::kAllReduce, 64);
+  ProgramBuilder pb("p");
+  pb.Call(fn, ss, {});
+  PathwaysProgram prog = std::move(pb).Build();
+  auto r1 = survivor->Run(&prog);
+  w.sim.RunFor(Duration::Micros(50));
+  w.runtime->FailClient(victim->id());  // mid-flight GC
+  w.sim.Run();
+  EXPECT_TRUE(r1.ready());
+  EXPECT_EQ(w.runtime->object_store().hbm_used(leak.shards[0].device), 0);
+  auto r2 = survivor->Run(&prog);
+  w.sim.Run();
+  EXPECT_TRUE(r2.ready());
+}
+
+TEST(IntegrationTest, MixedIslandTenancy) {
+  // Two tenants on different islands run concurrently with no cross-talk;
+  // a third spans both islands with a pipeline.
+  IntWorld w(/*islands=*/2, 2, 4);
+  Client* a = w.runtime->CreateClient();
+  Client* b = w.runtime->CreateClient();
+  Client* spanner = w.runtime->CreateClient();
+  auto slice_a = a->AllocateSlice(4, hw::IslandId(0)).value();
+  auto slice_b = b->AllocateSlice(4, hw::IslandId(1)).value();
+  auto span0 = spanner->AllocateSlice(4, hw::IslandId(0)).value();
+  auto span1 = spanner->AllocateSlice(4, hw::IslandId(1)).value();
+
+  auto fn = CompiledFunction::Synthetic("op", 4, Duration::Micros(200),
+                                        net::CollectiveKind::kAllReduce, 64);
+  ProgramBuilder pba("pa");
+  pba.Call(fn, slice_a, {});
+  ProgramBuilder pbb("pb");
+  pbb.Call(fn, slice_b, {});
+  ProgramBuilder pbs("span");
+  pbs.Result(pbs.Call(fn, span1, {pbs.Call(fn, span0, {})}));
+  PathwaysProgram pa = std::move(pba).Build();
+  PathwaysProgram pb2 = std::move(pbb).Build();
+  PathwaysProgram ps = std::move(pbs).Build();
+
+  auto ra = a->Run(&pa);
+  auto rb = b->Run(&pb2);
+  auto rs = spanner->Run(&ps);
+  w.sim.Run();
+  EXPECT_TRUE(ra.ready());
+  EXPECT_TRUE(rb.ready());
+  EXPECT_TRUE(rs.ready());
+  EXPECT_FALSE(w.sim.Deadlocked());
+}
+
+TEST(IntegrationTest, TrainingSurvivesDeviceDrainMidRun) {
+  // Drain a device between steps; the next lowering transparently remaps
+  // (requires spare capacity on the island).
+  IntWorld w(1, 2, 4);
+  Client* client = w.runtime->CreateClient();
+  auto slice = client->AllocateSlice(6).value();  // 2 spares
+  models::TransformerConfig tiny = models::TransformerConfig::Decoder3B();
+  tiny.num_layers = 6;
+  tiny.tokens_per_batch = 1 << 12;
+  models::StepBuilder builder(tiny, w.cluster->params());
+  ProgramBuilder pb("step");
+  pb.Call(builder.SpmdStepFunction(6, w.cluster->island(0).collectives(),
+                                   /*model_parallel=*/6),
+          slice, {});
+  PathwaysProgram prog = std::move(pb).Build();
+
+  auto r1 = client->Run(&prog);
+  w.sim.RunUntilPredicate([&r1] { return r1.ready(); });
+  w.runtime->object_store().Release(r1.value().outputs[0].id);
+
+  const hw::DeviceId victim =
+      w.runtime->resource_manager().Lookup(slice.devices[0].id);
+  ASSERT_TRUE(w.runtime->resource_manager().RemoveDevice(victim).ok());
+
+  auto r2 = client->Run(&prog);
+  w.sim.Run();
+  ASSERT_TRUE(r2.ready());
+  EXPECT_FALSE(w.sim.Deadlocked());
+}
+
+TEST(IntegrationTest, PathwaysMatchesJaxOnFusedWorkAcrossScales) {
+  // The paper's core claim, swept across cluster sizes as a property.
+  for (const int hosts : {2, 4, 16}) {
+    sim::Simulator sim_jax;
+    auto cluster_jax = hw::Cluster::ConfigA(&sim_jax, hosts);
+    baselines::JaxMultiController jax(cluster_jax.get());
+    baselines::MicrobenchSpec spec;
+    spec.mode = baselines::CallMode::kFused;
+    spec.chain_length = 128;
+    spec.unit_compute = Duration::Micros(5);
+    spec.warmup = Duration::Millis(20);
+    spec.measure = Duration::Millis(200);
+    const double jax_rate = jax.Measure(spec).computations_per_sec;
+
+    sim::Simulator sim_pw;
+    auto cluster_pw = hw::Cluster::ConfigA(&sim_pw, hosts);
+    baselines::PathwaysDriver pw_driver(cluster_pw.get());
+    const double pw_rate = pw_driver.Measure(spec).computations_per_sec;
+
+    EXPECT_GT(pw_rate, 0.8 * jax_rate) << hosts << " hosts";
+    EXPECT_LT(pw_rate, 1.3 * jax_rate) << hosts << " hosts";
+  }
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  // Identical seeds => bit-identical simulated timelines, even through the
+  // full runtime stack.
+  auto run = [] {
+    IntWorld w(1, 4, 4);
+    Client* client = w.runtime->CreateClient();
+    auto slice = client->AllocateSlice(16).value();
+    auto fn = CompiledFunction::Synthetic("op", 16, Duration::Micros(77),
+                                          net::CollectiveKind::kAllReduce, 32);
+    ProgramBuilder pb("p");
+    ValueRef v = pb.Call(fn, slice, {});
+    pb.Result(pb.Call(fn, slice, {v}));
+    PathwaysProgram prog = std::move(pb).Build();
+    for (int i = 0; i < 5; ++i) {
+      auto r = client->Run(&prog);
+      w.sim.RunUntilPredicate([&r] { return r.ready(); });
+      w.runtime->object_store().Release(r.value().outputs[0].id);
+    }
+    return w.sim.now().nanos();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace pw

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "net/collective_model.h"
+#include "net/dcn.h"
+#include "net/link.h"
+#include "sim/simulator.h"
+
+namespace pw::net {
+namespace {
+
+// ------------------------------------------------------------------ Link --
+
+TEST(LinkTest, LatencyPlusSerialization) {
+  sim::Simulator sim;
+  Link link(&sim, "l", Duration::Micros(10), /*bw=*/1e9);  // 1 GB/s
+  double delivered_us = 0;
+  link.Transfer(/*bytes=*/1000, [&] { delivered_us = sim.now().ToMicros(); });
+  sim.Run();
+  // 1000 B at 1 GB/s = 1 us serialization + 10 us latency.
+  EXPECT_DOUBLE_EQ(delivered_us, 11.0);
+}
+
+TEST(LinkTest, BackToBackTransfersSerialize) {
+  sim::Simulator sim;
+  Link link(&sim, "l", Duration::Micros(5), 1e9);
+  std::vector<double> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    link.Transfer(2000, [&] { arrivals.push_back(sim.now().ToMicros()); });
+  }
+  sim.Run();
+  // Serializations occupy [0,2],[2,4],[4,6]; arrivals at +5 latency each.
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 7.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 9.0);
+  EXPECT_DOUBLE_EQ(arrivals[2], 11.0);
+}
+
+TEST(LinkTest, IdleLinkDoesNotAccumulateBacklog) {
+  sim::Simulator sim;
+  Link link(&sim, "l", Duration::Micros(1), 1e9);
+  link.Transfer(1000, [] {});
+  sim.Run();  // first transfer delivered at t=2
+  double arrival = 0;
+  sim.Schedule(Duration::Micros(100), [&] {  // fires at t=102
+    link.Transfer(1000, [&] { arrival = sim.now().ToMicros(); });
+  });
+  sim.Run();
+  // Starts fresh at t=102 (1us serialization + 1us latency), not queued
+  // behind the long-finished first transfer.
+  EXPECT_DOUBLE_EQ(arrival, 104.0);
+}
+
+TEST(LinkTest, StatsAccumulate) {
+  sim::Simulator sim;
+  Link link(&sim, "l", Duration::Micros(1), 1e9);
+  link.Transfer(100, [] {});
+  link.Transfer(200, [] {});
+  sim.Run();
+  EXPECT_EQ(link.bytes_sent(), 300);
+  EXPECT_EQ(link.transfers(), 2);
+}
+
+// ------------------------------------------------------ CollectiveModel --
+
+TEST(CollectiveModelTest, SingleParticipantIsLaunchOnly) {
+  CollectiveModel m;
+  EXPECT_EQ(m.AllReduce(MiB(64), 1), m.params().launch_overhead);
+}
+
+TEST(CollectiveModelTest, LargePayloadIsBandwidthBound) {
+  CollectiveParams p;
+  p.hop_latency = Duration::Micros(1);
+  p.link_bandwidth = 100e9;
+  p.launch_overhead = Duration::Zero();
+  CollectiveModel m(p);
+  // 1 GiB all-reduce over 4: 2*(3/4)*1GiB / 100GB/s = 16.1 ms.
+  const Duration t = m.AllReduce(GiB(1), 4);
+  EXPECT_NEAR(t.ToMillis(), 16.1, 0.2);
+}
+
+TEST(CollectiveModelTest, TinyPayloadIsLatencyBoundTree) {
+  CollectiveParams p;
+  p.hop_latency = Duration::Micros(1);
+  p.launch_overhead = Duration::Zero();
+  p.topology = LatencyTopology::kTree;
+  CollectiveModel m(p);
+  // Scalar all-reduce over 1024 with a tree: 2*ceil(log2 1024) = 20 hops.
+  EXPECT_DOUBLE_EQ(m.AllReduce(4, 1024).ToMicros(), 20.0);
+}
+
+TEST(CollectiveModelTest, Torus2DLatencyScalesWithSqrtN) {
+  CollectiveParams p;
+  p.hop_latency = Duration::Micros(1);
+  p.launch_overhead = Duration::Zero();
+  p.topology = LatencyTopology::kTorus2D;
+  CollectiveModel m(p);
+  // 2D torus over 64: 2*(sqrt(64)-1) = 14 base hops, x2 for all-reduce.
+  EXPECT_DOUBLE_EQ(m.AllReduce(4, 64).ToMicros(), 28.0);
+  // 2048 participants: 2*(ceil(sqrt(2048))-1) = 90 base hops, x2 = 180.
+  EXPECT_DOUBLE_EQ(m.AllReduce(4, 2048).ToMicros(), 180.0);
+}
+
+TEST(CollectiveModelTest, RingLatency) {
+  CollectiveParams p;
+  p.hop_latency = Duration::Micros(1);
+  p.launch_overhead = Duration::Zero();
+  p.topology = LatencyTopology::kRing;
+  CollectiveModel m(p);
+  EXPECT_DOUBLE_EQ(m.AllReduce(4, 8).ToMicros(), 14.0);  // 2*(8-1)
+}
+
+TEST(CollectiveModelTest, AllGatherCheaperThanAllReduce) {
+  CollectiveModel m;
+  EXPECT_LT(m.AllGather(MiB(256), 16).nanos(), m.AllReduce(MiB(256), 16).nanos());
+}
+
+// Property sweep: time is monotone in payload size and never below launch.
+class CollectiveMonotonicity
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CollectiveMonotonicity, TimeMonotoneInBytes) {
+  const auto [n, kind_idx] = GetParam();
+  CollectiveModel m;
+  const auto kind = static_cast<CollectiveKind>(kind_idx);
+  Duration prev = Duration::Zero();
+  for (Bytes b : {Bytes{4}, KiB(1), MiB(1), MiB(64), GiB(1)}) {
+    const Duration t = m.Time(kind, b, n);
+    EXPECT_GE(t.nanos(), prev.nanos()) << "n=" << n << " bytes=" << b;
+    EXPECT_GE(t.nanos(), m.params().launch_overhead.nanos());
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollectiveMonotonicity,
+    ::testing::Combine(::testing::Values(1, 2, 8, 64, 512, 2048),
+                       ::testing::Values(0, 1, 2, 3)));
+
+// ------------------------------------------------------------------- DCN --
+
+TEST(DcnTest, CrossHostLatency) {
+  sim::Simulator sim;
+  DcnParams params;
+  params.latency = Duration::Micros(20);
+  params.nic_bandwidth = 10e9;
+  params.per_message_header = 0;
+  DcnFabric dcn(&sim, params);
+  dcn.AddHost(HostId(0));
+  dcn.AddHost(HostId(1));
+  double arrival = 0;
+  dcn.Send(HostId(0), HostId(1), 10000, [&] { arrival = sim.now().ToMicros(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(arrival, 21.0);  // 1us serialization + 20us latency
+}
+
+TEST(DcnTest, LoopbackIsCheap) {
+  sim::Simulator sim;
+  DcnFabric dcn(&sim, DcnParams{});
+  dcn.AddHost(HostId(0));
+  double arrival = 0;
+  dcn.Send(HostId(0), HostId(0), 1 << 20, [&] { arrival = sim.now().ToMicros(); });
+  sim.Run();
+  EXPECT_LT(arrival, 5.0);
+}
+
+TEST(DcnTest, NicEgressSerializesPerHost) {
+  sim::Simulator sim;
+  DcnParams params;
+  params.latency = Duration::Micros(10);
+  params.nic_bandwidth = 1e9;
+  params.per_message_header = 0;
+  DcnFabric dcn(&sim, params);
+  for (int h = 0; h < 3; ++h) dcn.AddHost(HostId(h));
+  std::vector<double> arrivals;
+  // Two messages from host 0 contend on its NIC; one from host 1 does not.
+  dcn.Send(HostId(0), HostId(2), 10000, [&] { arrivals.push_back(sim.now().ToMicros()); });
+  dcn.Send(HostId(0), HostId(2), 10000, [&] { arrivals.push_back(sim.now().ToMicros()); });
+  dcn.Send(HostId(1), HostId(2), 10000, [&] { arrivals.push_back(sim.now().ToMicros()); });
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 20.0);  // host0 msg1: 10us ser + 10us lat
+  EXPECT_DOUBLE_EQ(arrivals[1], 20.0);  // host1 msg: parallel NIC
+  EXPECT_DOUBLE_EQ(arrivals[2], 30.0);  // host0 msg2 queued behind msg1
+}
+
+TEST(DcnTest, MessageAndByteStats) {
+  sim::Simulator sim;
+  DcnFabric dcn(&sim, DcnParams{});
+  dcn.AddHost(HostId(0));
+  dcn.AddHost(HostId(1));
+  dcn.Send(HostId(0), HostId(1), 100, [] {});
+  dcn.Send(HostId(1), HostId(0), 200, [] {});
+  sim.Run();
+  EXPECT_EQ(dcn.messages_sent(), 2);
+  EXPECT_EQ(dcn.bytes_sent(), 300);
+}
+
+TEST(DcnBatcherTest, CoalescesWithinWindow) {
+  sim::Simulator sim;
+  DcnFabric dcn(&sim, DcnParams{});
+  dcn.AddHost(HostId(0));
+  dcn.AddHost(HostId(1));
+  DcnBatcher batcher(&sim, &dcn, HostId(0), Duration::Micros(5));
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    batcher.Send(HostId(1), 64, [&] { ++delivered; });
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, 10);
+  EXPECT_EQ(batcher.flushes(), 1);      // one physical message
+  EXPECT_EQ(dcn.messages_sent(), 1);
+}
+
+TEST(DcnBatcherTest, SeparateWindowsSeparateFlushes) {
+  sim::Simulator sim;
+  DcnFabric dcn(&sim, DcnParams{});
+  dcn.AddHost(HostId(0));
+  dcn.AddHost(HostId(1));
+  DcnBatcher batcher(&sim, &dcn, HostId(0), Duration::Micros(5));
+  int delivered = 0;
+  batcher.Send(HostId(1), 64, [&] { ++delivered; });
+  sim.Schedule(Duration::Micros(100), [&] {
+    batcher.Send(HostId(1), 64, [&] { ++delivered; });
+  });
+  sim.Run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(batcher.flushes(), 2);
+}
+
+TEST(DcnBatcherTest, DistinctDestinationsDoNotCoalesce) {
+  sim::Simulator sim;
+  DcnFabric dcn(&sim, DcnParams{});
+  for (int h = 0; h < 3; ++h) dcn.AddHost(HostId(h));
+  DcnBatcher batcher(&sim, &dcn, HostId(0), Duration::Micros(5));
+  int delivered = 0;
+  batcher.Send(HostId(1), 64, [&] { ++delivered; });
+  batcher.Send(HostId(2), 64, [&] { ++delivered; });
+  sim.Run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(batcher.flushes(), 2);
+}
+
+}  // namespace
+}  // namespace pw::net
