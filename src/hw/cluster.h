@@ -6,6 +6,15 @@
 //   Config B: one island, 8 TPUs/host, up to 64 hosts (512 TPUs).
 //   Config C: four islands, each 4 hosts x 8 TPUs (32 TPUs/island).
 //   GpuVm:    N single-GPU hosts connected only by DCN (Ray baseline).
+//
+// Typical use:
+//
+//   sim::Simulator sim;
+//   auto cluster = hw::Cluster::ConfigB(&sim, /*hosts=*/16);  // 128 TPUs
+//   hw::Island& island = cluster->island(0);
+//   auto done = island.Transfer(DeviceId(0), DeviceId(1), MiB(64));
+//   done.Then([&](sim::Unit) { /* data landed on device 1 */ });
+//   sim.Run();
 #pragma once
 
 #include <cstdint>

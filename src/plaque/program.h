@@ -7,6 +7,17 @@
 // have. The graph here is exactly that: nodes carry a shard count; edges
 // connect nodes, not shards. At runtime, data tuples tagged with a
 // destination shard flow along the (logical) edges.
+//
+// Typical use (see plaque/runtime.h for execution):
+//
+//   plaque::DataflowProgram p("double_chain");
+//   NodeId arg = p.AddNode(NodeKind::kArg, "in", /*num_shards=*/4);
+//   NodeId a   = p.AddNode(NodeKind::kCompute, "mul2", 4);
+//   NodeId b   = p.AddNode(NodeKind::kCompute, "add1", 4);
+//   NodeId res = p.AddNode(NodeKind::kResult, "out", 4);
+//   p.AddEdge(arg, a);
+//   p.AddEdge(a, b);
+//   p.AddEdge(b, res);   // 4 nodes/3 edges no matter how many shards
 #pragma once
 
 #include <cstdint>

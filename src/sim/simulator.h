@@ -9,6 +9,14 @@
 // Higher layers register "blocked entity" probes so that quiescence with
 // blocked entities can be reported as a deadlock (the situation the paper's
 // gang scheduler exists to prevent).
+//
+// Typical use:
+//
+//   sim::Simulator sim;
+//   sim.Schedule(Duration::Micros(10), [&] { /* fires at t=10us */ });
+//   sim.Run();                       // drain the event queue to quiescence
+//   TimePoint end = sim.now();       // simulated time, not wall clock
+//   if (sim.Deadlocked()) { ... }    // quiescent but entities still blocked
 #pragma once
 
 #include <cstdint>
