@@ -67,7 +67,8 @@ double CompletionRateAt2048Shards(bool sharded_bookkeeping) {
 }
 
 // --- C: gang scheduling vs uncoordinated multi-program enqueue ---
-void GangSchedulingAblation() {
+// Returns {uncoordinated_deadlocked, gang_completed_programs}.
+std::pair<bool, int> GangSchedulingAblation() {
   // Uncoordinated: two programs' collectives enqueued in opposite orders on
   // two devices (what uncoordinated clients can produce).
   sim::Simulator sim;
@@ -115,6 +116,7 @@ void GangSchedulingAblation() {
   sim2.Run();
   std::printf("  gang-scheduled:        %d/100 programs completed, %s\n",
               completed, sim2.Deadlocked() ? "DEADLOCK" : "no deadlock");
+  return {sim.Deadlocked(), completed};
 }
 
 // --- D: compact representation ---
@@ -142,15 +144,21 @@ void CompactRepresentationAblation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::Parse(argc, argv);
   bench::Header("Ablations: the design choices behind Pathways",
                 "each mechanism removed in isolation");
+  bench::Reporter report("ablations", args);
 
   std::printf("\n[A] parallel async dispatch (8-stage pipeline latency):\n");
   const double par = PipelineLatencyMs(DispatchMode::kParallel);
   const double seq = PipelineLatencyMs(DispatchMode::kSequential);
   std::printf("  parallel: %.3f ms   sequential: %.3f ms   (%.2fx faster)\n",
               par, seq, seq / par);
+  report.AddRow({{"ablation", std::string("parallel_dispatch")}},
+                {{"parallel_latency_ms", par},
+                 {"sequential_latency_ms", seq},
+                 {"speedup", seq / par}});
 
   std::printf("\n[B] sharded-buffer bookkeeping (2048-shard program rate):\n");
   const double with_sb = CompletionRateAt2048Shards(true);
@@ -158,11 +166,19 @@ int main() {
   std::printf("  logical-buffer refcounts: %.2f programs/s\n", with_sb);
   std::printf("  per-shard bookkeeping:    %.2f programs/s  (%.2fx slower)\n",
               without_sb, with_sb / without_sb);
+  report.AddRow({{"ablation", std::string("sharded_bookkeeping")}},
+                {{"with_programs_per_sec", with_sb},
+                 {"without_programs_per_sec", without_sb},
+                 {"speedup", with_sb / without_sb}});
 
   std::printf("\n[C] gang scheduling vs uncoordinated enqueue:\n");
-  GangSchedulingAblation();
+  const auto [uncoordinated_deadlock, gang_completed] = GangSchedulingAblation();
+  report.AddRow({{"ablation", std::string("gang_scheduling")}},
+                {{"uncoordinated_deadlocked", uncoordinated_deadlock ? 1.0 : 0.0},
+                 {"gang_completed_programs", static_cast<double>(gang_completed)}});
 
   std::printf("\n[D] compact sharded dataflow representation:\n");
   CompactRepresentationAblation();
+  report.Write();
   return 0;
 }

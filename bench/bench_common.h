@@ -1,11 +1,17 @@
 // Shared helpers for the benchmark binaries: each bench regenerates one
-// table or figure from the paper's evaluation (§5) and prints the measured
-// series next to the paper's reported values where available.
+// table or figure from the paper's evaluation (§5), prints the measured
+// series next to the paper's reported values where available, and emits a
+// machine-readable BENCH_<name>.json (see docs/BENCHMARKS.md for the
+// schema) so CI can track the perf trajectory across PRs.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/jax_mc.h"
 #include "baselines/microbench.h"
@@ -14,8 +20,71 @@
 #include "baselines/tf1.h"
 #include "hw/cluster.h"
 #include "sim/simulator.h"
+#include "sweep/param_grid.h"
+#include "sweep/result_table.h"
+#include "sweep/sweep_runner.h"
 
 namespace pw::bench {
+
+// Command line shared by every bench binary:
+//   --quick       reduced-size run (CI smoke jobs; same code path, smaller
+//                 grids)
+//   --out <dir>   directory for BENCH_*.json (default $PWSIM_BENCH_DIR or .)
+struct Args {
+  bool quick = false;
+  std::string out_dir;
+
+  static Args Parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        args.quick = true;
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        args.out_dir = argv[++i];
+      }
+    }
+    return args;
+  }
+};
+
+// Accumulates one bench's measured series and writes BENCH_<name>.json.
+// Rows are (params, metrics) pairs exactly as printed; summary metrics are
+// the headline numbers CI trend lines track.
+class Reporter {
+ public:
+  explicit Reporter(std::string name, const Args& args = {})
+      : name_(std::move(name)), dir_(args.out_dir) {}
+
+  void AddRow(std::vector<std::pair<std::string, sweep::ParamValue>> params,
+              std::vector<std::pair<std::string, double>> metrics) {
+    table_.Add(std::move(params), std::move(metrics));
+  }
+
+  void Summary(const std::string& metric, double value) {
+    summary_[metric] = value;
+  }
+
+  sweep::ResultTable& table() { return table_; }
+
+  // Writes the JSON file and prints where it landed; best-effort.
+  std::string Write() {
+    const std::string path =
+        sweep::WriteBenchJsonFile(name_, summary_, table_, dir_);
+    if (path.empty()) {
+      std::fprintf(stderr, "warning: could not write BENCH_%s.json\n",
+                   name_.c_str());
+    } else {
+      std::printf("\n[bench] wrote %s\n", path.c_str());
+    }
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::string dir_;
+  sweep::ResultTable table_;
+  std::map<std::string, double> summary_;
+};
 
 inline void Header(const std::string& title, const std::string& paper_claim) {
   std::printf("==============================================================\n");

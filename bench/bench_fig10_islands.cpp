@@ -50,8 +50,9 @@ double MeasurePipelined(bool multi_island) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pw;
+  const bench::Args args = bench::Args::Parse(argc, argv);
   bench::Header(
       "Figure 10: 3B LM pipeline (S=16, M=64) on one island vs 4 islands",
       "same throughput on 4 islands x 32 cores (C) as 1 island x 128 (B): "
@@ -66,5 +67,12 @@ int main() {
               multi / 1e3);
   std::printf("\nmulti-island / single-island = %.3f (paper: 1.00)\n",
               multi / single);
+  bench::Reporter report("fig10_islands", args);
+  report.AddRow({{"config", std::string("1x128_configB")}},
+                {{"tokens_per_sec", single}});
+  report.AddRow({{"config", std::string("4x32_configC")}},
+                {{"tokens_per_sec", multi}});
+  report.Summary("multi_over_single", multi / single);
+  report.Write();
   return 0;
 }

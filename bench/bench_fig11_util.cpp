@@ -64,14 +64,17 @@ double MeasureUtilization(int num_clients, pw::sim::TraceRecorder** trace_out,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pw;
+  const bench::Args args = bench::Args::Parse(argc, argv);
   bench::Header(
       "Figure 11: accelerator utilization vs concurrent clients (0.33 ms "
       "computations, config B)",
       "1 client cannot saturate; multiple clients drive utilization to "
       "~100% with millisecond-scale interleaving");
 
+  bench::Reporter report("fig11_util", args);
+  double max_util = 0;
   std::printf("%8s %14s\n", "clients", "utilization");
   for (const int n : {1, 4, 8, 16}) {
     sim::Simulator sim;
@@ -79,6 +82,9 @@ int main() {
     std::unique_ptr<hw::Cluster> cluster;
     const double util = MeasureUtilization(n, &trace, &cluster, &sim);
     std::printf("%8d %13.1f%%\n", n, util * 100.0);
+    report.AddRow({{"clients", static_cast<std::int64_t>(n)}},
+                  {{"utilization", util}});
+    if (util > max_util) max_util = util;
     if (n == 4) {
       const TimePoint t1 = sim.now();
       const TimePoint t0 = t1 + Duration::Millis(-2.0);
@@ -86,5 +92,7 @@ int main() {
                   trace->RenderAscii(t0, t1, 96, 4).c_str());
     }
   }
+  report.Summary("max_utilization", max_util);
+  report.Write();
   return 0;
 }

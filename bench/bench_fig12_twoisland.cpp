@@ -61,28 +61,41 @@ Result MeasureDataParallel(const pw::models::TransformerConfig& config,
 }
 
 void RunModel(const pw::models::TransformerConfig& config, int cores_per_island,
-              double paper_reduction_gb) {
+              double paper_reduction_gb, pw::bench::Reporter* report) {
   const Result two = MeasureDataParallel(config, 2, cores_per_island);
   const Result one = MeasureDataParallel(config, 1, 2 * cores_per_island);
+  const double efficiency = two.tokens_per_sec / one.tokens_per_sec;
   std::printf("%-9s 2x%-5d cores: %9.1fk tok/s | 1x%-5d cores: %9.1fk tok/s"
               " | efficiency %.1f%% (paper ~97%%)\n",
               config.name.c_str(), cores_per_island,
               two.tokens_per_sec / 1e3, 2 * cores_per_island,
-              one.tokens_per_sec / 1e3,
-              100.0 * two.tokens_per_sec / one.tokens_per_sec);
+              one.tokens_per_sec / 1e3, 100.0 * efficiency);
   std::printf("          cross-island traffic: %.0f GB/step "
               "(paper global reduction: %.0f GB)\n",
               two.dcn_gb_per_step, paper_reduction_gb);
+  report->AddRow(
+      {{"model", config.name},
+       {"cores_per_island", static_cast<std::int64_t>(cores_per_island)}},
+      {{"two_island_tokens_per_sec", two.tokens_per_sec},
+       {"one_island_tokens_per_sec", one.tokens_per_sec},
+       {"efficiency", efficiency},
+       {"dcn_gb_per_step", two.dcn_gb_per_step}});
+  report->Summary("efficiency_" + config.name, efficiency);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pw;
+  const bench::Args args = bench::Args::Parse(argc, argv);
   bench::Header(
       "Figure 12 / §5.3: 64B and 136B LMs data-parallel over two islands",
       "two islands over DCN reach ~97% of one island with 2x devices");
-  RunModel(models::TransformerConfig::Decoder64B(), 512, 457);
-  RunModel(models::TransformerConfig::Decoder136B(), 1024, 1030);
+  bench::Reporter report("fig12_twoisland", args);
+  RunModel(models::TransformerConfig::Decoder64B(), 512, 457, &report);
+  if (!args.quick) {
+    RunModel(models::TransformerConfig::Decoder136B(), 1024, 1030, &report);
+  }
+  report.Write();
   return 0;
 }

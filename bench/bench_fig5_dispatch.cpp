@@ -7,66 +7,139 @@
 //   * PW-C above JAX-O up to ~256 cores;
 //   * single-controller TF and out-of-the-box Ray an order of magnitude
 //     (or more) below, with TF-O worst at scale.
+//
+// The measurement fans out through sweep::SweepRunner: every (system, mode,
+// hosts) point builds its own single-threaded Simulator, so points run
+// concurrently on multi-core machines while each stays deterministic.
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 
-int main() {
+namespace {
+
+struct Row {
+  const char* label;
+  const char* system;
+  pw::baselines::CallMode mode;
+};
+
+// Ray's GPU-VM fleet tops out far below TPU-pod host counts: measurements
+// above the ceiling run at the ceiling (single source of truth for both
+// the sweep and the BENCH json labeling).
+constexpr std::int64_t kRayHostCeiling = 64;
+std::int64_t MeasuredHosts(const char* system, std::int64_t hosts) {
+  return (std::string(system) == "Ray" && hosts > kRayHostCeiling)
+             ? kRayHostCeiling
+             : hosts;
+}
+
+constexpr Row kRows[] = {
+    {"JAX-F", "JAX", pw::baselines::CallMode::kFused},
+    {"PW-F", "PW", pw::baselines::CallMode::kFused},
+    {"PW-C", "PW", pw::baselines::CallMode::kChained},
+    {"JAX-O", "JAX", pw::baselines::CallMode::kOpByOp},
+    {"Ray-F", "Ray", pw::baselines::CallMode::kFused},
+    {"TF-C", "TF", pw::baselines::CallMode::kChained},
+    {"PW-O", "PW", pw::baselines::CallMode::kOpByOp},
+    {"Ray-C", "Ray", pw::baselines::CallMode::kChained},
+    {"Ray-O", "Ray", pw::baselines::CallMode::kOpByOp},
+    {"TF-O", "TF", pw::baselines::CallMode::kOpByOp},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace pw;
   using namespace pw::baselines;
+  const bench::Args args = bench::Args::Parse(argc, argv);
   bench::Header(
       "Figure 5: computations/sec vs number of hosts (config A, 4 TPU/host)",
       "JAX-F ~= PW-F > PW-C > JAX-O > Ray-F > TF-C > PW-O > Ray-C > Ray-O "
       "> TF-O");
 
-  const std::vector<int> tpu_hosts = {2, 8, 32, 128};
-  const std::vector<int> big_hosts = {256, 512};  // fused modes only
+  const std::vector<std::int64_t> tpu_hosts =
+      args.quick ? std::vector<std::int64_t>{2, 8}
+                 : std::vector<std::int64_t>{2, 8, 32, 128};
+  // Fused modes only (paper runs JAX/PW out to 2048 cores).
+  const std::vector<std::int64_t> big_hosts =
+      args.quick ? std::vector<std::int64_t>{} : std::vector<std::int64_t>{256, 512};
 
-  MicrobenchSpec spec;
-  spec.unit_compute = Duration::Micros(1);
-  spec.chain_length = 128;
-  spec.warmup = Duration::Millis(50);
-  spec.measure = Duration::Millis(400);
+  MicrobenchSpec base_spec;
+  base_spec.unit_compute = Duration::Micros(1);
+  base_spec.chain_length = 128;
+  base_spec.warmup = Duration::Millis(50);
+  base_spec.measure = args.quick ? Duration::Millis(100) : Duration::Millis(400);
 
-  struct Row {
-    const char* label;
-    const char* system;
-    CallMode mode;
+  std::vector<std::int64_t> all_hosts = tpu_hosts;
+  all_hosts.insert(all_hosts.end(), big_hosts.begin(), big_hosts.end());
+
+  sweep::ParamGrid grid;
+  grid.AxisInts("row", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+      .AxisInts("hosts", all_hosts);
+
+  sweep::SweepRunner runner;  // threads = hardware concurrency
+  const bool quick = args.quick;
+  sweep::ResultTable table = runner.Run(
+      grid, [&base_spec, &tpu_hosts, quick](
+                const sweep::ParamPoint& p) -> sweep::Metrics {
+        const Row& row = kRows[p.GetInt("row")];
+        std::int64_t hosts = p.GetInt("hosts");
+        const bool big = hosts > tpu_hosts.back();
+        // Only fused JAX/PW scale to the big host counts.
+        if (big && !(row.mode == CallMode::kFused &&
+                     (std::string(row.system) == "JAX" ||
+                      std::string(row.system) == "PW"))) {
+          return {};
+        }
+        hosts = MeasuredHosts(row.system, hosts);
+        MicrobenchSpec s = base_spec;
+        s.mode = row.mode;
+        // Chained programs are long (a 128-node program at 512 shards
+        // carries ~1.1 s of per-shard descriptor work); widen the window so
+        // several whole programs land inside it.
+        if (row.mode == CallMode::kChained) {
+          s.max_inflight_calls = 2;
+          s.warmup = quick ? Duration::Millis(300) : Duration::Seconds(1.5);
+          s.measure = quick ? Duration::Seconds(1) : Duration::Seconds(5);
+        }
+        return {{"computations_per_sec",
+                 bench::MeasureSystem(row.system, static_cast<int>(hosts), s)}};
+      });
+
+  // Render the paper's table shape from the sweep results.
+  auto lookup = [&table](int row, std::int64_t hosts) -> double {
+    for (const auto& r : table.rows()) {
+      if (std::get<std::int64_t>(r.params[0].second) == row &&
+          std::get<std::int64_t>(r.params[1].second) == hosts) {
+        return r.metrics.empty() ? -1 : r.metrics[0].second;
+      }
+    }
+    return -1;
   };
-  const std::vector<Row> rows = {
-      {"JAX-F", "JAX", CallMode::kFused},   {"PW-F", "PW", CallMode::kFused},
-      {"PW-C", "PW", CallMode::kChained},   {"JAX-O", "JAX", CallMode::kOpByOp},
-      {"Ray-F", "Ray", CallMode::kFused},   {"TF-C", "TF", CallMode::kChained},
-      {"PW-O", "PW", CallMode::kOpByOp},    {"Ray-C", "Ray", CallMode::kChained},
-      {"Ray-O", "Ray", CallMode::kOpByOp},  {"TF-O", "TF", CallMode::kOpByOp},
-  };
 
+  bench::Reporter report("fig5_dispatch", args);
   std::printf("%-7s", "system");
-  for (int h : tpu_hosts) std::printf("%11s", ("h=" + std::to_string(h)).c_str());
-  for (int h : big_hosts) std::printf("%11s", ("h=" + std::to_string(h)).c_str());
+  for (std::int64_t h : all_hosts) {
+    std::printf("%11s", ("h=" + std::to_string(h)).c_str());
+  }
   std::printf("   (computations/sec)\n");
-
-  for (const Row& row : rows) {
-    std::printf("%-7s", row.label);
-    MicrobenchSpec s = spec;
-    s.mode = row.mode;
-    // Chained programs are long (a 128-node program at 512 shards carries
-    // ~1.1 s of per-shard descriptor work); widen the window so several
-    // whole programs land inside it.
-    if (row.mode == CallMode::kChained) {
-      s.max_inflight_calls = 2;
-      s.warmup = Duration::Seconds(1.5);
-      s.measure = Duration::Seconds(5);
-    }
-    for (int h : tpu_hosts) {
-      // Ray's GPU-VM fleet tops out far below TPU-pod host counts.
-      const int hosts = (std::string(row.system) == "Ray" && h > 64) ? 64 : h;
-      std::printf("%11.0f", bench::MeasureSystem(row.system, hosts, s));
-    }
-    if (row.mode == CallMode::kFused &&
-        (std::string(row.system) == "JAX" || std::string(row.system) == "PW")) {
-      for (int h : big_hosts) {
-        std::printf("%11.0f", bench::MeasureSystem(row.system, h, s));
+  for (int ri = 0; ri < 10; ++ri) {
+    std::printf("%-7s", kRows[ri].label);
+    for (std::int64_t h : all_hosts) {
+      const double v = lookup(ri, h);
+      if (v < 0) {
+        std::printf("%11s", "-");
+      } else {
+        std::printf("%11.0f", v);
+        // Record the actually measured size (Ray clamps above its fleet
+        // ceiling) so BENCH json consumers don't trend a clamped number as
+        // a larger-fleet data point.
+        const std::int64_t measured_hosts = MeasuredHosts(kRows[ri].system, h);
+        report.AddRow({{"system", std::string(kRows[ri].label)},
+                       {"hosts", h},
+                       {"measured_hosts", measured_hosts}},
+                      {{"computations_per_sec", v}});
       }
     }
     std::printf("\n");
@@ -74,5 +147,9 @@ int main() {
   std::printf(
       "\nshape checks: PW-F/JAX-F parity, PW-C > JAX-O at <=64 hosts, "
       "TF-O slowest.\n");
+  const double pw_f = lookup(1, tpu_hosts.back());
+  const double jax_f = lookup(0, tpu_hosts.back());
+  if (jax_f > 0) report.Summary("pwf_jaxf_parity", pw_f / jax_f);
+  report.Write();
   return 0;
 }

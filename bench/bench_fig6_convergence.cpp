@@ -49,8 +49,9 @@ double MeasurePw(bool config_b, int hosts, pw::Duration compute) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pw;
+  const bench::Args args = bench::Args::Parse(argc, argv);
   bench::Header(
       "Figure 6: throughput vs computation time, JAX vs Pathways",
       "parity at ~2.3 ms (16 hosts / 128 TPUs, config B) and ~35 ms "
@@ -61,11 +62,16 @@ int main() {
     bool config_b;
     int hosts;
   };
-  const std::vector<Setup> setups = {{"16 hosts (B), 128 TPUs", true, 16},
-                                     {"512 hosts (A), 2048 TPUs", false, 512}};
-  const std::vector<double> compute_ms = {0.1, 0.33, 1.0, 2.3, 5.0,
-                                          10.0, 35.0, 100.0};
+  std::vector<Setup> setups = {{"16 hosts (B), 128 TPUs", true, 16},
+                               {"512 hosts (A), 2048 TPUs", false, 512}};
+  std::vector<double> compute_ms = {0.1, 0.33, 1.0, 2.3, 5.0,
+                                    10.0, 35.0, 100.0};
+  if (args.quick) {
+    setups.resize(1);  // the 2048-TPU sweep dominates the full run's time
+    compute_ms = {0.33, 2.3, 10.0};
+  }
 
+  bench::Reporter report("fig6_convergence", args);
   for (const Setup& s : setups) {
     std::printf("\n-- %s --\n", s.label);
     std::printf("%12s %14s %14s %8s\n", "compute(ms)", "JAX(comp/s)",
@@ -77,10 +83,18 @@ int main() {
       const double ratio = pw_rate / jax;
       std::printf("%12.2f %14.1f %14.1f %8.3f\n", ms, jax, pw_rate, ratio);
       if (convergence_ms < 0 && ratio >= 0.95) convergence_ms = ms;
+      report.AddRow({{"setup", std::string(s.label)}, {"compute_ms", ms}},
+                    {{"jax_comp_per_sec", jax},
+                     {"pw_comp_per_sec", pw_rate},
+                     {"pw_over_jax", ratio}});
     }
     std::printf("measured convergence (PW >= 95%% of JAX): %.2f ms  "
                 "[paper: %s]\n",
                 convergence_ms, s.config_b ? "2.3 ms" : "35 ms");
+    report.Summary(s.config_b ? "convergence_ms_configB"
+                              : "convergence_ms_configA",
+                   convergence_ms);
   }
+  report.Write();
   return 0;
 }

@@ -59,20 +59,32 @@ double MeasurePipeline(int stages, pw::pathways::DispatchMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pw;
+  const bench::Args args = bench::Args::Parse(argc, argv);
   bench::Header(
       "Figure 7: parallel vs sequential async dispatch (computations/sec)",
       "parallel >> sequential; parallel keeps rising as stages amortize "
       "client + scheduling overheads (paper peaks ~3000/s at 128 stages)");
 
+  bench::Reporter report("fig7_async_dispatch", args);
+  const std::vector<int> stage_counts =
+      args.quick ? std::vector<int>{1, 8, 32} : std::vector<int>{1, 4, 8, 16, 32, 64, 128};
   std::printf("%8s %14s %14s %10s\n", "stages", "parallel", "sequential",
               "speedup");
-  for (const int stages : {1, 4, 8, 16, 32, 64, 128}) {
+  double last_speedup = 0;
+  for (const int stages : stage_counts) {
     const double par = MeasurePipeline(stages, pathways::DispatchMode::kParallel);
     const double seq =
         MeasurePipeline(stages, pathways::DispatchMode::kSequential);
+    last_speedup = par / seq;
     std::printf("%8d %14.1f %14.1f %9.2fx\n", stages, par, seq, par / seq);
+    report.AddRow({{"stages", static_cast<std::int64_t>(stages)}},
+                  {{"parallel_comp_per_sec", par},
+                   {"sequential_comp_per_sec", seq},
+                   {"speedup", par / seq}});
   }
+  report.Summary("speedup_at_max_stages", last_speedup);
+  report.Write();
   return 0;
 }

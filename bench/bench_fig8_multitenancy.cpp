@@ -126,15 +126,21 @@ double MeasureJaxClients(int num_clients, pw::Duration compute) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pw;
+  const bench::Args args = bench::Args::Parse(argc, argv);
   bench::Header(
       "Figure 8: aggregate throughput vs number of clients (config B)",
       "PW >= JAX aggregate; PW max exceeds JAX for the smallest "
       "computations (0.04 ms)");
 
-  const std::vector<double> compute_ms = {0.04, 0.33, 1.04, 2.4};
-  const std::vector<int> clients = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  const std::vector<double> compute_ms =
+      args.quick ? std::vector<double>{0.04, 1.04}
+                 : std::vector<double>{0.04, 0.33, 1.04, 2.4};
+  const std::vector<int> clients =
+      args.quick ? std::vector<int>{1, 8, 64}
+                 : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 128, 256};
+  bench::Reporter report("fig8_multitenancy", args);
   for (const double ms : compute_ms) {
     std::printf("\n-- compute = %.2f ms --\n", ms);
     std::printf("%8s %14s %14s\n", "clients", "PW(comp/s)", "JAX(comp/s)");
@@ -142,7 +148,11 @@ int main() {
       const double pw_rate = MeasurePwClients(n, Duration::Millis(ms));
       const double jax_rate = MeasureJaxClients(n, Duration::Millis(ms));
       std::printf("%8d %14.1f %14.1f\n", n, pw_rate, jax_rate);
+      report.AddRow({{"compute_ms", ms}, {"clients", static_cast<std::int64_t>(n)}},
+                    {{"pw_comp_per_sec", pw_rate},
+                     {"jax_comp_per_sec", jax_rate}});
     }
   }
+  report.Write();
   return 0;
 }

@@ -11,7 +11,8 @@
 
 namespace {
 
-void RunShareExperiment(const std::vector<double>& weights) {
+void RunShareExperiment(const std::vector<double>& weights,
+                        pw::bench::Reporter* report) {
   using namespace pw;
   using namespace pw::pathways;
   sim::Simulator sim;
@@ -64,12 +65,23 @@ void RunShareExperiment(const std::vector<double>& weights) {
               "target");
   double weight_sum = 0;
   for (double w : weights) weight_sum += w;
+  std::string weights_label;
+  for (double w : weights) {
+    if (!weights_label.empty()) weights_label += ":";
+    weights_label += std::to_string(static_cast<int>(w));
+  }
   for (const auto& [client, dur] : busy) {
     if (client < 0) continue;
+    const double share = 100.0 * dur.ToSeconds() / total;
+    const double target =
+        100.0 * weights[static_cast<std::size_t>(client)] / weight_sum;
     std::printf("%8lld %12.2f %11.1f%% %11.1f%%\n",
-                static_cast<long long>(client), dur.ToMillis() / 32.0,
-                100.0 * dur.ToSeconds() / total,
-                100.0 * weights[static_cast<std::size_t>(client)] / weight_sum);
+                static_cast<long long>(client), dur.ToMillis() / 32.0, share,
+                target);
+    report->AddRow({{"weights", weights_label}, {"client", client}},
+                   {{"busy_ms", dur.ToMillis() / 32.0},
+                    {"share_pct", share},
+                    {"target_pct", target}});
   }
   std::printf("\ntrace (4 of 32 cores, 2 ms window; digit = client):\n%s\n",
               cluster->trace()
@@ -79,13 +91,16 @@ void RunShareExperiment(const std::vector<double>& weights) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const pw::bench::Args args = pw::bench::Args::Parse(argc, argv);
   pw::bench::Header(
       "Figure 9: proportional-share gang scheduling across 4 clients",
       "scheduler enforces 1:1:1:1 and 1:2:4:8 shares; programs interleave "
       "at millisecond scale with no context-switch overhead");
-  RunShareExperiment({1, 1, 1, 1});
+  pw::bench::Reporter report("fig9_fairness", args);
+  RunShareExperiment({1, 1, 1, 1}, &report);
   std::printf("\n");
-  RunShareExperiment({1, 2, 4, 8});
+  RunShareExperiment({1, 2, 4, 8}, &report);
+  report.Write();
   return 0;
 }

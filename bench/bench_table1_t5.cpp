@@ -103,8 +103,9 @@ RowResult MeasureT5(const pw::models::TransformerConfig& config, int cores) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pw;
+  const bench::Args args = bench::Args::Parse(argc, argv);
   bench::Header(
       "Table 1: T5 training throughput (tokens/s), JAX vs Pathways",
       "identical throughput on both systems for every model size");
@@ -114,12 +115,14 @@ int main() {
     int cores;
     double paper_tokens_s;
   };
-  const Row rows[] = {
+  std::vector<Row> rows = {
       {models::TransformerConfig::T5Base(), 32, 618e3},
       {models::TransformerConfig::T5Large(), 32, 90.4e3},
       {models::TransformerConfig::T5_3B(), 512, 282.8e3},
       {models::TransformerConfig::T5_11B(), 512, 84.8e3},
   };
+  if (args.quick) rows.resize(2);  // skip the 512-core sweeps
+  bench::Reporter report("table1_t5", args);
   std::printf("%-10s %8s %8s %12s %12s %12s %8s\n", "model", "params",
               "cores", "paper", "JAX(sim)", "PW(sim)", "PW/JAX");
   for (const Row& row : rows) {
@@ -129,7 +132,14 @@ int main() {
                 static_cast<double>(row.config.TotalParams()) / 1e9, row.cores,
                 row.paper_tokens_s / 1e3, r.jax_tokens_s / 1e3,
                 r.pw_tokens_s / 1e3, r.pw_tokens_s / r.jax_tokens_s);
+    report.AddRow({{"model", row.config.name},
+                   {"cores", static_cast<std::int64_t>(row.cores)}},
+                  {{"paper_tokens_per_sec", row.paper_tokens_s},
+                   {"jax_tokens_per_sec", r.jax_tokens_s},
+                   {"pw_tokens_per_sec", r.pw_tokens_s},
+                   {"pw_over_jax", r.pw_tokens_s / r.jax_tokens_s}});
   }
   std::printf("\nshape check: PW/JAX ~= 1.000 on every row.\n");
+  report.Write();
   return 0;
 }

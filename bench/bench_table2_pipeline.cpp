@@ -65,41 +65,54 @@ double MeasurePipeline(int cores, int stages, int micro_batches) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pw;
+  const bench::Args args = bench::Args::Parse(argc, argv);
   bench::Header(
       "Table 2: 3B decoder LM, SPMD vs pipelining (tokens/s)",
       "pipeline >= SPMD at 128 cores; minimal loss from deeper pipelines; "
       "near-linear 128 -> 512 core scaling");
 
+  bench::Reporter report("table2_pipeline", args);
   std::printf("%-28s %7s %12s %12s\n", "configuration", "cores", "paper",
               "measured");
   const double spmd = MeasureSpmd(128);
   std::printf("%-28s %7d %11.1fk %11.1fk\n", "Model-parallel (SPMD)", 128,
               125.7, spmd / 1e3);
+  report.AddRow({{"config", std::string("spmd")},
+                 {"cores", static_cast<std::int64_t>(128)}},
+                {{"tokens_per_sec", spmd}, {"paper_tokens_per_sec", 125.7e3}});
   struct Row {
     int stages, micro;
     int cores;
     double paper;
   };
-  const Row rows[] = {
+  std::vector<Row> rows = {
       {4, 16, 128, 133.7e3},
       {8, 32, 128, 132.7e3},
       {16, 64, 128, 131.4e3},
       {16, 64, 512, 507.8e3},
   };
+  if (args.quick) rows = {{4, 16, 128, 133.7e3}, {16, 64, 128, 131.4e3}};
   double p16_128 = 0;
   for (const Row& r : rows) {
     const double measured = MeasurePipeline(r.cores, r.stages, r.micro);
     if (r.stages == 16 && r.cores == 128) p16_128 = measured;
     std::printf("Pipelining S=%-2d M=%-3d %7s %7d %11.1fk %11.1fk\n", r.stages,
                 r.micro, "", r.cores, r.paper / 1e3, measured / 1e3);
+    report.AddRow({{"config", "pipeline_s" + std::to_string(r.stages) + "_m" +
+                                  std::to_string(r.micro)},
+                   {"cores", static_cast<std::int64_t>(r.cores)}},
+                  {{"tokens_per_sec", measured},
+                   {"paper_tokens_per_sec", r.paper}});
   }
   std::printf("\nshape checks: pipeline/SPMD at 128 cores, 512/128 scaling "
               "(paper: 507.8/131.4 = 3.86x)\n");
   if (spmd > 0 && p16_128 > 0) {
     std::printf("measured pipeline(S=16)/SPMD = %.3f (paper 1.045)\n",
                 p16_128 / spmd);
+    report.Summary("pipeline16_over_spmd", p16_128 / spmd);
   }
+  report.Write();
   return 0;
 }

@@ -1,23 +1,212 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 namespace pw::sim {
 
-void Simulator::Step() {
-  // Move the event out before popping so the callback may schedule more
-  // events (priority_queue::top is const).
-  Event ev = std::move(const_cast<Event&>(events_.top()));
-  events_.pop();
-  PW_CHECK_GE(ev.at.nanos(), now_.nanos());
-  now_ = ev.at;
+Simulator::~Simulator() {
+  // Destroy callbacks of events still queued (live or tombstoned) so
+  // captured resources are released; pool chunks free themselves.
+  for (const HeapEntry& e : heap_) {
+    if (e.node->cb.engaged()) e.node->cb.Destroy();
+  }
+  for (std::size_t i = 0; i < fifo_count_; ++i) {
+    EventNode* node = fifo_[(fifo_head_ + i) & (fifo_.size() - 1)].node;
+    if (node->cb.engaged()) node->cb.Destroy();
+  }
+}
+
+internal::EventNode* Simulator::AllocNode() {
+  EventNode* node = free_head_;
+  if (node != nullptr) {
+    free_head_ = node->next_free;
+    node->next_free = nullptr;
+    return node;
+  }
+  if (chunk_used_ == kChunkSize) {
+    chunks_.push_back(std::make_unique<Chunk>());
+    chunk_used_ = 0;
+  }
+  return &chunks_.back()->nodes[chunk_used_++];
+}
+
+void Simulator::RecycleNode(EventNode* node) {
+  node->state = NodeState::kFree;
+  node->period_ns = 0;
+  ++node->generation;  // stale-ify outstanding handles
+  node->next_free = free_head_;
+  free_head_ = node;
+}
+
+void Simulator::HeapPush(HeapEntry e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!Before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+Simulator::HeapEntry Simulator::HeapPopTop() {
+  const HeapEntry top = heap_.front();
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift `last` down from the root of the 4-ary heap.
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end = std::min(first_child + 4, n);
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (Before(heap_[c], heap_[best])) best = c;
+      }
+      if (!Before(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void Simulator::FifoPush(FifoEntry e) {
+  if (fifo_count_ == fifo_.size()) FifoGrow();
+  fifo_[(fifo_head_ + fifo_count_) & (fifo_.size() - 1)] = e;
+  ++fifo_count_;
+}
+
+void Simulator::FifoGrow() {
+  const std::size_t old_cap = fifo_.size();
+  const std::size_t new_cap = old_cap == 0 ? 64 : old_cap * 2;
+  std::vector<FifoEntry> grown(new_cap);
+  for (std::size_t i = 0; i < fifo_count_; ++i) {
+    grown[i] = fifo_[(fifo_head_ + i) & (old_cap - 1)];
+  }
+  fifo_ = std::move(grown);
+  fifo_head_ = 0;
+}
+
+bool Simulator::Cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  EventNode* node = h.node_;
+  if (node->generation != h.generation_ || node->state != NodeState::kArmed) {
+    return false;
+  }
+  node->state = NodeState::kCancelled;
+  --live_events_;
+  // Destroy the callable eagerly: a cancelled watchdog's captures (often
+  // shared_ptrs) must not stay alive until simulated time reaches the
+  // original timestamp and the tombstone pops. The queue entry itself is
+  // recycled lazily when popped. Exception: a periodic timer cancelling
+  // itself from inside its own callback — destroying the callable would
+  // pull the frame out from under the running lambda, so the tombstone
+  // path destroys it instead.
+  if (!node->executing) node->cb.Destroy();
+  return true;
+}
+
+bool Simulator::IsPending(EventHandle h) const {
+  return h.valid() && h.node_->generation == h.generation_ &&
+         h.node_->state == NodeState::kArmed;
+}
+
+void Simulator::ReserveEvents(std::size_t n) {
+  heap_.reserve(n);
+  while (fifo_.size() < n) FifoGrow();
+  // Pre-build pool chunks and put their nodes straight onto the free list.
+  // The partially used tail of the current chunk (at most kChunkSize-1
+  // nodes) is abandoned — AllocNode's fresh-allocation path only looks at
+  // the last chunk, and correctness needs only that every free node is
+  // reachable exactly once.
+  chunks_.reserve(n / kChunkSize + 1);
+  while (chunks_.size() * kChunkSize < n) {
+    chunks_.push_back(std::make_unique<Chunk>());
+    chunk_used_ = kChunkSize;
+    for (EventNode& node : chunks_.back()->nodes) {
+      node.next_free = free_head_;
+      free_head_ = &node;
+    }
+  }
+}
+
+void Simulator::RunOneShot(EventNode* node) {
+  node->state = NodeState::kRunning;
+  --live_events_;
   ++executed_;
-  ev.fn();
+  // A single indirect call runs and destroys the callable; it may schedule
+  // more events (growing the pool — nodes never move, so `node` stays
+  // valid), but cannot recycle this node, which is in kRunning state.
+  node->cb.InvokeAndDestroy();
+  RecycleNode(node);
+}
+
+bool Simulator::RunHeapTop() {
+  const HeapEntry top = HeapPopTop();
+  EventNode* node = top.node;
+  if (node->state == NodeState::kCancelled) {
+    // Cancel() normally destroyed the callable already; a periodic
+    // self-cancel deferred it to here.
+    if (node->cb.engaged()) node->cb.Destroy();
+    RecycleNode(node);
+    return false;
+  }
+  now_ = TimePoint::FromNanos(top.at);
+  ++executed_;
+  if (node->period_ns > 0) {
+    // Re-arm before running so the callback observes itself as pending and
+    // may Cancel() its own timer. Same node, same generation, fresh seq:
+    // FIFO order at the next fire time is "timer first, then anything the
+    // callback schedules for that instant".
+    HeapPush(HeapEntry{top.at + node->period_ns, next_seq_++, node});
+    node->executing = true;
+    node->cb.Invoke();
+    node->executing = false;
+    return true;
+  }
+  node->state = NodeState::kRunning;
+  --live_events_;
+  node->cb.InvokeAndDestroy();
+  RecycleNode(node);
+  return true;
+}
+
+bool Simulator::StepOne() {
+  // Merge the now-ring with the heap by (time, seq). Fifo entries are
+  // always at now_ <= heap top, so the heap wins only when its top is also
+  // at now_ with an older seq (and may then be a periodic fire, which
+  // RunHeapTop handles).
+  if (fifo_count_ != 0) {
+    const FifoEntry front = fifo_[fifo_head_ & (fifo_.size() - 1)];
+    if (!heap_.empty() && heap_.front().at == now_.nanos() &&
+        heap_.front().seq < front.seq) {
+      return RunHeapTop();
+    }
+    (void)FifoPop();
+    EventNode* node = front.node;
+    if (node->state == NodeState::kCancelled) {
+      // Fifo entries are one-shots, so Cancel() always destroyed eagerly.
+      RecycleNode(node);
+      return false;
+    }
+    // Fifo entries are always one-shots at the current clock: periodic
+    // first fires and re-arms land strictly in the future, so they only
+    // ever enter the heap.
+    RunOneShot(node);
+    return true;
+  }
+  return RunHeapTop();
 }
 
 std::int64_t Simulator::Run() {
   std::int64_t n = 0;
-  while (!events_.empty()) {
-    Step();
-    ++n;
+  while (!QueuesEmpty()) {
+    if (StepOne()) ++n;
   }
   return n;
 }
@@ -25,9 +214,8 @@ std::int64_t Simulator::Run() {
 std::int64_t Simulator::RunUntil(TimePoint t) {
   PW_CHECK_GE(t.nanos(), now_.nanos());
   std::int64_t n = 0;
-  while (!events_.empty() && events_.top().at <= t) {
-    Step();
-    ++n;
+  while (!QueuesEmpty() && NextEventTime() <= t.nanos()) {
+    if (StepOne()) ++n;
   }
   now_ = t;
   return n;
@@ -35,9 +223,8 @@ std::int64_t Simulator::RunUntil(TimePoint t) {
 
 bool Simulator::RunUntilPredicate(const std::function<bool()>& pred) {
   if (pred()) return true;
-  while (!events_.empty()) {
-    Step();
-    if (pred()) return true;
+  while (!QueuesEmpty()) {
+    if (StepOne() && pred()) return true;
   }
   return false;
 }

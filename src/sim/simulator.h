@@ -5,6 +5,21 @@
 // is bit-reproducible: events at equal timestamps execute in scheduling
 // order (FIFO tie-break via sequence numbers).
 //
+// Engine internals (the repo's hottest path):
+//   * Event callbacks live in pool nodes allocated from stable chunks and
+//     recycled through a free list; a callable of up to
+//     PooledCallback::kInlineBytes is constructed in place in its node, so
+//     the steady-state schedule/fire cycle performs no heap allocation.
+//   * The priority queue is a 4-ary heap of 24-byte plain-data entries
+//     {time, seq, node*}; sifting copies trivial entries only, never the
+//     callbacks, and nodes never move once constructed.
+//   * Zero-delay events — the dominant pattern: every future Then(),
+//     WhenAll() completion and device wakeup fires "now" — skip the heap
+//     entirely and go through an O(1) FIFO ring holding events whose
+//     timestamp equals the current clock. The ring and the heap merge by
+//     (time, seq), so the global FIFO-at-equal-timestamp order is exactly
+//     that of a single queue.
+//
 // The simulator deliberately knows nothing about the entities it drives.
 // Higher layers register "blocked entity" probes so that quiescence with
 // blocked entities can be reported as a deadlock (the situation the paper's
@@ -17,12 +32,32 @@
 //   sim.Run();                       // drain the event queue to quiescence
 //   TimePoint end = sim.now();       // simulated time, not wall clock
 //   if (sim.Deadlocked()) { ... }    // quiescent but entities still blocked
+//
+// Cancellable events and periodic timers:
+//
+//   sim::EventHandle h = sim.Schedule(Duration::Millis(5), [&] { ... });
+//   sim.Cancel(h);                   // true: the event will not fire
+//
+//   // Heartbeat every 100us, starting at now()+100us. A periodic event
+//   // keeps the queue non-empty, so drive the sim with RunUntil/RunFor
+//   // (Run() would spin forever) and Cancel() the timer when done.
+//   sim::EventHandle hb = sim.SchedulePeriodic(Duration::Micros(100),
+//                                              [&] { Poll(); });
+//   sim.RunFor(Duration::Millis(1));
+//   sim.Cancel(hb);
+//
+// Handles are generation-checked: once a one-shot event fires or is
+// cancelled, its handle goes stale and Cancel()/IsPending() return false
+// even after the pool recycles the node.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -31,9 +66,143 @@
 
 namespace pw::sim {
 
+class Simulator;
+
+namespace internal {
+
+struct EventNode;
+
+// Small-buffer-optimized storage for a `void()` callable inside a pool
+// node. Nodes never move (pool chunks are stable), so the callable needs
+// only construct / invoke / destroy — no move or copy support — and
+// callables up to kInlineBytes incur no heap allocation at all. Larger
+// callables fall back to a single owned heap object.
+class PooledCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  PooledCallback() = default;
+  PooledCallback(const PooledCallback&) = delete;
+  PooledCallback& operator=(const PooledCallback&) = delete;
+
+  template <typename Fn>
+  void Emplace(Fn&& fn) {
+    using F = std::decay_t<Fn>;
+    static_assert(std::is_invocable_v<F&>, "callback must be callable as fn()");
+    if constexpr (sizeof(F) <= kInlineBytes &&
+                  alignof(F) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) F(std::forward<Fn>(fn));
+      ops_ = OpsFor<F, /*kInline=*/true>();
+    } else {
+      ::new (static_cast<void*>(storage_)) F*(new F(std::forward<Fn>(fn)));
+      ops_ = OpsFor<F, /*kInline=*/false>();
+    }
+  }
+
+  // May be called repeatedly (periodic timers re-invoke the same callable).
+  void Invoke() { ops_->invoke(storage_); }
+
+  void Destroy() {
+    ops_->destroy(storage_);
+    ops_ = nullptr;
+  }
+
+  // One-shot fast path: a single indirect call that runs the callable and
+  // then destroys it (the callable outlives its own invocation).
+  void InvokeAndDestroy() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(storage_);
+  }
+
+  bool engaged() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    void (*invoke_destroy)(void*);
+  };
+
+  template <typename F, bool kInline>
+  static const Ops* OpsFor() {
+    static constexpr Ops ops = {
+        [](void* p) {
+          if constexpr (kInline) {
+            (*std::launder(reinterpret_cast<F*>(p)))();
+          } else {
+            (**std::launder(reinterpret_cast<F**>(p)))();
+          }
+        },
+        [](void* p) {
+          if constexpr (kInline) {
+            std::launder(reinterpret_cast<F*>(p))->~F();
+          } else {
+            delete *std::launder(reinterpret_cast<F**>(p));
+          }
+        },
+        [](void* p) {
+          if constexpr (kInline) {
+            F* f = std::launder(reinterpret_cast<F*>(p));
+            (*f)();
+            f->~F();
+          } else {
+            F* f = *std::launder(reinterpret_cast<F**>(p));
+            (*f)();
+            delete f;
+          }
+        }};
+    return &ops;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+enum class NodeState : std::uint8_t {
+  kFree,       // on the free list
+  kArmed,      // queued, will fire
+  kCancelled,  // queued, will be skipped and recycled
+  kRunning,    // one-shot currently executing (no longer cancellable)
+};
+
+// Pool node: stable address for the callback; queues refer to nodes by
+// pointer only.
+struct EventNode {
+  PooledCallback cb;
+  std::int64_t period_ns = 0;  // > 0 for periodic timers
+  EventNode* next_free = nullptr;
+  std::uint32_t generation = 0;
+  NodeState state = NodeState::kFree;
+  // True while a periodic fire is inside cb.Invoke(); a self-Cancel() must
+  // then defer destroying the callable until the tombstone pops.
+  bool executing = false;
+};
+
+}  // namespace internal
+
+// Identifies a scheduled event (one-shot or periodic timer). Handles are
+// cheap value types; a default-constructed handle is invalid. A handle for
+// a fired/cancelled one-shot event is stale: Cancel() and IsPending()
+// return false for it.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return node_ != nullptr; }
+
+ private:
+  friend class Simulator;
+  EventHandle(internal::EventNode* node, std::uint32_t gen)
+      : node_(node), generation_(gen) {}
+
+  internal::EventNode* node_ = nullptr;
+  std::uint32_t generation_ = 0;
+};
+
 class Simulator {
  public:
   Simulator() = default;
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -41,17 +210,41 @@ class Simulator {
   TimePoint now() const { return now_; }
 
   // Schedules fn to run at now() + delay. delay must be >= 0.
-  void Schedule(Duration delay, std::function<void()> fn) {
-    ScheduleAt(now_ + delay, std::move(fn));
+  template <typename Fn>
+  EventHandle Schedule(Duration delay, Fn&& fn) {
+    return ScheduleAt(now_ + delay, std::forward<Fn>(fn));
   }
 
   // Schedules fn at an absolute time >= now().
-  void ScheduleAt(TimePoint at, std::function<void()> fn) {
+  template <typename Fn>
+  EventHandle ScheduleAt(TimePoint at, Fn&& fn) {
     PW_CHECK_GE(at.nanos(), now_.nanos()) << "cannot schedule in the past";
-    events_.push(Event{at, next_seq_++, std::move(fn)});
+    return ArmEvent(at.nanos(), /*period_ns=*/0, std::forward<Fn>(fn));
   }
 
+  // Schedules fn to run every `period`, first at now() + period. The
+  // callable is stored once and re-fired without reallocation. The timer
+  // re-arms *before* its callback runs, so events the callback schedules at
+  // exactly the next fire time run after that next fire (FIFO order).
+  // Periodic events count as pending forever; Cancel() to stop them.
+  template <typename Fn>
+  EventHandle SchedulePeriodic(Duration period, Fn&& fn) {
+    PW_CHECK_GT(period.nanos(), 0) << "periodic timer period must be > 0";
+    return ArmEvent(now_.nanos() + period.nanos(), period.nanos(),
+                    std::forward<Fn>(fn));
+  }
+
+  // Cancels a pending event or periodic timer. Returns true if the event
+  // was pending and is now guaranteed not to fire (again); false if the
+  // handle is invalid, stale, or the one-shot event already fired.
+  bool Cancel(EventHandle h);
+
+  // True while the event identified by `h` is still scheduled to fire.
+  bool IsPending(EventHandle h) const;
+
   // Runs events until the queue is empty. Returns the number of events run.
+  // Note: an uncancelled periodic timer keeps the queue non-empty, so Run()
+  // only terminates once all periodic timers are cancelled.
   std::int64_t Run();
 
   // Runs events with timestamp <= t; leaves later events queued and advances
@@ -65,9 +258,13 @@ class Simulator {
   // queue empties. Returns true if the predicate was satisfied.
   bool RunUntilPredicate(const std::function<bool()>& pred);
 
-  bool empty() const { return events_.empty(); }
-  std::size_t pending_events() const { return events_.size(); }
+  bool empty() const { return live_events_ == 0; }
+  std::size_t pending_events() const { return live_events_; }
   std::int64_t events_executed() const { return executed_; }
+
+  // Pre-sizes internal storage for at least `n` simultaneously pending
+  // events (benchmarks use this to take pool growth off the timed path).
+  void ReserveEvents(std::size_t n);
 
   // --- Blocked-entity probes (deadlock detection support) ---
   //
@@ -87,24 +284,97 @@ class Simulator {
   bool Deadlocked() const { return empty() && !BlockedEntities().empty(); }
 
  private:
-  struct Event {
-    TimePoint at;
+  using EventNode = internal::EventNode;
+  using NodeState = internal::NodeState;
+
+  // 24-byte trivially copyable heap element; (at, seq) is the priority,
+  // seq gives the FIFO tie-break among equal timestamps.
+  struct HeapEntry {
+    std::int64_t at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    EventNode* node;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return b.at < a.at;
-      return b.seq < a.seq;  // FIFO among equal timestamps
-    }
+  static bool Before(const HeapEntry& a, const HeapEntry& b) {
+    return a.at < b.at || (a.at == b.at && a.seq < b.seq);
+  }
+
+  // Ring element for events at exactly now(): `at` is implicit.
+  struct FifoEntry {
+    std::uint64_t seq;
+    EventNode* node;
   };
 
-  void Step();
+  static constexpr std::uint32_t kChunkSize = 256;  // nodes per chunk
+  struct Chunk {
+    EventNode nodes[kChunkSize];
+  };
+
+  template <typename Fn>
+  EventHandle ArmEvent(std::int64_t at_ns, std::int64_t period_ns, Fn&& fn) {
+    EventNode* node = AllocNode();
+    node->cb.Emplace(std::forward<Fn>(fn));
+    // Invariant: nodes come off the free list with period_ns == 0 (default
+    // at construction, reset on recycle), so the one-shot path skips the
+    // store.
+    if (period_ns > 0) node->period_ns = period_ns;
+    node->state = NodeState::kArmed;
+    const std::uint64_t seq = next_seq_++;
+    if (at_ns == now_.nanos()) {
+      FifoPush(FifoEntry{seq, node});  // zero-delay fast path: no heap sift
+    } else {
+      HeapPush(HeapEntry{at_ns, seq, node});
+    }
+    ++live_events_;
+    return EventHandle(node, node->generation);
+  }
+
+  EventNode* AllocNode();
+  void RecycleNode(EventNode* node);
+
+  void HeapPush(HeapEntry e);
+  HeapEntry HeapPopTop();
+
+  void FifoPush(FifoEntry e);
+  void FifoGrow();
+  FifoEntry FifoPop() {
+    FifoEntry e = fifo_[fifo_head_ & (fifo_.size() - 1)];
+    ++fifo_head_;
+    --fifo_count_;
+    return e;
+  }
+
+  // Pops the globally next queued entry (fifo merged with heap by
+  // (time, seq)) and, if it is a live event, advances the clock and runs
+  // it. Returns true iff an event ran (false for cancelled tombstones).
+  // Precondition: !QueuesEmpty().
+  bool StepOne();
+  // Pops and processes the heap top (cancelled / periodic / one-shot).
+  bool RunHeapTop();
+
+  bool QueuesEmpty() const { return fifo_count_ == 0 && heap_.empty(); }
+  // Earliest queued timestamp; precondition: !QueuesEmpty(). Fifo entries
+  // are always at now_, which is <= any heap entry.
+  std::int64_t NextEventTime() const {
+    return fifo_count_ != 0 ? now_.nanos() : heap_.front().at;
+  }
+
+  void RunOneShot(EventNode* node);
 
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
   std::int64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::size_t live_events_ = 0;
+
+  std::vector<HeapEntry> heap_;
+  // Power-of-two ring of events at exactly now().
+  std::vector<FifoEntry> fifo_;
+  std::size_t fifo_head_ = 0;
+  std::size_t fifo_count_ = 0;
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::uint32_t chunk_used_ = kChunkSize;  // slots used in the last chunk
+  EventNode* free_head_ = nullptr;
+
   std::vector<BlockedProbe> probes_;
 };
 

@@ -1,0 +1,126 @@
+#include "sweep/param_grid.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pw::sweep {
+
+std::string ToString(const ParamValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", *d);
+    return buf;
+  }
+  return std::get<std::string>(v);
+}
+
+bool ParamPoint::Has(const std::string& name) const {
+  for (const auto& [n, v] : entries_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+const ParamValue& ParamPoint::Get(const std::string& name) const {
+  for (const auto& [n, v] : entries_) {
+    if (n == name) return v;
+  }
+  PW_CHECK(false) << "ParamPoint: no axis named '" << name << "'";
+  __builtin_unreachable();
+}
+
+std::int64_t ParamPoint::GetInt(const std::string& name) const {
+  const ParamValue& v = Get(name);
+  PW_CHECK(std::holds_alternative<std::int64_t>(v))
+      << "axis '" << name << "' is not an int";
+  return std::get<std::int64_t>(v);
+}
+
+double ParamPoint::GetDouble(const std::string& name) const {
+  const ParamValue& v = Get(name);
+  // Ints promote to double transparently: AxisInts axes are usable in
+  // arithmetic-heavy sweep bodies without casts.
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  PW_CHECK(std::holds_alternative<double>(v))
+      << "axis '" << name << "' is not numeric";
+  return std::get<double>(v);
+}
+
+const std::string& ParamPoint::GetString(const std::string& name) const {
+  const ParamValue& v = Get(name);
+  PW_CHECK(std::holds_alternative<std::string>(v))
+      << "axis '" << name << "' is not a string";
+  return std::get<std::string>(v);
+}
+
+std::string ParamPoint::Label() const {
+  std::string out;
+  for (const auto& [n, v] : entries_) {
+    if (!out.empty()) out += ",";
+    out += n + "=" + ToString(v);
+  }
+  return out;
+}
+
+ParamGrid& ParamGrid::Axis(std::string name, std::vector<ParamValue> values) {
+  PW_CHECK(!values.empty()) << "axis '" << name << "' has no values";
+  for (const AxisDef& a : axes_) {
+    PW_CHECK(a.name != name) << "duplicate axis '" << name << "'";
+  }
+  axes_.push_back(AxisDef{std::move(name), std::move(values)});
+  return *this;
+}
+
+ParamGrid& ParamGrid::AxisInts(std::string name,
+                               std::vector<std::int64_t> values) {
+  std::vector<ParamValue> vals(values.begin(), values.end());
+  return Axis(std::move(name), std::move(vals));
+}
+
+ParamGrid& ParamGrid::AxisDoubles(std::string name, std::vector<double> values) {
+  std::vector<ParamValue> vals(values.begin(), values.end());
+  return Axis(std::move(name), std::move(vals));
+}
+
+ParamGrid& ParamGrid::AxisStrings(std::string name,
+                                  std::vector<std::string> values) {
+  std::vector<ParamValue> vals;
+  vals.reserve(values.size());
+  for (std::string& s : values) vals.emplace_back(std::move(s));
+  return Axis(std::move(name), std::move(vals));
+}
+
+std::size_t ParamGrid::size() const {
+  std::size_t n = 1;
+  for (const AxisDef& a : axes_) n *= a.values.size();
+  return n;
+}
+
+std::vector<ParamPoint> ParamGrid::Points() const {
+  const std::size_t total = size();
+  std::vector<ParamPoint> out;
+  out.reserve(total);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    std::vector<std::pair<std::string, ParamValue>> entries;
+    entries.reserve(axes_.size());
+    // Row-major decode: first axis varies slowest.
+    std::size_t rem = idx;
+    std::size_t stride = total;
+    for (const AxisDef& a : axes_) {
+      stride /= a.values.size();
+      const std::size_t vi = rem / stride;
+      rem %= stride;
+      entries.emplace_back(a.name, a.values[vi]);
+    }
+    out.emplace_back(idx, std::move(entries));
+  }
+  return out;
+}
+
+}  // namespace pw::sweep

@@ -1,0 +1,81 @@
+// Declarative parameter grids for simulator sweeps.
+//
+// A ParamGrid is an ordered list of named axes; Points() expands the
+// cartesian product in a deterministic row-major order (the first axis
+// varies slowest), so sweep output is stable across runs and machines.
+//
+//   sweep::ParamGrid grid;
+//   grid.AxisInts("hosts", {2, 8, 32})
+//       .AxisStrings("system", {"PW", "JAX"});
+//   for (const sweep::ParamPoint& p : grid.Points()) {
+//     Run(p.GetInt("hosts"), p.GetString("system"));
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace pw::sweep {
+
+using ParamValue = std::variant<std::int64_t, double, std::string>;
+
+// Compact human-readable rendering ("8", "0.5", "PW").
+std::string ToString(const ParamValue& v);
+
+// One assignment of a value to every axis of a grid.
+class ParamPoint {
+ public:
+  ParamPoint(std::size_t index,
+             std::vector<std::pair<std::string, ParamValue>> entries)
+      : index_(index), entries_(std::move(entries)) {}
+
+  // Position of this point in the grid's row-major expansion.
+  std::size_t index() const { return index_; }
+
+  const std::vector<std::pair<std::string, ParamValue>>& entries() const {
+    return entries_;
+  }
+
+  bool Has(const std::string& name) const;
+  // Get* die on a missing name or mismatched type — a sweep that asks for a
+  // parameter it never declared is a programming error.
+  const ParamValue& Get(const std::string& name) const;
+  std::int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  // "hosts=8,system=PW" — for logs and trace labels.
+  std::string Label() const;
+
+ private:
+  std::size_t index_;
+  std::vector<std::pair<std::string, ParamValue>> entries_;
+};
+
+class ParamGrid {
+ public:
+  // Adds an axis; axis names must be unique, values non-empty.
+  ParamGrid& Axis(std::string name, std::vector<ParamValue> values);
+  ParamGrid& AxisInts(std::string name, std::vector<std::int64_t> values);
+  ParamGrid& AxisDoubles(std::string name, std::vector<double> values);
+  ParamGrid& AxisStrings(std::string name, std::vector<std::string> values);
+
+  std::size_t num_axes() const { return axes_.size(); }
+  // Product of axis sizes (1 for an empty grid: the single empty point).
+  std::size_t size() const;
+
+  // Row-major cartesian expansion: the first declared axis varies slowest.
+  std::vector<ParamPoint> Points() const;
+
+ private:
+  struct AxisDef {
+    std::string name;
+    std::vector<ParamValue> values;
+  };
+  std::vector<AxisDef> axes_;
+};
+
+}  // namespace pw::sweep

@@ -1,0 +1,177 @@
+// Deadlock-probe coverage: the failure mode the paper's gang scheduler
+// exists to prevent (§2, §4.4).
+//
+// Two clients run interleaved collective programs on the same devices.
+// Routed through the centralized gang scheduler, every device observes the
+// same relative order of gangs and both programs complete. With a forced
+// non-gang ordering — the two devices enqueue the programs' collectives in
+// opposite orders, which uncoordinated clients can produce — both devices
+// park at rendezvous that can never complete: the simulator goes quiescent
+// with blocked entities and Deadlocked() reports it, with human-readable
+// BlockedEntities() descriptions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "hw/collective_group.h"
+#include "hw/device.h"
+#include "net/collective_model.h"
+#include "pathways/pathways.h"
+#include "sim/simulator.h"
+#include "xlasim/compiled_function.h"
+
+namespace pw {
+namespace {
+
+using pathways::Client;
+using pathways::ExecutionResult;
+using pathways::PathwaysProgram;
+using pathways::PathwaysRuntime;
+using pathways::ProgramBuilder;
+
+// ---- forced non-gang ordering: devices disagree on collective order ----
+
+TEST(DeadlockProbeTest, OppositeCollectiveOrdersDeadlockAndAreReported) {
+  sim::Simulator sim;
+  net::CollectiveModel model;
+  hw::Device d0(&sim, hw::DeviceId(0), hw::IslandId(0), GiB(16), Duration::Zero());
+  hw::Device d1(&sim, hw::DeviceId(1), hw::IslandId(0), GiB(16), Duration::Zero());
+  auto groupA = std::make_shared<hw::CollectiveGroup>(
+      &sim, &model, net::CollectiveKind::kAllReduce, 2, "clientA/allreduce");
+  auto groupB = std::make_shared<hw::CollectiveGroup>(
+      &sim, &model, net::CollectiveKind::kAllReduce, 2, "clientB/allreduce");
+  auto mk = [](std::shared_ptr<hw::CollectiveGroup> g, std::int64_t client) {
+    hw::KernelDesc k;
+    k.label = "interleaved";
+    k.client = client;
+    k.pre_time = Duration::Micros(1);
+    k.collective = std::move(g);
+    k.collective_bytes = KiB(4);
+    return k;
+  };
+  // dev0 runs A then B; dev1 runs B then A. TPU streams are in-order and
+  // non-preemptible, so each device parks at its first collective.
+  d0.Enqueue(mk(groupA, 0));
+  d0.Enqueue(mk(groupB, 1));
+  d1.Enqueue(mk(groupB, 1));
+  d1.Enqueue(mk(groupA, 0));
+  sim.Run();
+
+  EXPECT_TRUE(sim.Deadlocked());
+  EXPECT_FALSE(groupA->complete());
+  EXPECT_FALSE(groupB->complete());
+  EXPECT_TRUE(groupA->stalled());
+  EXPECT_TRUE(groupB->stalled());
+
+  const std::vector<std::string> blocked = sim.BlockedEntities();
+  ASSERT_EQ(blocked.size(), 2u);
+  // Each description names the device, the collective it is parked at, and
+  // the arrival count — the operator-facing evidence trail.
+  EXPECT_NE(blocked[0].find("dev0"), std::string::npos);
+  EXPECT_NE(blocked[0].find("clientA/allreduce"), std::string::npos);
+  EXPECT_NE(blocked[0].find("1/2 arrived"), std::string::npos);
+  EXPECT_NE(blocked[1].find("dev1"), std::string::npos);
+  EXPECT_NE(blocked[1].find("clientB/allreduce"), std::string::npos);
+  EXPECT_NE(blocked[1].find("1/2 arrived"), std::string::npos);
+}
+
+TEST(DeadlockProbeTest, ConsistentOrderOnSameDevicesCompletes) {
+  // Control for the test above: the *same* four kernels, but both devices
+  // agree on the order — no deadlock, everything completes.
+  sim::Simulator sim;
+  net::CollectiveModel model;
+  hw::Device d0(&sim, hw::DeviceId(0), hw::IslandId(0), GiB(16), Duration::Zero());
+  hw::Device d1(&sim, hw::DeviceId(1), hw::IslandId(0), GiB(16), Duration::Zero());
+  auto groupA = std::make_shared<hw::CollectiveGroup>(
+      &sim, &model, net::CollectiveKind::kAllReduce, 2, "clientA/allreduce");
+  auto groupB = std::make_shared<hw::CollectiveGroup>(
+      &sim, &model, net::CollectiveKind::kAllReduce, 2, "clientB/allreduce");
+  auto mk = [](std::shared_ptr<hw::CollectiveGroup> g) {
+    hw::KernelDesc k;
+    k.pre_time = Duration::Micros(1);
+    k.collective = std::move(g);
+    k.collective_bytes = KiB(4);
+    return k;
+  };
+  d0.Enqueue(mk(groupA));
+  d0.Enqueue(mk(groupB));
+  d1.Enqueue(mk(groupA));
+  d1.Enqueue(mk(groupB));
+  sim.Run();
+
+  EXPECT_FALSE(sim.Deadlocked());
+  EXPECT_TRUE(sim.BlockedEntities().empty());
+  EXPECT_TRUE(groupA->complete());
+  EXPECT_TRUE(groupB->complete());
+  EXPECT_EQ(d0.kernels_completed(), 2);
+  EXPECT_EQ(d1.kernels_completed(), 2);
+}
+
+// ---- gang scheduling: the same interleaving hazard, prevented ----
+
+TEST(DeadlockProbeTest, GangSchedulerPreventsDeadlockForInterleavedClients) {
+  // Two clients hammer the same 2-device slice with collective programs,
+  // many in flight each, submissions interleaved. The island's gang
+  // scheduler serializes gang emission, so every device sees the same gang
+  // order and all 2x50 programs complete.
+  sim::Simulator sim;
+  hw::SystemParams params;
+  params.host_jitter_frac = 0;
+  auto cluster = std::make_unique<hw::Cluster>(&sim, params, 1, 1, 2);
+  PathwaysRuntime runtime(cluster.get(), pathways::PathwaysOptions{});
+  Client* c1 = runtime.CreateClient();
+  Client* c2 = runtime.CreateClient();
+  auto fn = xlasim::CompiledFunction::Synthetic(
+      "ar", 2, Duration::Micros(10), net::CollectiveKind::kAllReduce, KiB(1));
+  ProgramBuilder pb1("p1"), pb2("p2");
+  pb1.Call(fn, c1->AllocateSlice(2).value(), {});
+  pb2.Call(fn, c2->AllocateSlice(2).value(), {});
+  PathwaysProgram prog1 = std::move(pb1).Build();
+  PathwaysProgram prog2 = std::move(pb2).Build();
+
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    c1->Run(&prog1).Then([&completed](const ExecutionResult&) { ++completed; });
+    c2->Run(&prog2).Then([&completed](const ExecutionResult&) { ++completed; });
+  }
+  sim.Run();
+
+  EXPECT_EQ(completed, 100);
+  EXPECT_FALSE(sim.Deadlocked());
+  EXPECT_TRUE(sim.BlockedEntities().empty());
+  // Both devices executed every gang (one kernel per program per device).
+  EXPECT_EQ(cluster->device(0).kernels_completed(), 100);
+  EXPECT_EQ(cluster->device(1).kernels_completed(), 100);
+}
+
+TEST(DeadlockProbeTest, DeadlockClearsWhenQueueRefills) {
+  // Deadlocked() is a statement about quiescence: a parked device with
+  // events still pending is not (yet) a deadlock.
+  sim::Simulator sim;
+  net::CollectiveModel model;
+  hw::Device d0(&sim, hw::DeviceId(0), hw::IslandId(0), GiB(16), Duration::Zero());
+  auto group = std::make_shared<hw::CollectiveGroup>(
+      &sim, &model, net::CollectiveKind::kAllReduce, 2, "pending/allreduce");
+  hw::KernelDesc k;
+  k.pre_time = Duration::Micros(1);
+  k.collective = group;
+  k.collective_bytes = KiB(1);
+  d0.Enqueue(std::move(k));
+  sim.Run();
+  ASSERT_TRUE(sim.Deadlocked());  // one participant parked, queue empty
+
+  // The missing participant arrives (e.g. a late client): queue refills,
+  // the rendezvous completes, and the deadlock verdict flips back.
+  group->Arrive(KiB(1));
+  EXPECT_FALSE(sim.Deadlocked());  // events pending again
+  sim.Run();
+  EXPECT_FALSE(sim.Deadlocked());
+  EXPECT_TRUE(sim.BlockedEntities().empty());
+  EXPECT_EQ(d0.kernels_completed(), 1);
+}
+
+}  // namespace
+}  // namespace pw

@@ -1,0 +1,353 @@
+// Property/stress tests for the pooled-event Simulator: randomized
+// schedules (seeded pw::Rng) pinning the ordering contract, RunUntil/RunFor
+// boundary semantics, cancellation and handle staleness, periodic timers,
+// and death on scheduling in the past.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace pw::sim {
+namespace {
+
+// ------------------------------------------------- randomized ordering --
+
+// The engine's whole contract in one property: events run in (time, seq)
+// order. A randomized schedule (including duplicates and nested schedules)
+// must replay exactly like a stable sort of (time, insertion index).
+TEST(SimPropertyTest, RandomScheduleRunsInStableTimeOrder) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    Simulator sim;
+    std::vector<std::pair<std::int64_t, int>> expected;  // (time, id)
+    std::vector<int> actual;
+    const int n = 200 + static_cast<int>(rng.NextBounded(300));
+    for (int i = 0; i < n; ++i) {
+      // Small time range forces many FIFO ties.
+      const auto t = static_cast<std::int64_t>(rng.NextBounded(50));
+      expected.emplace_back(t, i);
+      sim.Schedule(Duration::Nanos(t), [&actual, i] { actual.push_back(i); });
+    }
+    sim.Run();
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    ASSERT_EQ(actual.size(), expected.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i], expected[i].second) << "seed " << seed << " pos " << i;
+    }
+  }
+}
+
+// Nested scheduling: events scheduled from callbacks at the current time
+// run after everything already queued for that time (their seq is larger).
+TEST(SimPropertyTest, NestedZeroDelayEventsRunAfterQueuedPeers) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Duration::Nanos(5), [&] {
+    order.push_back(0);
+    sim.Schedule(Duration::Zero(), [&] { order.push_back(2); });
+  });
+  sim.Schedule(Duration::Nanos(5), [&] { order.push_back(1); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// A future event at time t scheduled earlier (smaller seq) runs before
+// events that land at t with larger seq — the heap and the zero-delay
+// now-ring merge by sequence number.
+TEST(SimPropertyTest, HeapAndNowRingMergeBySequence) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Duration::Nanos(10), [&] { order.push_back(1); });
+  sim.Schedule(Duration::Nanos(10), [&] { order.push_back(2); });
+  sim.Schedule(Duration::Nanos(4), [&] {
+    // At t=4: schedule for t=10 — seq after the two events above.
+    sim.Schedule(Duration::Nanos(6), [&] { order.push_back(3); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// Stress: randomized interleaving of upfront and nested scheduling must be
+// bit-identical across runs.
+TEST(SimPropertyTest, StressDeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    Rng rng(seed);
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) {
+      const auto t = static_cast<std::int64_t>(rng.NextBounded(1000));
+      const int fan = 1 + static_cast<int>(rng.NextBounded(3));
+      sim.Schedule(Duration::Nanos(t), [&sim, &order, i, fan] {
+        order.push_back(i);
+        for (int f = 0; f < fan; ++f) {
+          sim.Schedule(Duration::Nanos(f * 17), [&order, i, f] {
+            order.push_back(1000 * (f + 1) + i);
+          });
+        }
+      });
+    }
+    sim.Run();
+    return order;
+  };
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    EXPECT_EQ(run_once(seed), run_once(seed)) << "seed " << seed;
+  }
+}
+
+// -------------------------------------------------- boundary semantics --
+
+TEST(SimPropertyTest, RunUntilExecutesEventsAtExactlyT) {
+  Simulator sim;
+  int ran = 0;
+  sim.Schedule(Duration::Micros(10), [&] { ++ran; });  // exactly t: runs
+  sim.Schedule(Duration::Micros(10) + Duration::Nanos(1), [&] { ++ran; });
+  sim.RunUntil(TimePoint() + Duration::Micros(10));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now().nanos(), Duration::Micros(10).nanos());  // clock lands on t
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimPropertyTest, RunForBoundaryIsInclusiveAndClockAdvances) {
+  Simulator sim;
+  int ran = 0;
+  sim.Schedule(Duration::Micros(3), [&] { ++ran; });
+  const std::int64_t executed = sim.RunFor(Duration::Micros(3));
+  EXPECT_EQ(executed, 1);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now().ToMicros(), 3.0);
+  // Empty window still advances the clock.
+  sim.RunFor(Duration::Micros(7));
+  EXPECT_EQ(sim.now().ToMicros(), 10.0);
+}
+
+TEST(SimPropertyTest, RunUntilThenRunResumesExactly) {
+  Rng rng(7);
+  Simulator sim;
+  std::vector<std::int64_t> fire_times;
+  for (int i = 0; i < 200; ++i) {
+    const auto t = static_cast<std::int64_t>(rng.NextBounded(2000));
+    sim.Schedule(Duration::Nanos(t),
+                 [&fire_times, &sim] { fire_times.push_back(sim.now().nanos()); });
+  }
+  sim.RunUntil(TimePoint() + Duration::Nanos(1000));
+  const std::size_t at_boundary = fire_times.size();
+  for (std::size_t i = 0; i < at_boundary; ++i) EXPECT_LE(fire_times[i], 1000);
+  sim.Run();
+  for (std::size_t i = at_boundary; i < fire_times.size(); ++i) {
+    EXPECT_GT(fire_times[i], 1000);
+  }
+  EXPECT_EQ(fire_times.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
+}
+
+// ------------------------------------------------------- cancellation --
+
+TEST(SimCancelTest, CancelPendingEventPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.Schedule(Duration::Micros(5), [&] { ++fired; });
+  EXPECT_TRUE(sim.IsPending(h));
+  EXPECT_TRUE(sim.Cancel(h));
+  EXPECT_FALSE(sim.IsPending(h));
+  EXPECT_TRUE(sim.empty());
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+  // Second cancel is a stale no-op.
+  EXPECT_FALSE(sim.Cancel(h));
+}
+
+TEST(SimCancelTest, CancelFiredHandleIsStaleNoOp) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.Schedule(Duration::Micros(1), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.IsPending(h));
+  EXPECT_FALSE(sim.Cancel(h));
+}
+
+TEST(SimCancelTest, StaleHandleStaysStaleAfterNodeRecycling) {
+  Simulator sim;
+  int first = 0, second = 0;
+  EventHandle h1 = sim.Schedule(Duration::Micros(1), [&] { ++first; });
+  sim.Run();
+  // The pool recycles h1's node for the next event; h1 must not be able to
+  // cancel the new occupant.
+  EventHandle h2 = sim.Schedule(Duration::Micros(1), [&] { ++second; });
+  EXPECT_FALSE(sim.Cancel(h1));
+  EXPECT_TRUE(sim.IsPending(h2));
+  sim.Run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SimCancelTest, DefaultHandleIsInvalid) {
+  Simulator sim;
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(sim.IsPending(h));
+  EXPECT_FALSE(sim.Cancel(h));
+}
+
+TEST(SimCancelTest, RandomizedCancellationExactlyTheSurvivorsFire) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    Simulator sim;
+    std::vector<int> fired;
+    std::vector<EventHandle> handles;
+    const int n = 300;
+    for (int i = 0; i < n; ++i) {
+      handles.push_back(sim.Schedule(
+          Duration::Nanos(static_cast<std::int64_t>(rng.NextBounded(100))),
+          [&fired, i] { fired.push_back(i); }));
+    }
+    std::vector<bool> cancelled(n, false);
+    for (int i = 0; i < n; ++i) {
+      if (rng.NextBounded(2) == 0) {
+        const auto idx = static_cast<std::size_t>(i);
+        cancelled[idx] = sim.Cancel(handles[idx]);
+        EXPECT_TRUE(cancelled[idx]);
+      }
+    }
+    const std::size_t survivors = static_cast<std::size_t>(
+        std::count(cancelled.begin(), cancelled.end(), false));
+    EXPECT_EQ(sim.pending_events(), survivors);
+    sim.Run();
+    EXPECT_EQ(fired.size(), survivors) << "seed " << seed;
+    for (int id : fired) EXPECT_FALSE(cancelled[static_cast<std::size_t>(id)]);
+  }
+}
+
+TEST(SimCancelTest, CancelReleasesCapturedResourcesEagerly) {
+  // The watchdog pattern: the cancelled callback's captures must die at
+  // Cancel() time, not when simulated time reaches the original timestamp.
+  Simulator sim;
+  auto guarded = std::make_shared<int>(7);
+  EventHandle h =
+      sim.Schedule(Duration::Seconds(10), [guarded] { (void)*guarded; });
+  EXPECT_EQ(guarded.use_count(), 2);
+  EXPECT_TRUE(sim.Cancel(h));
+  EXPECT_EQ(guarded.use_count(), 1);  // released immediately
+  sim.Run();
+  EXPECT_EQ(guarded.use_count(), 1);
+}
+
+TEST(SimCancelTest, PeriodicSelfCancelDefersCallableDestructionSafely) {
+  // A periodic timer cancelling itself from inside its own callback: the
+  // running lambda must survive its own Cancel() call; its captures are
+  // released once the tombstone pops (or at simulator destruction).
+  auto guarded = std::make_shared<int>(0);
+  {
+    Simulator sim;
+    EventHandle h;
+    h = sim.SchedulePeriodic(Duration::Micros(1), [&sim, &h, guarded] {
+      ++*guarded;  // touch captures after Cancel below would have destroyed them
+      sim.Cancel(h);
+      ++*guarded;
+    });
+    sim.RunFor(Duration::Micros(5));
+    EXPECT_EQ(*guarded, 2);  // fired once, both increments ran
+    sim.Run();
+  }
+  EXPECT_EQ(guarded.use_count(), 1);
+}
+
+TEST(SimCancelTest, CancelledEventsDoNotCountAsExecuted) {
+  Simulator sim;
+  EventHandle h = sim.Schedule(Duration::Micros(1), [] {});
+  sim.Schedule(Duration::Micros(2), [] {});
+  sim.Cancel(h);
+  EXPECT_EQ(sim.Run(), 1);
+  EXPECT_EQ(sim.events_executed(), 1);
+}
+
+// ---------------------------------------------------- periodic timers --
+
+TEST(SimTimerTest, PeriodicFiresAtEveryMultipleUntilCancelled) {
+  Simulator sim;
+  std::vector<std::int64_t> fires;
+  EventHandle h = sim.SchedulePeriodic(Duration::Micros(10), [&] {
+    fires.push_back(sim.now().nanos());
+  });
+  sim.RunFor(Duration::Micros(45));
+  EXPECT_EQ(fires, (std::vector<std::int64_t>{10000, 20000, 30000, 40000}));
+  EXPECT_TRUE(sim.IsPending(h));
+  EXPECT_TRUE(sim.Cancel(h));
+  sim.Run();  // terminates: no live events remain
+  EXPECT_EQ(fires.size(), 4u);
+}
+
+TEST(SimTimerTest, PeriodicTimerCanCancelItself) {
+  Simulator sim;
+  int fires = 0;
+  EventHandle h;
+  h = sim.SchedulePeriodic(Duration::Micros(1), [&] {
+    if (++fires == 3) sim.Cancel(h);
+  });
+  sim.RunFor(Duration::Millis(1));
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(sim.IsPending(h));
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimTimerTest, TimerFireInterleavesFifoWithEqualTimeEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  // Timer fires at t=10; an ordinary event also lands at t=10 but is
+  // scheduled after the timer, so the timer (smaller seq) runs first.
+  sim.SchedulePeriodic(Duration::Nanos(10), [&] { order.push_back(1); });
+  sim.Schedule(Duration::Nanos(10), [&] { order.push_back(2); });
+  sim.RunFor(Duration::Nanos(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimTimerTest, ManyTimersStayPeriodicUnderChurn) {
+  Rng rng(42);
+  Simulator sim;
+  std::vector<std::int64_t> counts(8, 0);
+  std::vector<EventHandle> timers;
+  for (int t = 0; t < 8; ++t) {
+    timers.push_back(sim.SchedulePeriodic(
+        Duration::Nanos(100 * (t + 1)),
+        [&counts, t] { ++counts[static_cast<std::size_t>(t)]; }));
+  }
+  // Concurrent one-shot noise.
+  for (int i = 0; i < 500; ++i) {
+    sim.Schedule(Duration::Nanos(static_cast<std::int64_t>(rng.NextBounded(4000))),
+                 [] {});
+  }
+  sim.RunFor(Duration::Nanos(4000));
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(t)], 4000 / (100 * (t + 1)))
+        << "timer " << t;
+  }
+  for (auto& h : timers) EXPECT_TRUE(sim.Cancel(h));
+}
+
+// ------------------------------------------------------------- deaths --
+
+TEST(SimDeathTest, SchedulingInThePastDies) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Simulator sim;
+  sim.Schedule(Duration::Micros(10), [] {});
+  sim.Run();  // now() == 10us
+  EXPECT_DEATH(sim.ScheduleAt(TimePoint() + Duration::Micros(5), [] {}),
+               "cannot schedule in the past");
+}
+
+TEST(SimDeathTest, NonPositivePeriodicPeriodDies) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Simulator sim;
+  EXPECT_DEATH(sim.SchedulePeriodic(Duration::Zero(), [] {}),
+               "period must be > 0");
+}
+
+}  // namespace
+}  // namespace pw::sim
