@@ -330,6 +330,7 @@ int main(int argc, char** argv) {
   double pooled_geomean = 1.0;
   double legacy_geomean = 1.0;
   int workloads = 0;
+  std::vector<std::pair<const char*, double>> per_case_speedups;
   for (const char* workload :
        {"empty", "capture40", "churn", "zerodelay", "mixed"}) {
     double legacy = 0, pooled = 0;
@@ -349,6 +350,7 @@ int main(int argc, char** argv) {
     geomean *= speedup;
     pooled_geomean *= pooled;
     legacy_geomean *= legacy;
+    per_case_speedups.emplace_back(workload, speedup);
     ++workloads;
   }
   geomean = std::pow(geomean, 1.0 / workloads);
@@ -388,6 +390,13 @@ int main(int argc, char** argv) {
                  "FAIL: pooled/legacy geomean speedup %.2fx is below the "
                  "%.2fx acceptance bar\n",
                  geomean, min_speedup);
+    // Per-case ratios make the CI log actionable: a regression localized to
+    // one workload (e.g. only `zerodelay`) points at a specific engine path
+    // rather than generic machine noise.
+    for (const auto& [workload, speedup] : per_case_speedups) {
+      std::fprintf(stderr, "  %-12s %5.2fx%s\n", workload, speedup,
+                   speedup < min_speedup ? "  <-- below bar" : "");
+    }
     return 1;
   }
   return 0;

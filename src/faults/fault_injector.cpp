@@ -1,0 +1,143 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pw::faults {
+
+FaultInjector::FaultInjector(hw::Cluster* cluster,
+                             pathways::PathwaysRuntime* runtime,
+                             FaultPlan plan)
+    : cluster_(cluster), runtime_(runtime), plan_(std::move(plan)) {
+  PW_CHECK(cluster != nullptr);
+  if (runtime_ != nullptr) {
+    // Recovery-latency probe: the first successful completion after one or
+    // more crashes closes the books on all of them. Pure bookkeeping — the
+    // observer schedules no simulator events, so registering it never
+    // perturbs a fault-free run.
+    observer_token_ = runtime_->AddExecutionObserver(
+        [this](pathways::ExecutionId, bool success) {
+          if (!success || pending_recovery_.empty()) return;
+          const TimePoint now = cluster_->simulator().now();
+          for (const TimePoint failed_at : pending_recovery_) {
+            stats_.recovery_latency_us.Add((now - failed_at).ToMicros());
+          }
+          pending_recovery_.clear();
+        });
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  // The observer captures `this`; drop it so an injector with a shorter
+  // lifetime than its runtime leaves no dangling callback behind.
+  if (runtime_ != nullptr && observer_token_ >= 0) {
+    runtime_->RemoveExecutionObserver(observer_token_);
+  }
+}
+
+void FaultInjector::Arm() {
+  PW_CHECK(!armed_) << "FaultInjector::Arm called twice";
+  armed_ = true;
+  plan_.Validate(ClusterShape{cluster_->num_devices(), cluster_->num_hosts()});
+  sim::Simulator& sim = cluster_->simulator();
+  for (const FaultEvent& e : plan_.Sorted()) {
+    sim.ScheduleAt(e.at, [this, e] { Apply(e); });
+    if (e.recovers()) {
+      sim.ScheduleAt(e.recovery_at(), [this, e] { Revert(e); });
+    }
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kDeviceCrash: {
+      constexpr TimePoint kForever = TimePoint::FromNanos(INT64_MAX);
+      const TimePoint until = e.recovers() ? e.recovery_at() : kForever;
+      hw::Device& dev = cluster_->device(e.device);
+      if (dev.failed()) {
+        // Overlapping crash windows merge: stay down until the last one.
+        TimePoint& horizon = down_until_[e.device];
+        horizon = std::max(horizon, until);
+        break;
+      }
+      down_until_[e.device] = until;
+      dev.Fail();
+      ++stats_.device_failures;
+      down_since_[e.device] = cluster_->simulator().now();
+      pending_recovery_.push_back(cluster_->simulator().now());
+      if (runtime_ != nullptr) {
+        // Order matters: remap first so retries triggered by the aborts
+        // below re-lower against the spare mapping.
+        (void)runtime_->resource_manager().MarkDeviceFailed(e.device);
+        stats_.executions_aborted +=
+            runtime_->AbortExecutionsUsing(e.device);
+      }
+      break;
+    }
+    case FaultKind::kStraggler: {
+      // Overlapping windows merge: last applied severity wins, the effect
+      // outlasts the union of windows.
+      TimePoint& horizon = straggler_until_[e.device];
+      horizon = std::max(horizon, e.recovery_at());
+      cluster_->device(e.device).set_compute_multiplier(e.severity);
+      ++stats_.straggler_windows;
+      break;
+    }
+    case FaultKind::kLinkDegrade: {
+      TimePoint& horizon = degrade_until_[e.host];
+      horizon = std::max(horizon, e.recovery_at());
+      cluster_->dcn().SetNicBandwidthScale(e.host, e.severity);
+      ++stats_.link_degrades;
+      break;
+    }
+    case FaultKind::kPartition: {
+      TimePoint& horizon = partition_until_[e.host];
+      horizon = std::max(horizon, e.recovery_at());
+      cluster_->dcn().SetPartitioned(e.host, true);
+      ++stats_.partitions;
+      break;
+    }
+  }
+}
+
+void FaultInjector::Revert(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kDeviceCrash: {
+      hw::Device& dev = cluster_->device(e.device);
+      if (!dev.failed()) break;  // already recovered by an earlier window
+      // A later overlapping window extended the outage: this revert is not
+      // the last word, let the later window's revert do the recovery.
+      if (cluster_->simulator().now() < down_until_[e.device]) break;
+      dev.Recover();
+      ++stats_.device_recoveries;
+      auto it = down_since_.find(e.device);
+      if (it != down_since_.end()) {
+        stats_.device_downtime_us.Add(
+            (cluster_->simulator().now() - it->second).ToMicros());
+        down_since_.erase(it);
+      }
+      if (runtime_ != nullptr) {
+        (void)runtime_->resource_manager().MarkDeviceRecovered(e.device);
+      }
+      break;
+    }
+    case FaultKind::kStraggler:
+      // A later overlapping window extended the effect: not the last word.
+      if (cluster_->simulator().now() < straggler_until_[e.device]) break;
+      cluster_->device(e.device).set_compute_multiplier(1.0);
+      break;
+    case FaultKind::kLinkDegrade:
+      if (cluster_->simulator().now() < degrade_until_[e.host]) break;
+      cluster_->dcn().SetNicBandwidthScale(e.host, 1.0);
+      break;
+    case FaultKind::kPartition:
+      if (cluster_->simulator().now() < partition_until_[e.host]) break;
+      cluster_->dcn().SetPartitioned(e.host, false);
+      break;
+  }
+}
+
+}  // namespace pw::faults

@@ -1,0 +1,115 @@
+// FaultInjector: arms a FaultPlan against a cluster (and optionally a
+// Pathways runtime), turning declarative fault events into simulator events.
+//
+// What each fault does once armed:
+//   * kDeviceCrash — hw::Device::Fail() (fail-stop: stream discarded), the
+//     resource manager marks the device failed and remaps virtual devices
+//     to island spares, and every in-flight ProgramExecution placed on the
+//     device is aborted (its gangs are dropped, parked collective peers are
+//     released, clients see failed=true and can retry). Recovery reverses
+//     the device and resource-manager state; remapped virtual devices stay
+//     on their spares.
+//   * kStraggler — Device::set_compute_multiplier(severity) for the window.
+//   * kLinkDegrade — DcnFabric::SetNicBandwidthScale(host, severity).
+//   * kPartition — DcnFabric::SetPartitioned(host): messages touching the
+//     host are held and replayed at heal time.
+//
+// Determinism contract: an injector armed with an *empty* plan schedules no
+// events and perturbs nothing — the run is bit-identical to one without an
+// injector (regression-gated by sim_determinism_test). A non-empty plan is
+// itself deterministic: same plan, same scenario => same event trace.
+//
+// Typical use:
+//
+//   faults::FaultPlan plan;
+//   plan.CrashDevice(hw::DeviceId(3), TimePoint() + Duration::Millis(2),
+//                    /*down_for=*/Duration::Millis(5));
+//   faults::FaultInjector injector(cluster.get(), &runtime, plan);
+//   injector.Arm();
+//   ... run the workload with Client::RunWithRetry ...
+//   injector.stats().recovery_latency_us.mean();
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "faults/fault_plan.h"
+#include "hw/cluster.h"
+#include "pathways/runtime.h"
+
+namespace pw::faults {
+
+// Counters exported by the injector (common::stats accumulators for the
+// latency-style metrics). recovery_latency_us samples, per device crash,
+// the time from the crash to the next *successful* execution completion —
+// the end-to-end "system is doing useful work again" latency including
+// abort, remap, client backoff, and resubmission.
+struct FaultStats {
+  std::int64_t device_failures = 0;
+  std::int64_t device_recoveries = 0;
+  std::int64_t straggler_windows = 0;
+  std::int64_t link_degrades = 0;
+  std::int64_t partitions = 0;
+  // Executions aborted by crash events this injector fired.
+  std::int64_t executions_aborted = 0;
+  RunningStat recovery_latency_us;
+  RunningStat device_downtime_us;
+};
+
+class FaultInjector {
+ public:
+  // `runtime` may be null for hardware-only experiments: crashes then skip
+  // the resource-manager/abort steps and only drive the device state
+  // machine. The plan is validated against the cluster shape on Arm().
+  FaultInjector(hw::Cluster* cluster, pathways::PathwaysRuntime* runtime,
+                FaultPlan plan);
+  // Unregisters the recovery-latency observer; the injector must therefore
+  // not outlive the runtime it was given.
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules every plan event (sorted by injection time). Call once,
+  // before running the simulator past the earliest event. An empty plan
+  // schedules nothing.
+  void Arm();
+  bool armed() const { return armed_; }
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  bool device_up(hw::DeviceId dev) const {
+    return !cluster_->device(dev).failed();
+  }
+
+ private:
+  void Apply(const FaultEvent& e);
+  void Revert(const FaultEvent& e);
+
+  hw::Cluster* cluster_;
+  pathways::PathwaysRuntime* runtime_;  // may be null
+  FaultPlan plan_;
+  FaultStats stats_;
+  bool armed_ = false;
+  std::int64_t observer_token_ = -1;
+  // Crash times awaiting the next successful completion (recovery latency),
+  // and per-device down-since times (downtime).
+  std::vector<TimePoint> pending_recovery_;
+  std::map<hw::DeviceId, TimePoint> down_since_;
+  // Latest horizon per faulted target: overlapping windows of the same
+  // kind on the same target merge — the effect reverts only once the union
+  // of windows has passed (for overlapping stragglers/degrades the last
+  // applied severity wins until then), and a permanent crash
+  // (TimePoint::FromNanos(INT64_MAX)) is never revived by a later
+  // recovering window.
+  std::map<hw::DeviceId, TimePoint> down_until_;
+  std::map<hw::DeviceId, TimePoint> straggler_until_;
+  std::map<net::HostId, TimePoint> degrade_until_;
+  std::map<net::HostId, TimePoint> partition_until_;
+};
+
+}  // namespace pw::faults

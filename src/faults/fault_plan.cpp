@@ -1,0 +1,189 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace pw::faults {
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDeviceCrash: return "device-crash";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kLinkDegrade: return "link-degrade";
+    case FaultKind::kPartition: return "partition";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::ToString() const {
+  std::ostringstream out;
+  out << faults::ToString(kind) << " @" << at.ToMicros() << "us";
+  switch (kind) {
+    case FaultKind::kDeviceCrash:
+    case FaultKind::kStraggler:
+      out << " dev" << device.value();
+      break;
+    case FaultKind::kLinkDegrade:
+    case FaultKind::kPartition:
+      out << " host" << host.value();
+      break;
+  }
+  if (kind == FaultKind::kStraggler || kind == FaultKind::kLinkDegrade) {
+    out << " x" << severity;
+  }
+  if (recovers()) {
+    out << " for " << duration.ToMicros() << "us";
+  } else if (kind == FaultKind::kDeviceCrash) {
+    out << " (permanent)";
+  }
+  return out.str();
+}
+
+FaultPlan& FaultPlan::CrashDevice(hw::DeviceId dev, TimePoint at,
+                                  Duration down_for) {
+  FaultEvent e;
+  e.kind = FaultKind::kDeviceCrash;
+  e.at = at;
+  e.duration = down_for;
+  e.device = dev;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::SlowDevice(hw::DeviceId dev, TimePoint at,
+                                 Duration window, double multiplier) {
+  PW_CHECK_GT(multiplier, 0.0);
+  PW_CHECK_GT(window.nanos(), 0) << "straggler windows must end";
+  FaultEvent e;
+  e.kind = FaultKind::kStraggler;
+  e.at = at;
+  e.duration = window;
+  e.device = dev;
+  e.severity = multiplier;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::DegradeHostLink(net::HostId host, TimePoint at,
+                                      Duration window, double bandwidth_scale) {
+  PW_CHECK_GT(bandwidth_scale, 0.0);
+  PW_CHECK_GT(window.nanos(), 0) << "degradation windows must end";
+  FaultEvent e;
+  e.kind = FaultKind::kLinkDegrade;
+  e.at = at;
+  e.duration = window;
+  e.host = host;
+  e.severity = bandwidth_scale;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::PartitionHost(net::HostId host, TimePoint at,
+                                    Duration window) {
+  PW_CHECK_GT(window.nanos(), 0) << "partitions must heal (held messages "
+                                    "would otherwise never deliver)";
+  FaultEvent e;
+  e.kind = FaultKind::kPartition;
+  e.at = at;
+  e.duration = window;
+  e.host = host;
+  events_.push_back(e);
+  return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::Sorted() const {
+  std::vector<FaultEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return sorted;
+}
+
+FaultPlan FaultPlan::Random(std::uint64_t seed, const ClusterShape& shape,
+                            const RandomSpec& spec) {
+  PW_CHECK_GT(shape.num_devices, 0);
+  PW_CHECK_GT(shape.num_hosts, 0);
+  PW_CHECK_GT(spec.horizon.nanos(), 0);
+  PW_CHECK_GE(spec.max_window.nanos(), spec.min_window.nanos());
+  Rng rng(seed);
+  FaultPlan plan;
+  auto draw_time = [&] {
+    return TimePoint() + Duration::Nanos(static_cast<std::int64_t>(
+                             rng.NextBounded(static_cast<std::uint64_t>(
+                                 spec.horizon.nanos()))));
+  };
+  auto draw_window = [&] {
+    const std::int64_t span = spec.max_window.nanos() - spec.min_window.nanos();
+    const std::int64_t extra =
+        span == 0 ? 0
+                  : static_cast<std::int64_t>(rng.NextBounded(
+                        static_cast<std::uint64_t>(span + 1)));
+    return Duration::Nanos(spec.min_window.nanos() + extra);
+  };
+  auto draw_device = [&] {
+    return hw::DeviceId(static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(shape.num_devices))));
+  };
+  auto draw_host = [&] {
+    return net::HostId(static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(shape.num_hosts))));
+  };
+  // Each draw lands in a named local before the builder call: sibling
+  // function arguments have unspecified evaluation order in C++, and the
+  // cross-platform "same seed, same plan" contract requires a fixed Rng
+  // consumption order.
+  for (int i = 0; i < spec.device_crashes; ++i) {
+    const bool permanent = !spec.always_recover && rng.NextBounded(4) == 0;
+    const hw::DeviceId dev = draw_device();
+    const TimePoint at = draw_time();
+    const Duration window = permanent ? Duration::Zero() : draw_window();
+    plan.CrashDevice(dev, at, window);
+  }
+  for (int i = 0; i < spec.stragglers; ++i) {
+    const double mult =
+        rng.NextDouble(1.0 + 1e-3, spec.max_straggler_multiplier);
+    const hw::DeviceId dev = draw_device();
+    const TimePoint at = draw_time();
+    const Duration window = draw_window();
+    plan.SlowDevice(dev, at, window, mult);
+  }
+  for (int i = 0; i < spec.link_degrades; ++i) {
+    const double scale = rng.NextDouble(spec.min_bandwidth_scale, 1.0);
+    const net::HostId host = draw_host();
+    const TimePoint at = draw_time();
+    const Duration window = draw_window();
+    plan.DegradeHostLink(host, at, window, scale);
+  }
+  for (int i = 0; i < spec.partitions; ++i) {
+    const net::HostId host = draw_host();
+    const TimePoint at = draw_time();
+    const Duration window = draw_window();
+    plan.PartitionHost(host, at, window);
+  }
+  return plan;
+}
+
+void FaultPlan::Validate(const ClusterShape& shape) const {
+  for (const FaultEvent& e : events_) {
+    PW_CHECK_GE(e.at.nanos(), 0) << "fault scheduled before t=0";
+    switch (e.kind) {
+      case FaultKind::kDeviceCrash:
+      case FaultKind::kStraggler:
+        PW_CHECK(e.device.valid() && e.device.value() < shape.num_devices)
+            << "fault targets unknown device " << e.device;
+        break;
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kPartition:
+        PW_CHECK(e.host.valid() && e.host.value() < shape.num_hosts)
+            << "fault targets unknown host " << e.host;
+        break;
+    }
+    PW_CHECK_GT(e.severity, 0.0);
+  }
+}
+
+}  // namespace pw::faults

@@ -1,0 +1,102 @@
+// Declarative, deterministic fault schedules.
+//
+// A FaultPlan is an ordered list of fault events — device crashes (with
+// optional recovery), straggler windows, NIC bandwidth degradation, and
+// DCN partition windows — with simulated-time injection points. Plans are
+// plain data: building one schedules nothing. A FaultInjector arms a plan
+// against a cluster/runtime, turning each event into ordinary simulator
+// events, so a faulted run is exactly as bit-reproducible as a fault-free
+// one (see docs/FAULTS.md for the determinism contract).
+//
+// Random(seed, shape, spec) generates a seeded plan from the repo's own
+// deterministic Rng: the same (seed, shape, spec) triple always yields the
+// same plan on every platform, which is what the property/fuzz test layer
+// and the fault sweep bench key on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "hw/device.h"
+#include "net/dcn.h"
+
+namespace pw::faults {
+
+enum class FaultKind {
+  kDeviceCrash,   // fail-stop crash, optional recovery after `duration`
+  kStraggler,     // compute multiplier `severity` (> 1 = slower) for `duration`
+  kLinkDegrade,   // NIC bandwidth scaled by `severity` (< 1) for `duration`
+  kPartition,     // host cut off the DCN for `duration`
+};
+
+const char* ToString(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDeviceCrash;
+  TimePoint at;                   // injection time
+  Duration duration = Duration::Zero();  // window; Zero = no recovery event
+  hw::DeviceId device;            // kDeviceCrash / kStraggler target
+  net::HostId host;               // kLinkDegrade / kPartition target
+  double severity = 1.0;          // multiplier (straggler) or scale (link)
+
+  bool recovers() const { return duration > Duration::Zero(); }
+  TimePoint recovery_at() const { return at + duration; }
+  std::string ToString() const;
+};
+
+// Shape of the target cluster, used by Random() so plans can be generated
+// without holding a cluster (sweep points build their clusters later).
+struct ClusterShape {
+  int num_devices = 0;
+  int num_hosts = 0;
+};
+
+class FaultPlan {
+ public:
+  // --- Builder interface (fluent, in any time order; Arm() sorts) ---
+  FaultPlan& CrashDevice(hw::DeviceId dev, TimePoint at,
+                         Duration down_for = Duration::Zero());
+  FaultPlan& SlowDevice(hw::DeviceId dev, TimePoint at, Duration window,
+                        double multiplier);
+  FaultPlan& DegradeHostLink(net::HostId host, TimePoint at, Duration window,
+                             double bandwidth_scale);
+  FaultPlan& PartitionHost(net::HostId host, TimePoint at, Duration window);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  // Events sorted by (at, insertion order) — the order Arm() schedules them.
+  std::vector<FaultEvent> Sorted() const;
+
+  // --- Seeded random plans (property tests, fault sweeps) ---
+  struct RandomSpec {
+    int device_crashes = 2;
+    int stragglers = 2;
+    int link_degrades = 1;
+    int partitions = 0;
+    // Injection times are uniform in [0, horizon); windows uniform in
+    // [min_window, max_window].
+    Duration horizon = Duration::Millis(10);
+    Duration min_window = Duration::Micros(200);
+    Duration max_window = Duration::Millis(2);
+    double max_straggler_multiplier = 4.0;  // drawn from (1, max]
+    double min_bandwidth_scale = 0.25;      // drawn from [min, 1)
+    // If true every crash recovers (duration > 0); otherwise ~1 in 4 crashes
+    // is permanent.
+    bool always_recover = true;
+  };
+  static FaultPlan Random(std::uint64_t seed, const ClusterShape& shape,
+                          const RandomSpec& spec);
+
+  // Die-on-invalid sanity check against a concrete shape (targets in range,
+  // sane severities). Arm() calls this.
+  void Validate(const ClusterShape& shape) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace pw::faults

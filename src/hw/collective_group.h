@@ -36,8 +36,10 @@ class CollectiveGroup {
 
   // A participant reached the collective with `bytes` payload per shard.
   // The returned future completes when the collective completes (same
-  // simulated instant for all participants).
+  // simulated instant for all participants). Arriving at an aborted group
+  // completes immediately: the collective errored out, the device moves on.
   sim::SimFuture<sim::Unit> Arrive(Bytes bytes) {
+    if (aborted_) return ReadyFuture(sim_, sim::Unit{});
     PW_CHECK_LT(arrived_, expected_) << label_ << ": too many arrivals";
     bytes_ = std::max(bytes_, bytes);
     ++arrived_;
@@ -59,14 +61,31 @@ class CollectiveGroup {
     return fut;
   }
 
+  // Aborts the rendezvous (a participant's device failed and will never
+  // arrive): every parked participant is released now, and participants that
+  // arrive later complete immediately. Models a collective erroring out so
+  // that non-preemptible devices do not hang forever on a dead peer.
+  void Abort() {
+    if (aborted_ || complete_) return;
+    aborted_ = true;
+    if (waiting_.empty()) return;
+    auto waiters = std::make_shared<std::vector<sim::SimPromise<sim::Unit>>>(
+        std::move(waiting_));
+    waiting_.clear();
+    sim_->Schedule(Duration::Zero(), [waiters] {
+      for (auto& w : *waiters) w.Set(sim::Unit{});
+    });
+  }
+
   bool complete() const { return complete_; }
+  bool aborted() const { return aborted_; }
   int arrived() const { return arrived_; }
   int expected() const { return expected_; }
   const std::string& label() const { return label_; }
 
   // Deadlock-probe helper: participants are stuck here if some but not all
   // arrived and the rendezvous can no longer make progress.
-  bool stalled() const { return !complete_ && arrived_ > 0; }
+  bool stalled() const { return !complete_ && !aborted_ && arrived_ > 0; }
 
  private:
   sim::Simulator* sim_;
@@ -77,6 +96,7 @@ class CollectiveGroup {
   int arrived_ = 0;
   Bytes bytes_ = 0;
   bool complete_ = false;
+  bool aborted_ = false;
   TimePoint completion_time_;
   std::vector<sim::SimPromise<sim::Unit>> waiting_;
 };

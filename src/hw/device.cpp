@@ -17,15 +17,59 @@ Device::Device(sim::Simulator* sim, DeviceId id, IslandId island,
 }
 
 sim::SimFuture<sim::Unit> Device::Enqueue(KernelDesc desc) {
+  if (failed()) {
+    // Fail-stop: the kernel vanishes without running. Completion fires so
+    // host-side bookkeeping (scratch frees, in-order stream accounting)
+    // unwinds; the owning execution was aborted when the device went down,
+    // so the completion carries no semantic weight.
+    ++dropped_;
+    return sim::ReadyFuture(sim_, sim::Unit{});
+  }
   queue_.push_back(QueuedKernel{std::move(desc), sim::SimPromise<sim::Unit>(sim_)});
   auto fut = queue_.back().done.future();
   // Start attempt runs as an event so Enqueue is safe to call from anywhere.
-  sim_->Schedule(Duration::Zero(), [this] { MaybeStart(); });
+  const std::uint64_t ep = epoch_;
+  sim_->Schedule(Duration::Zero(), [this, ep] {
+    if (ep != epoch_) return;
+    MaybeStart();
+  });
   return fut;
 }
 
+void Device::Fail() {
+  if (failed()) return;
+  health_ = DeviceHealth::kFailed;
+  ++failures_;
+  ++epoch_;  // kill every timing event scheduled for the old stream
+  executing_ = false;
+  waiting_inputs_ = false;
+  at_rendezvous_ = false;
+  // Discard the stream. Completion futures fire (as zero-delay events) so
+  // executor continuations run their cleanup; the executions owning these
+  // kernels are aborted by the layers above.
+  std::deque<QueuedKernel> doomed = std::move(queue_);
+  queue_.clear();
+  for (QueuedKernel& k : doomed) {
+    ++dropped_;
+    k.done.Set(sim::Unit{});
+  }
+}
+
+void Device::Recover() {
+  if (!failed()) return;
+  health_ = DeviceHealth::kHealthy;
+  // The stream is empty after Fail(); nothing to restart. MaybeStart() keeps
+  // the invariant obvious if that ever changes.
+  MaybeStart();
+}
+
+void Device::set_compute_multiplier(double m) {
+  PW_CHECK_GT(m, 0.0) << "compute multiplier must be positive";
+  compute_multiplier_ = m;
+}
+
 void Device::MaybeStart() {
-  if (executing_ || waiting_inputs_ || queue_.empty()) return;
+  if (executing_ || waiting_inputs_ || failed() || queue_.empty()) return;
   QueuedKernel& head = queue_.front();
   // Gate on inputs (DMA completions). Futures are one-shot, so re-checking
   // after WhenAll fires is cheap and exact.
@@ -35,7 +79,9 @@ void Device::MaybeStart() {
   }
   if (!pending.empty()) {
     waiting_inputs_ = true;
-    sim::WhenAll(sim_, pending).Then([this](const sim::Unit&) {
+    const std::uint64_t ep = epoch_;
+    sim::WhenAll(sim_, pending).Then([this, ep](const sim::Unit&) {
+      if (ep != epoch_) return;
       waiting_inputs_ = false;
       MaybeStart();
     });
@@ -47,22 +93,31 @@ void Device::MaybeStart() {
 void Device::RunHead() {
   executing_ = true;
   const TimePoint started = sim_->now();
+  const std::uint64_t ep = epoch_;
   QueuedKernel& head = queue_.front();
-  const Duration pre = launch_overhead_ + head.desc.pre_time;
+  const Duration pre = launch_overhead_ + ScaleCompute(head.desc.pre_time);
   if (head.desc.collective != nullptr) {
     auto group = head.desc.collective;
     const Bytes bytes = head.desc.collective_bytes;
-    sim_->Schedule(pre, [this, group, bytes, started] {
+    sim_->Schedule(pre, [this, ep, group, bytes, started] {
+      if (ep != epoch_) return;
       at_rendezvous_ = true;
-      group->Arrive(bytes).Then([this, started](const sim::Unit&) {
+      group->Arrive(bytes).Then([this, ep, started](const sim::Unit&) {
+        if (ep != epoch_) return;
         at_rendezvous_ = false;
-        const Duration post = queue_.front().desc.post_time;
-        sim_->Schedule(post, [this, started] { FinishHead(started); });
+        const Duration post = ScaleCompute(queue_.front().desc.post_time);
+        sim_->Schedule(post, [this, ep, started] {
+          if (ep != epoch_) return;
+          FinishHead(started);
+        });
       });
     });
   } else {
-    sim_->Schedule(pre + head.desc.post_time,
-                   [this, started] { FinishHead(started); });
+    sim_->Schedule(pre + ScaleCompute(head.desc.post_time),
+                   [this, ep, started] {
+                     if (ep != epoch_) return;
+                     FinishHead(started);
+                   });
   }
 }
 

@@ -11,6 +11,17 @@
 // input buffers); once started the device is committed. Devices register a
 // blocked-probe with the simulator so that quiescence with a parked device
 // is reported as a deadlock — the failure mode gang-scheduling prevents.
+//
+// Availability state machine (fault injection, see docs/FAULTS.md):
+// a device is kHealthy or kFailed. Fail() is fail-stop: the in-flight
+// kernel is abandoned, queued kernels are discarded (their completion
+// futures fire so host-side cleanup unwinds), and kernels enqueued while
+// failed complete immediately without running — the layers above are
+// responsible for having aborted the executions that owned them. Recover()
+// returns the device to service with an empty stream. A per-device compute
+// multiplier (straggler injection) scales kernel pre/post compute time;
+// at exactly 1.0 the timing math is bypassed so fault-free runs stay
+// bit-identical to builds without the fault subsystem.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +61,8 @@ struct KernelDesc {
   std::vector<sim::SimFuture<sim::Unit>> inputs;  // must complete to start
 };
 
+enum class DeviceHealth { kHealthy, kFailed };
+
 class Device {
  public:
   Device(sim::Simulator* sim, DeviceId id, IslandId island, Bytes hbm_capacity,
@@ -65,10 +78,30 @@ class Device {
 
   // Enqueues a kernel on the device stream; returns its completion future.
   // Order of Enqueue calls is the execution order (TPU stream semantics).
+  // On a failed device the future fires immediately and the kernel never
+  // runs (no compute, no trace span); callers that care must check health
+  // before enqueueing.
   sim::SimFuture<sim::Unit> Enqueue(KernelDesc desc);
+
+  // --- Availability state machine ---
+  // Fail-stop crash: abandons the in-flight kernel, discards the queue
+  // (firing each discarded kernel's completion future so executor cleanup
+  // runs), and rejects future work until Recover(). Idempotent.
+  void Fail();
+  // Returns a failed device to service with an empty stream. Idempotent.
+  void Recover();
+  DeviceHealth health() const { return health_; }
+  bool failed() const { return health_ == DeviceHealth::kFailed; }
+
+  // Straggler knob: scales kernel pre/post compute time (> 0; 1.0 = nominal,
+  // 2.0 = twice as slow). Exactly 1.0 bypasses the scaling arithmetic.
+  void set_compute_multiplier(double m);
+  double compute_multiplier() const { return compute_multiplier_; }
 
   // Observability.
   std::int64_t kernels_completed() const { return completed_; }
+  std::int64_t kernels_dropped() const { return dropped_; }
+  std::int64_t failures() const { return failures_; }
   std::size_t queue_depth() const { return queue_.size(); }
   Duration busy_time() const { return busy_accum_; }
   bool executing() const { return executing_; }
@@ -88,6 +121,9 @@ class Device {
   void MaybeStart();
   void RunHead();
   void FinishHead(TimePoint started);
+  Duration ScaleCompute(Duration d) const {
+    return compute_multiplier_ == 1.0 ? d : d * compute_multiplier_;
+  }
 
   sim::Simulator* sim_;
   DeviceId id_;
@@ -100,7 +136,15 @@ class Device {
   bool executing_ = false;        // head kernel occupies the core
   bool waiting_inputs_ = false;   // head kernel gated on input futures
   bool at_rendezvous_ = false;    // head kernel parked at a collective
+  DeviceHealth health_ = DeviceHealth::kHealthy;
+  // Bumped by Fail(): timing events scheduled before the crash carry the
+  // epoch they were scheduled in and no-op if it moved (the kernel they
+  // belonged to is gone).
+  std::uint64_t epoch_ = 0;
+  double compute_multiplier_ = 1.0;
   std::int64_t completed_ = 0;
+  std::int64_t dropped_ = 0;      // kernels discarded by Fail()/while failed
+  std::int64_t failures_ = 0;
   Duration busy_accum_;
 };
 

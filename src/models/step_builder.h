@@ -86,7 +86,9 @@ class StepBuilder {
                              const net::CollectiveModel& collectives) const;
 
   TransformerConfig config_;
-  const hw::SystemParams& hw_;
+  // By value: callers routinely pass temporaries (SystemParams::TpuDefault())
+  // and the builder outlives the constructor call.
+  hw::SystemParams hw_;
   StepBuilderParams params_;
 };
 

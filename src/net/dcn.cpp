@@ -15,14 +15,27 @@ TimePoint DcnFabric::Send(HostId src, HostId dst, Bytes bytes,
                           std::function<void()> on_delivered) {
   PW_CHECK(nics_.contains(src)) << "unknown src host " << src;
   PW_CHECK(nics_.contains(dst)) << "unknown dst host " << dst;
-  ++messages_;
-  bytes_ += bytes;
   if (src == dst) {
-    // Loopback: no NIC serialization, small fixed cost.
+    // Loopback: no NIC serialization, small fixed cost. Never held by a
+    // partition — a partition cuts the fabric, and loopback traffic does
+    // not touch the fabric.
+    ++messages_;
+    bytes_ += bytes;
     const TimePoint at = sim_->now() + Duration::Micros(1);
     sim_->ScheduleAt(at, std::move(on_delivered));
     return at;
   }
+  if (!partitioned_.empty()) {
+    auto hold = partitioned_.find(src);
+    if (hold == partitioned_.end()) hold = partitioned_.find(dst);
+    if (hold != partitioned_.end()) {
+      hold->second.push_back(
+          HeldMessage{src, dst, bytes, std::move(on_delivered)});
+      return sim_->now();  // lower bound; actual delivery awaits the heal
+    }
+  }
+  ++messages_;
+  bytes_ += bytes;
   return nics_[src]->Transfer(bytes + params_.per_message_header,
                               std::move(on_delivered));
 }
@@ -31,6 +44,41 @@ sim::SimFuture<sim::Unit> DcnFabric::SendAsync(HostId src, HostId dst, Bytes byt
   sim::SimPromise<sim::Unit> p(sim_);
   Send(src, dst, bytes, [p]() mutable { p.Set(sim::Unit{}); });
   return p.future();
+}
+
+void DcnFabric::SetNicBandwidthScale(HostId host, double scale) {
+  PW_CHECK(nics_.contains(host)) << "unknown host " << host;
+  nics_[host]->set_bandwidth_scale(scale);
+}
+
+double DcnFabric::nic_bandwidth_scale(HostId host) const {
+  auto it = nics_.find(host);
+  PW_CHECK(it != nics_.end()) << "unknown host " << host;
+  return it->second->bandwidth_scale();
+}
+
+void DcnFabric::SetPartitioned(HostId host, bool partitioned) {
+  PW_CHECK(nics_.contains(host)) << "unknown host " << host;
+  if (partitioned) {
+    partitioned_.try_emplace(host);  // keeps an existing hold queue
+    return;
+  }
+  auto it = partitioned_.find(host);
+  if (it == partitioned_.end()) return;
+  // Heal: replay held messages in original order. Send() re-checks the
+  // other endpoint, so a message whose peer is still partitioned simply
+  // moves to that peer's hold queue.
+  std::vector<HeldMessage> held = std::move(it->second);
+  partitioned_.erase(it);
+  for (HeldMessage& m : held) {
+    Send(m.src, m.dst, m.bytes, std::move(m.on_delivered));
+  }
+}
+
+std::size_t DcnFabric::messages_held() const {
+  std::size_t n = 0;
+  for (const auto& [host, queue] : partitioned_) n += queue.size();
+  return n;
 }
 
 void DcnBatcher::Send(HostId dst, Bytes bytes, std::function<void()> on_delivered) {

@@ -45,20 +45,47 @@ class DcnFabric {
   bool HasHost(HostId host) const { return nics_.contains(host); }
 
   // Sends `bytes` from src to dst; on_delivered runs at arrival. Local
-  // (src == dst) messages are delivered after a loopback cost only.
+  // (src == dst) messages are delivered after a loopback cost only. If
+  // either endpoint is partitioned the message is held (FIFO, per
+  // partitioned host) and re-submitted when that host heals; the returned
+  // TimePoint is then only a lower bound on delivery.
   TimePoint Send(HostId src, HostId dst, Bytes bytes,
                  std::function<void()> on_delivered);
 
   sim::SimFuture<sim::Unit> SendAsync(HostId src, HostId dst, Bytes bytes);
+
+  // --- Fault-injection knobs (see docs/FAULTS.md) ---
+  // Scales one host's NIC egress bandwidth (congestion injection). 1.0
+  // restores nominal; the scale applies to transfers started after the call.
+  void SetNicBandwidthScale(HostId host, double scale);
+  double nic_bandwidth_scale(HostId host) const;
+  // Partitions a host off the fabric: messages from or to it are held and
+  // replayed (in original send order) when the partition heals. Messages
+  // already serialized onto the wire still deliver — a partition cuts the
+  // fabric, it does not un-send packets.
+  void SetPartitioned(HostId host, bool partitioned);
+  bool partitioned(HostId host) const { return partitioned_.contains(host); }
+  std::size_t messages_held() const;
 
   const DcnParams& params() const { return params_; }
   std::int64_t messages_sent() const { return messages_; }
   Bytes bytes_sent() const { return bytes_; }
 
  private:
+  struct HeldMessage {
+    HostId src;
+    HostId dst;
+    Bytes bytes;
+    std::function<void()> on_delivered;
+  };
+
   sim::Simulator* sim_;
   DcnParams params_;
   std::map<HostId, std::unique_ptr<Link>> nics_;
+  // Hosts currently cut off, each with the FIFO of messages waiting on its
+  // heal. A message blocked on both endpoints waits on the src's queue and
+  // re-checks the dst when replayed.
+  std::map<HostId, std::vector<HeldMessage>> partitioned_;
   std::int64_t messages_ = 0;
   Bytes bytes_ = 0;
 };

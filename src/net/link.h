@@ -36,7 +36,21 @@ class Link {
   // Time the wire is occupied by `bytes`.
   Duration SerializationTime(Bytes bytes) const {
     PW_CHECK_GE(bytes, 0);
-    return Duration::Seconds(static_cast<double>(bytes) / bandwidth_);
+    return Duration::Seconds(static_cast<double>(bytes) / EffectiveBandwidth());
+  }
+
+  // Fault-injection knob: scales the effective bandwidth (0 < scale <= 1 for
+  // degradation, > 1 for headroom experiments). Transfers already in flight
+  // keep their original delivery times; only new transfers see the new rate.
+  // At exactly 1.0 the arithmetic is bypassed, so unfaulted runs are
+  // bit-identical to builds without the knob.
+  void set_bandwidth_scale(double scale) {
+    PW_CHECK_GT(scale, 0.0);
+    bandwidth_scale_ = scale;
+  }
+  double bandwidth_scale() const { return bandwidth_scale_; }
+  double EffectiveBandwidth() const {
+    return bandwidth_scale_ == 1.0 ? bandwidth_ : bandwidth_ * bandwidth_scale_;
   }
 
   // Starts a transfer now; `on_delivered` runs when the last byte arrives at
@@ -70,6 +84,7 @@ class Link {
   std::string name_;
   Duration latency_;
   double bandwidth_;
+  double bandwidth_scale_ = 1.0;
   TimePoint busy_until_;
   Bytes bytes_sent_ = 0;
   std::int64_t transfers_ = 0;

@@ -1,6 +1,9 @@
 #include "pathways/client.h"
 
+#include <cmath>
+#include <functional>
 #include <map>
+#include <memory>
 
 #include "common/logging.h"
 #include "pathways/runtime.h"
@@ -92,6 +95,42 @@ sim::SimFuture<ExecutionResult> Client::Run(const PathwaysProgram* program,
                 [exec, node_id] { exec->MarkClientReleased(node_id); });
   }
   return exec->done();
+}
+
+sim::SimFuture<ExecutionResult> Client::RunWithRetry(
+    const PathwaysProgram* program, std::vector<ShardedBuffer> args,
+    RetryPolicy policy) {
+  PW_CHECK_GE(policy.max_attempts, 1);
+  auto outer = std::make_shared<sim::SimPromise<ExecutionResult>>(
+      &runtime_->simulator());
+  // Attempt loop. The function object must not capture its own shared_ptr
+  // (that cycle would leak it); instead each in-flight continuation holds
+  // the strong reference, re-acquired through the weak handle at call time,
+  // so the loop frees itself when the last continuation resolves.
+  auto attempt = std::make_shared<std::function<void(int)>>();
+  std::weak_ptr<std::function<void(int)>> weak_attempt = attempt;
+  *attempt = [this, program, args = std::move(args), policy, outer,
+              weak_attempt](int attempt_no) {
+    auto self = weak_attempt.lock();
+    PW_CHECK(self != nullptr);  // callers hold a strong ref across the call
+    Run(program, args).Then([this, policy, outer, self,
+                             attempt_no](const ExecutionResult& result) {
+      if (!result.failed || attempt_no >= policy.max_attempts) {
+        ExecutionResult annotated = result;
+        annotated.attempts = attempt_no;
+        outer->Set(std::move(annotated));
+        return;
+      }
+      ++retries_;
+      const Duration backoff =
+          policy.initial_backoff *
+          std::pow(policy.multiplier, static_cast<double>(attempt_no - 1));
+      runtime_->simulator().Schedule(
+          backoff, [self, attempt_no] { (*self)(attempt_no + 1); });
+    });
+  };
+  (*attempt)(1);
+  return outer->future();
 }
 
 sim::SimFuture<ExecutionResult> Client::RunFunction(

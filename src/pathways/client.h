@@ -27,6 +27,16 @@ namespace pw::pathways {
 
 class PathwaysRuntime;
 
+// Retry-with-backoff policy for RunWithRetry: attempt k (1-based) that fails
+// waits initial_backoff * multiplier^(k-1) before resubmitting. Resubmission
+// re-lowers the program, so it picks up any virtual-device remap the
+// resource manager performed after a device failure.
+struct RetryPolicy {
+  int max_attempts = 4;
+  Duration initial_backoff = Duration::Micros(500);
+  double multiplier = 2.0;
+};
+
 class Client {
  public:
   Client(PathwaysRuntime* runtime, ClientId id, hw::Host* host, double weight);
@@ -57,9 +67,18 @@ class Client {
       const xlasim::CompiledFunction& fn, const VirtualSlice& slice,
       std::vector<ShardedBuffer> args = {});
 
+  // Runs a program, transparently resubmitting (with exponential backoff)
+  // when the execution aborts due to a device failure. The returned future
+  // resolves with the first successful result — or, after max_attempts
+  // failures, with the last failed result — and `attempts` set either way.
+  sim::SimFuture<ExecutionResult> RunWithRetry(
+      const PathwaysProgram* program, std::vector<ShardedBuffer> args = {},
+      RetryPolicy policy = {});
+
   sim::SerialResource& cpu() { return cpu_; }
   PathwaysRuntime& runtime() { return *runtime_; }
   std::int64_t programs_submitted() const { return programs_submitted_; }
+  std::int64_t retries() const { return retries_; }
 
  private:
   PathwaysRuntime* runtime_;
@@ -68,6 +87,7 @@ class Client {
   double weight_;
   sim::SerialResource cpu_;
   std::int64_t programs_submitted_ = 0;
+  std::int64_t retries_ = 0;
 };
 
 }  // namespace pw::pathways

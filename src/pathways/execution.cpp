@@ -18,6 +18,7 @@ std::shared_ptr<ProgramExecution> ProgramExecution::Create(
   exec->Lower();
   exec->WireTransfers();
   exec->WireRelease();
+  runtime->RegisterExecution(exec);
   return exec;
 }
 
@@ -151,6 +152,7 @@ void ProgramExecution::WireEdge(int consumer_node, int operand_index) {
 void ProgramExecution::StartTransfer(hw::DeviceId src, hw::DeviceId dst,
                                      Bytes bytes,
                                      std::shared_ptr<sim::CountdownLatch> latch) {
+  if (aborted_) return;  // input latches were force-completed by Abort()
   hw::Cluster& cluster = runtime_->cluster();
   if (src == dst) {
     // Producer output is directly addressable: no data movement.
@@ -185,6 +187,9 @@ void ProgramExecution::WireRelease() {
     NodeState& state = nodes_[static_cast<std::size_t>(n.id)];
     const int node_id = n.id;
     state.completion_latch->done().Then([self, node_id](const sim::Unit&) {
+      // An aborted execution's buffers are collected wholesale by Abort();
+      // the per-consumer refcount dance below would double-free them.
+      if (self->aborted_) return;
       // This node is done: credit each distinct producer it consumed.
       std::set<int> producers;
       for (const ValueRef& in : self->program_->node(node_id).inputs) {
@@ -218,11 +223,17 @@ bool ProgramExecution::IsResultNode(int node) const {
 
 sim::SimFuture<sim::Unit> ProgramExecution::ReserveOutputShard(int node,
                                                                int shard) {
+  if (aborted_) {
+    // Output buffers are already collected; grant immediately so in-flight
+    // executor preps unwind instead of parking on a dead reservation.
+    return sim::ReadyFuture(&runtime_->simulator(), sim::Unit{});
+  }
   return runtime_->object_store().ReserveShard(
       nodes_.at(static_cast<std::size_t>(node)).output.id, shard);
 }
 
 void ProgramExecution::MarkPrepDone(int node, int shard) {
+  if (aborted_) return;
   nodes_.at(static_cast<std::size_t>(node))
       .shards.at(static_cast<std::size_t>(shard))
       .prep_done->Set(sim::Unit{});
@@ -235,6 +246,7 @@ sim::SimFuture<sim::Unit> ProgramExecution::PrepDone(int node, int shard) const 
 }
 
 void ProgramExecution::MarkEnqueued(int node, int shard) {
+  if (aborted_) return;
   (void)shard;
   nodes_.at(static_cast<std::size_t>(node)).enqueue_latch->CountDown();
 }
@@ -244,6 +256,7 @@ sim::SimFuture<sim::Unit> ProgramExecution::NodeEnqueued(int node) const {
 }
 
 void ProgramExecution::MarkShardComplete(int node, int shard) {
+  if (aborted_) return;
   NodeState& state = nodes_.at(static_cast<std::size_t>(node));
   state.shards.at(static_cast<std::size_t>(shard)).output_ready->Set(sim::Unit{});
   state.completion_latch->CountDown();
@@ -260,6 +273,7 @@ sim::SimFuture<sim::Unit> ProgramExecution::NodeComplete(int node) const {
 }
 
 void ProgramExecution::MarkClientReleased(int node) {
+  if (aborted_) return;
   nodes_.at(static_cast<std::size_t>(node)).client_release->Set(sim::Unit{});
 }
 
@@ -280,6 +294,10 @@ std::vector<sim::SimFuture<sim::Unit>> ProgramExecution::InputFutures(
 }
 
 std::shared_ptr<hw::CollectiveGroup> ProgramExecution::GroupFor(int node) {
+  // Aborted first — and before touching program_: any straggler kernels
+  // still reaching the device run as plain compute (their peers will never
+  // rendezvous), and the program object may already be destroyed.
+  if (aborted_) return nullptr;
   NodeState& state = nodes_.at(static_cast<std::size_t>(node));
   const ComputationNode& n = program_->node(node);
   if (!n.fn.collective.has_value() || n.fn.num_shards <= 1) return nullptr;
@@ -293,6 +311,7 @@ std::shared_ptr<hw::CollectiveGroup> ProgramExecution::GroupFor(int node) {
 }
 
 void ProgramExecution::OnResultShardMessage() {
+  if (aborted_) return;
   // Bookkeeping cost on the client thread: with the sharded-buffer
   // abstraction, per-shard processing is a cheap network-stack touch and the
   // logical-buffer update is charged once at the end; without it, each shard
@@ -302,6 +321,7 @@ void ProgramExecution::OnResultShardMessage() {
       sharded ? Duration::Nanos(200) : Duration::Micros(2);
   auto self = shared_from_this();
   client_cpu_->Submit(per_message, [self] {
+    if (self->aborted_) return;
     ++self->result_shard_messages_received_;
     if (self->result_shard_messages_received_ <
         self->result_shard_messages_expected_) {
@@ -313,6 +333,7 @@ void ProgramExecution::OnResultShardMessage() {
                   static_cast<std::int64_t>(self->program_->results().size())
             : Duration::Zero();
     self->client_cpu_->Submit(logical_cost, [self] {
+      if (self->aborted_) return;
       ExecutionResult result;
       for (const ValueRef& r : self->program_->results()) {
         if (r.kind == ValueRef::Kind::kNodeOutput) {
@@ -325,8 +346,47 @@ void ProgramExecution::OnResultShardMessage() {
       }
       self->finished_ = true;
       self->done_promise_->Set(std::move(result));
+      self->runtime_->OnExecutionFinished(self->id_, /*success=*/true);
     });
   });
+}
+
+bool ProgramExecution::UsesDevice(hw::DeviceId dev) const {
+  for (const NodeState& node : nodes_) {
+    for (const hw::DeviceId d : node.devices) {
+      if (d == dev) return true;
+    }
+  }
+  return false;
+}
+
+void ProgramExecution::Abort() {
+  if (aborted_ || finished_) return;
+  aborted_ = true;
+  // Unwind order matters only in that aborted_ is set first: every
+  // continuation the force-fires below schedule will observe it and no-op.
+  for (NodeState& node : nodes_) {
+    // Release devices parked at (or later arriving at) this gang's
+    // rendezvous — their peer on the failed device is never coming.
+    if (node.group != nullptr) node.group->Abort();
+    if (!node.client_release->fulfilled()) node.client_release->Set(sim::Unit{});
+    node.enqueue_latch->ForceComplete();
+    // NodeComplete() observers (gang-scheduler admission slots) fire here.
+    node.completion_latch->ForceComplete();
+    for (ShardState& shard : node.shards) {
+      if (!shard.prep_done->fulfilled()) shard.prep_done->Set(sim::Unit{});
+      if (!shard.output_ready->fulfilled()) shard.output_ready->Set(sim::Unit{});
+      for (auto& input : shard.inputs) {
+        if (input != nullptr) input->ForceComplete();
+      }
+    }
+  }
+  // Collect everything this execution produced (output buffers, reserved or
+  // deferred). Scratch is freed by the executor continuations as the dropped
+  // kernels' completion futures fire.
+  runtime_->object_store().ReleaseAllForProducer(id_);
+  done_promise_->Set(ExecutionResult{.outputs = {}, .failed = true});
+  runtime_->OnExecutionFinished(id_, /*success=*/false);
 }
 
 }  // namespace pw::pathways

@@ -28,6 +28,13 @@ class PathwaysRuntime;
 
 struct ExecutionResult {
   std::vector<ShardedBuffer> outputs;  // one per program result
+  // True if the execution was aborted (device failure mid-run); outputs is
+  // then empty and the caller should re-lower and resubmit (see
+  // Client::RunWithRetry).
+  bool failed = false;
+  // Attempts consumed when the result came through Client::RunWithRetry
+  // (1 = first try succeeded); plain Run() leaves it at 1.
+  int attempts = 1;
 };
 
 class ProgramExecution
@@ -92,6 +99,19 @@ class ProgramExecution
   void OnResultShardMessage();
   bool finished() const { return finished_; }
 
+  // --- Failure handling (see docs/FAULTS.md) ---
+  // True if this execution's lowered placement includes `dev` (any node,
+  // any shard). Used to find the executions doomed by a device crash.
+  bool UsesDevice(hw::DeviceId dev) const;
+  // Aborts the execution: every pending promise/latch is force-fired so the
+  // dataflow machinery unwinds without deadlock, collective rendezvous
+  // groups are aborted (parked peer devices are released), the execution's
+  // buffers are garbage-collected, and done() resolves with failed=true.
+  // All subsequent state-transition calls (Mark*, transfers) are no-ops.
+  // Idempotent; a finished execution cannot be aborted.
+  void Abort();
+  bool aborted() const { return aborted_; }
+
   // Stats.
   std::int64_t transfers_started() const { return transfers_; }
 
@@ -142,6 +162,7 @@ class ProgramExecution
   int result_shard_messages_expected_ = 0;
   int result_shard_messages_received_ = 0;
   bool finished_ = false;
+  bool aborted_ = false;
   std::int64_t transfers_ = 0;
 };
 

@@ -12,6 +12,16 @@ DeviceExecutor::DeviceExecutor(PathwaysRuntime* runtime, hw::Device* device,
 void DeviceExecutor::Dispatch(std::shared_ptr<ProgramExecution> exec, int node,
                               int shard) {
   const std::uint64_t seq = next_arrival_seq_++;
+  // Fault paths: a dispatch may land after its execution aborted (gang
+  // partially emitted when the device died), or target a device that is
+  // down (stranded virtual device — no island spare at remap time). Either
+  // way the shard will never run; the in-order stream bookkeeping still
+  // consumes the sequence number so later gangs can enqueue.
+  if (exec->aborted() || device_->failed()) {
+    if (!exec->aborted()) exec->Abort();
+    EnqueueInOrder(seq, [] {});
+    return;
+  }
   const ComputationNode& n = exec->program().node(node);
   const hw::SystemParams& params = runtime_->params();
 
@@ -30,6 +40,14 @@ void DeviceExecutor::Dispatch(std::shared_ptr<ProgramExecution> exec, int node,
             .Then([this, exec, node, shard, seq, staging](const sim::Unit&) {
               exec->MarkPrepDone(node, shard);
               EnqueueInOrder(seq, [this, exec, node, shard, staging] {
+                if (exec->aborted()) {
+                  // The execution died mid-prep. Its program may already be
+                  // destroyed (single-use programs live only until done()
+                  // fires), so don't touch it — just surrender the scratch
+                  // and let the stream move on.
+                  runtime_->object_store().FreeScratch(device_->id(), staging);
+                  return;
+                }
                 const ComputationNode& cn = exec->program().node(node);
                 hw::KernelDesc kernel;
                 kernel.label = cn.name;
@@ -44,7 +62,9 @@ void DeviceExecutor::Dispatch(std::shared_ptr<ProgramExecution> exec, int node,
                       runtime_->object_store().FreeScratch(device_->id(),
                                                            staging);
                       exec->MarkShardComplete(node, shard);
-                      if (exec->IsResultNode(node)) {
+                      // Aborted first: IsResultNode reads the program, which
+                      // may be gone once done() resolved with failure.
+                      if (!exec->aborted() && exec->IsResultNode(node)) {
                         host_->SendDcn(exec->client_host(), /*bytes=*/64,
                                        [exec] { exec->OnResultShardMessage(); });
                       }

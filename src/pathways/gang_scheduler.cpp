@@ -60,9 +60,17 @@ void GangScheduler::Pump() {
   }
   std::deque<Entry>* q = PickQueue();
   if (q == nullptr) return;
-  pumping_ = true;
   Entry entry = std::move(q->front());
   q->pop_front();
+  // Gangs of an aborted execution (device failure) are dropped, not
+  // dispatched: the client's retry resubmits the whole program against the
+  // remapped placement. Free scheduling decision — re-pick immediately.
+  if (entry.exec->aborted()) {
+    ++gangs_aborted_;
+    Pump();
+    return;
+  }
+  pumping_ = true;
   // Scheduling decision cost, then emit the gang's dispatch messages.
   sched_cpu_.Submit(runtime_->params().scheduler_decision_cost,
                     [this, entry = std::move(entry)]() mutable {
@@ -71,6 +79,14 @@ void GangScheduler::Pump() {
 }
 
 void GangScheduler::DispatchGang(Entry entry) {
+  // The execution may have been aborted while the scheduling decision was
+  // in flight on the scheduler CPU.
+  if (entry.exec->aborted()) {
+    ++gangs_aborted_;
+    pumping_ = false;
+    Pump();
+    return;
+  }
   const int node = entry.nodes[entry.next_node];
   auto exec = entry.exec;
   const ComputationNode& cn = exec->program().node(node);

@@ -47,6 +47,7 @@ class GangScheduler {
 
   // Stats.
   std::int64_t gangs_dispatched() const { return gangs_dispatched_; }
+  std::int64_t gangs_aborted() const { return gangs_aborted_; }
   std::int64_t dispatch_messages() const { return dispatch_messages_; }
   Duration scheduler_busy() const { return sched_cpu_.total_busy(); }
 
@@ -78,6 +79,7 @@ class GangScheduler {
   bool pumping_ = false;
   int inflight_gangs_ = 0;
   std::int64_t gangs_dispatched_ = 0;
+  std::int64_t gangs_aborted_ = 0;
   std::int64_t dispatch_messages_ = 0;
 };
 

@@ -69,12 +69,16 @@ sim::SimFuture<sim::Unit> ObjectStore::ReserveShard(LogicalBufferId id,
              granted](const sim::Unit&) mutable {
         auto it2 = entries_.find(id);
         if (it2 == entries_.end()) {
-          // Buffer released (e.g. failed client GC) while the reservation
-          // queued: hand the memory straight back.
+          // Buffer released (failed-client GC, aborted execution) while the
+          // reservation queued: hand the memory straight back — but still
+          // fire the grant. Waiters gate work on this future (the executor's
+          // in-order enqueue stream, most critically); a silently dropped
+          // promise would wedge them forever, while a vacuous grant lets
+          // them unwind through their own aborted-state checks.
           cluster_->device(device).hbm().Free(bytes);
-          return;
+        } else {
+          it2->second.shard_reserved[static_cast<std::size_t>(shard)] = true;
         }
-        it2->second.shard_reserved[static_cast<std::size_t>(shard)] = true;
         granted.Set(sim::Unit{});
       });
   return fut;
@@ -107,6 +111,20 @@ int ObjectStore::ReleaseAllForOwner(ClientId owner) {
   int collected = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.owner == owner) {
+      FreeEntry(it->second);
+      it = entries_.erase(it);
+      ++collected;
+    } else {
+      ++it;
+    }
+  }
+  return collected;
+}
+
+int ObjectStore::ReleaseAllForProducer(ExecutionId producer) {
+  int collected = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.producer == producer) {
       FreeEntry(it->second);
       it = entries_.erase(it);
       ++collected;

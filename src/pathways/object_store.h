@@ -93,6 +93,12 @@ class ObjectStore {
   // Returns the number of logical buffers collected.
   int ReleaseAllForOwner(ClientId owner);
 
+  // Garbage collection by producing execution (execution aborted after a
+  // device failure): frees every surviving buffer the execution produced,
+  // regardless of refcount — an aborted execution's outputs were never
+  // handed to anyone. Returns the number of logical buffers collected.
+  int ReleaseAllForProducer(ExecutionId producer);
+
   // --- Introspection ---
   bool Contains(LogicalBufferId id) const { return entries_.contains(id); }
   int refcount(LogicalBufferId id) const;

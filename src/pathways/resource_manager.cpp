@@ -1,6 +1,7 @@
 #include "pathways/resource_manager.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/logging.h"
 
@@ -71,9 +72,10 @@ StatusOr<VirtualSlice> ResourceManager::AllocateSlice(
   slice.owner = client;
   slice.island = target;
   slice.devices.reserve(static_cast<std::size_t>(num_devices));
+  const std::int64_t slice_seq = slices_allocated_;
   for (const hw::DeviceId dev : devices) {
     const VirtualDeviceId vid = vdev_ids_.Next();
-    vdevs_[vid] = VDevState{dev, client};
+    vdevs_[vid] = VDevState{dev, client, slice_seq};
     ++load_[dev];
     slice.devices.push_back(VirtualDevice{vid});
   }
@@ -107,25 +109,91 @@ hw::DeviceId ResourceManager::Lookup(VirtualDeviceId vdev) const {
   return it->second.physical;
 }
 
+std::map<std::int64_t, std::set<hw::DeviceId>>
+ResourceManager::SliceDeviceSets() const {
+  std::map<std::int64_t, std::set<hw::DeviceId>> by_slice;
+  for (const auto& [vid, state] : vdevs_) {
+    by_slice[state.slice_seq].insert(state.physical);
+  }
+  return by_slice;
+}
+
+hw::DeviceId ResourceManager::PickReplacement(
+    hw::IslandId island, const std::set<hw::DeviceId>& taken) const {
+  // `taken` holds the devices already backing the vdev's slice: a slice's
+  // shards must stay on distinct physical devices (gang collectives on one
+  // single-threaded device would self-deadlock).
+  hw::DeviceId best;
+  int best_load = 0;
+  for (const hw::Device* d :
+       cluster_->island(static_cast<int>(island.value())).devices()) {
+    if (!in_service_.at(d->id()) || taken.contains(d->id())) continue;
+    const int l = load_.at(d->id());
+    if (!best.valid() || l < best_load) {
+      best = d->id();
+      best_load = l;
+    }
+  }
+  return best;  // invalid if the island has no viable device
+}
+
+int ResourceManager::RemapAway(
+    hw::DeviceId dev,
+    std::map<std::int64_t, std::set<hw::DeviceId>>& by_slice) {
+  const hw::IslandId island = cluster_->device(dev).island();
+  int stranded = 0;
+  for (auto& [vid, state] : vdevs_) {
+    if (state.physical != dev) continue;
+    std::set<hw::DeviceId>& taken = by_slice[state.slice_seq];
+    const hw::DeviceId replacement = PickReplacement(island, taken);
+    if (!replacement.valid()) {
+      ++stranded;
+      continue;
+    }
+    --load_[dev];
+    taken.erase(state.physical);
+    taken.insert(replacement);
+    state.physical = replacement;
+    ++load_[replacement];
+    ++vdevs_remapped_;
+  }
+  return stranded;
+}
+
 Status ResourceManager::RemoveDevice(hw::DeviceId dev) {
   auto it = in_service_.find(dev);
   if (it == in_service_.end()) return NotFoundError("no such device");
   if (!it->second) return FailedPreconditionError("device already removed");
-  const hw::IslandId island = cluster_->device(dev).island();
   it->second = false;
-  // Remap every virtual device that pointed at it.
-  for (auto& [vid, state] : vdevs_) {
+  // A drain must not strand tenants: dry-run every remap first. Feasibility
+  // is per-vdev independent — exclusion is per-slice and a device backs at
+  // most one vdev of any slice — so the dry run is exact.
+  const hw::IslandId island = cluster_->device(dev).island();
+  auto by_slice = SliceDeviceSets();
+  for (const auto& [vid, state] : vdevs_) {
     if (state.physical != dev) continue;
-    const auto replacement = PickDevices(island, 1);
-    if (replacement.empty()) {
+    if (!PickReplacement(island, by_slice.at(state.slice_seq)).valid()) {
       it->second = true;  // roll back
       return ResourceExhaustedError("no replacement device on island");
     }
-    --load_[dev];
-    state.physical = replacement[0];
-    ++load_[replacement[0]];
   }
+  const int stranded = RemapAway(dev, by_slice);
+  PW_CHECK_EQ(stranded, 0) << "drain stranded virtual devices";
   return OkStatus();
+}
+
+Status ResourceManager::MarkDeviceFailed(hw::DeviceId dev) {
+  auto it = in_service_.find(dev);
+  if (it == in_service_.end()) return NotFoundError("no such device");
+  if (!it->second) return FailedPreconditionError("device already out of service");
+  it->second = false;  // a crashed device leaves service unconditionally
+  auto by_slice = SliceDeviceSets();
+  vdevs_stranded_ += RemapAway(dev, by_slice);
+  return OkStatus();
+}
+
+Status ResourceManager::MarkDeviceRecovered(hw::DeviceId dev) {
+  return AddDevice(dev);
 }
 
 Status ResourceManager::AddDevice(hw::DeviceId dev) {
@@ -139,6 +207,12 @@ Status ResourceManager::AddDevice(hw::DeviceId dev) {
 int ResourceManager::load(hw::DeviceId dev) const {
   auto it = load_.find(dev);
   PW_CHECK(it != load_.end());
+  return it->second;
+}
+
+bool ResourceManager::in_service(hw::DeviceId dev) const {
+  auto it = in_service_.find(dev);
+  PW_CHECK(it != in_service_.end());
   return it->second;
 }
 

@@ -45,6 +45,35 @@ int PathwaysRuntime::FailClient(ClientId client) {
   return object_store_.ReleaseAllForOwner(client);
 }
 
+void PathwaysRuntime::RegisterExecution(
+    const std::shared_ptr<ProgramExecution>& exec) {
+  live_execs_[exec->id()] = exec;
+}
+
+void PathwaysRuntime::OnExecutionFinished(ExecutionId id, bool success) {
+  live_execs_.erase(id);
+  if (success) {
+    ++executions_completed_;
+  } else {
+    ++executions_aborted_;
+  }
+  for (const auto& [token, observer] : observers_) {
+    observer(id, success);
+  }
+}
+
+int PathwaysRuntime::AbortExecutionsUsing(hw::DeviceId dev) {
+  // Collect first: Abort() mutates live_execs_ (via OnExecutionFinished).
+  std::vector<std::shared_ptr<ProgramExecution>> doomed;
+  for (const auto& [id, weak] : live_execs_) {
+    if (std::shared_ptr<ProgramExecution> exec = weak.lock()) {
+      if (!exec->aborted() && exec->UsesDevice(dev)) doomed.push_back(exec);
+    }
+  }
+  for (const auto& exec : doomed) exec->Abort();
+  return static_cast<int>(doomed.size());
+}
+
 Duration PathwaysRuntime::Jitter(Duration nominal) {
   const double frac = cluster_->params().host_jitter_frac;
   if (frac <= 0.0) return nominal;

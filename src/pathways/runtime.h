@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -53,6 +55,37 @@ class PathwaysRuntime {
   // devices the client owned. Returns the number of buffers collected.
   int FailClient(ClientId client);
 
+  // --- Execution lifecycle & failure handling (see docs/FAULTS.md) ---
+  // Every ProgramExecution registers itself here at creation and is dropped
+  // when it finishes or aborts; the registry is what lets a device-crash
+  // event find the in-flight work it doomed.
+  void RegisterExecution(const std::shared_ptr<ProgramExecution>& exec);
+  void OnExecutionFinished(ExecutionId id, bool success);
+  // Aborts every live execution whose lowered placement includes `dev`
+  // (gangs on that device can never complete). Returns the abort count.
+  int AbortExecutionsUsing(hw::DeviceId dev);
+  int live_executions() const { return static_cast<int>(live_execs_.size()); }
+  std::int64_t executions_completed() const { return executions_completed_; }
+  std::int64_t executions_aborted() const { return executions_aborted_; }
+
+  // Observers run synchronously on every execution completion/abort (the
+  // fault injector uses this to measure recovery latency and goodput).
+  // Returns a token for RemoveExecutionObserver — observers capturing
+  // shorter-lived objects must unregister before those objects die.
+  using ExecutionObserver = std::function<void(ExecutionId, bool success)>;
+  std::int64_t AddExecutionObserver(ExecutionObserver observer) {
+    observers_.emplace_back(next_observer_id_, std::move(observer));
+    return next_observer_id_++;
+  }
+  void RemoveExecutionObserver(std::int64_t token) {
+    for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+      if (it->first == token) {
+        observers_.erase(it);
+        return;
+      }
+    }
+  }
+
   // Host-side work jitter (exponential tail on CPU costs); deterministic.
   Duration Jitter(Duration nominal);
 
@@ -71,6 +104,13 @@ class PathwaysRuntime {
   IdGenerator<ExecutionTag> execution_ids_;
   Rng rng_;
   std::int64_t next_client_host_id_;
+  // Executions in flight; weak so a drained execution's callbacks don't keep
+  // it alive through the registry.
+  std::map<ExecutionId, std::weak_ptr<ProgramExecution>> live_execs_;
+  std::vector<std::pair<std::int64_t, ExecutionObserver>> observers_;
+  std::int64_t next_observer_id_ = 0;
+  std::int64_t executions_completed_ = 0;
+  std::int64_t executions_aborted_ = 0;
 };
 
 }  // namespace pw::pathways

@@ -120,15 +120,31 @@ class CountdownLatch {
   }
 
   void CountDown() {
+    if (forced_) return;  // latch was force-completed; late arrivals are moot
     PW_CHECK_GT(remaining_, 0);
     if (--remaining_ == 0) promise_.Set(Unit{});
   }
 
+  // Fires the future now regardless of the remaining count and turns every
+  // subsequent CountDown() into a no-op. Fault handling uses this to unwind
+  // dataflow that will never complete normally (e.g. a gang whose device
+  // crashed); completions already in flight then land harmlessly.
+  void ForceComplete() {
+    if (forced_) return;
+    forced_ = true;
+    if (remaining_ > 0) {
+      remaining_ = 0;
+      promise_.Set(Unit{});
+    }
+  }
+
   int remaining() const { return remaining_; }
+  bool forced() const { return forced_; }
   SimFuture<Unit> done() const { return promise_.future(); }
 
  private:
   int remaining_;
+  bool forced_ = false;
   SimPromise<Unit> promise_;
 };
 

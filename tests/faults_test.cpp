@@ -1,0 +1,488 @@
+// Unit tests for the fault-injection subsystem: device availability state
+// machine, link degradation/partition, plan generation, and the pathways
+// reaction path (abort, remap, retry). The randomized invariant layer lives
+// in faults_property_test.cpp.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "hw/cluster.h"
+#include "pathways/pathways.h"
+#include "sim/simulator.h"
+
+namespace pw::faults {
+namespace {
+
+using pathways::Client;
+using pathways::ExecutionResult;
+using pathways::PathwaysProgram;
+using pathways::PathwaysRuntime;
+using pathways::ProgramBuilder;
+using pathways::RetryPolicy;
+using pathways::ValueRef;
+using xlasim::CompiledFunction;
+
+struct World {
+  explicit World(int hosts = 2, int devices_per_host = 4, int islands = 1,
+                 pathways::PathwaysOptions options = {}) {
+    hw::SystemParams params = hw::SystemParams::TpuDefault();
+    params.host_jitter_frac = 0;  // deterministic timing in unit tests
+    cluster = std::make_unique<hw::Cluster>(&sim, params, islands, hosts,
+                                            devices_per_host);
+    runtime = std::make_unique<PathwaysRuntime>(cluster.get(), options);
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<hw::Cluster> cluster;
+  std::unique_ptr<PathwaysRuntime> runtime;
+};
+
+// ------------------------------------------- Device availability machine --
+
+TEST(DeviceFaultTest, FailDropsQueueAndFiresCompletions) {
+  sim::Simulator sim;
+  hw::Device dev(&sim, hw::DeviceId(0), hw::IslandId(0), GiB(1),
+                 Duration::Micros(1));
+  std::vector<sim::SimFuture<sim::Unit>> done;
+  for (int i = 0; i < 3; ++i) {
+    hw::KernelDesc k;
+    k.label = "k" + std::to_string(i);
+    k.pre_time = Duration::Millis(1);
+    done.push_back(dev.Enqueue(std::move(k)));
+  }
+  sim.RunFor(Duration::Micros(100));  // first kernel mid-flight
+  EXPECT_TRUE(dev.executing());
+  dev.Fail();
+  EXPECT_TRUE(dev.failed());
+  EXPECT_FALSE(dev.executing());
+  EXPECT_EQ(dev.queue_depth(), 0u);
+  sim.Run();
+  // All completions fired (so host-side cleanup can unwind) but nothing ran
+  // to completion on the core.
+  for (const auto& f : done) EXPECT_TRUE(f.ready());
+  EXPECT_EQ(dev.kernels_completed(), 0);
+  EXPECT_EQ(dev.kernels_dropped(), 3);
+  EXPECT_EQ(dev.failures(), 1);
+}
+
+TEST(DeviceFaultTest, EnqueueWhileFailedCompletesWithoutRunning) {
+  sim::Simulator sim;
+  hw::Device dev(&sim, hw::DeviceId(0), hw::IslandId(0), GiB(1),
+                 Duration::Micros(1));
+  dev.Fail();
+  hw::KernelDesc k;
+  k.pre_time = Duration::Millis(5);
+  auto f = dev.Enqueue(std::move(k));
+  sim.Run();
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(dev.kernels_completed(), 0);
+  EXPECT_EQ(dev.kernels_dropped(), 1);
+  EXPECT_LT(sim.now().ToMillis(), 1.0);  // no 5ms of compute happened
+}
+
+TEST(DeviceFaultTest, RecoverRestoresNormalExecution) {
+  sim::Simulator sim;
+  hw::Device dev(&sim, hw::DeviceId(0), hw::IslandId(0), GiB(1),
+                 Duration::Micros(1));
+  dev.Fail();
+  dev.Recover();
+  EXPECT_FALSE(dev.failed());
+  hw::KernelDesc k;
+  k.pre_time = Duration::Millis(1);
+  auto f = dev.Enqueue(std::move(k));
+  sim.Run();
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(dev.kernels_completed(), 1);
+}
+
+TEST(DeviceFaultTest, StaleTimingEventsDieAcrossFailRecover) {
+  // A kernel is mid-flight when the device fails and recovers; the old
+  // finish event must not complete anything on the recovered stream.
+  sim::Simulator sim;
+  hw::Device dev(&sim, hw::DeviceId(0), hw::IslandId(0), GiB(1),
+                 Duration::Micros(1));
+  hw::KernelDesc k1;
+  k1.pre_time = Duration::Millis(2);
+  dev.Enqueue(std::move(k1));
+  sim.RunFor(Duration::Millis(1));  // k1 finishes at ~2ms
+  dev.Fail();
+  dev.Recover();
+  hw::KernelDesc k2;
+  k2.pre_time = Duration::Millis(5);
+  auto f2 = dev.Enqueue(std::move(k2));
+  sim.Run();
+  EXPECT_TRUE(f2.ready());
+  // Only k2 completed; k1's stale finish event was epoch-killed.
+  EXPECT_EQ(dev.kernels_completed(), 1);
+  EXPECT_EQ(dev.kernels_dropped(), 1);
+}
+
+TEST(DeviceFaultTest, ComputeMultiplierScalesKernelTime) {
+  auto run_one = [](double multiplier) {
+    sim::Simulator sim;
+    hw::Device dev(&sim, hw::DeviceId(0), hw::IslandId(0), GiB(1),
+                   Duration::Zero());
+    dev.set_compute_multiplier(multiplier);
+    hw::KernelDesc k;
+    k.pre_time = Duration::Millis(1);
+    k.post_time = Duration::Millis(1);
+    dev.Enqueue(std::move(k));
+    sim.Run();
+    return sim.now();
+  };
+  const TimePoint nominal = run_one(1.0);
+  const TimePoint slowed = run_one(2.5);
+  EXPECT_EQ(nominal.ToMillis(), 2.0);
+  EXPECT_EQ(slowed.ToMillis(), 5.0);
+}
+
+// -------------------------------------------------- Link / DCN degradation --
+
+TEST(LinkFaultTest, BandwidthScaleSlowsNewTransfers) {
+  sim::Simulator sim;
+  net::Link link(&sim, "l", Duration::Zero(), /*bandwidth=*/1e9);
+  TimePoint first = link.Transfer(MiB(1), [] {});
+  link.set_bandwidth_scale(0.5);
+  TimePoint second = link.Transfer(MiB(1), [] {});
+  // Second transfer serializes at half rate: twice the wire time.
+  const Duration wire1 = first - TimePoint();
+  const Duration wire2 = second - first;
+  EXPECT_EQ(wire2.nanos(), 2 * wire1.nanos());
+  link.set_bandwidth_scale(1.0);
+  TimePoint third = link.Transfer(MiB(1), [] {});
+  EXPECT_EQ((third - second).nanos(), wire1.nanos());
+}
+
+TEST(DcnFaultTest, PartitionHoldsMessagesUntilHeal) {
+  sim::Simulator sim;
+  net::DcnFabric dcn(&sim, net::DcnParams{});
+  dcn.AddHost(net::HostId(0));
+  dcn.AddHost(net::HostId(1));
+  dcn.SetPartitioned(net::HostId(1), true);
+  std::vector<int> order;
+  dcn.Send(net::HostId(0), net::HostId(1), KiB(1), [&] { order.push_back(1); });
+  dcn.Send(net::HostId(1), net::HostId(0), KiB(1), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_TRUE(order.empty());  // both ends of the partition held
+  EXPECT_EQ(dcn.messages_held(), 2u);
+  sim.Schedule(Duration::Millis(1),
+               [&] { dcn.SetPartitioned(net::HostId(1), false); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // replayed in send order
+  EXPECT_EQ(dcn.messages_held(), 0u);
+  EXPECT_GT(sim.now().ToMillis(), 1.0);
+}
+
+TEST(DcnFaultTest, PartitionDoesNotHoldLoopbackMessages) {
+  // A partition cuts the fabric; a host's messages to itself never touch
+  // the fabric and must keep flowing (e.g. a scheduler dispatching to an
+  // executor on its own host).
+  sim::Simulator sim;
+  net::DcnFabric dcn(&sim, net::DcnParams{});
+  dcn.AddHost(net::HostId(0));
+  dcn.SetPartitioned(net::HostId(0), true);
+  bool delivered = false;
+  dcn.Send(net::HostId(0), net::HostId(0), KiB(1), [&] { delivered = true; });
+  sim.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(dcn.messages_held(), 0u);
+}
+
+TEST(DcnFaultTest, NicScaleAppliesPerHost) {
+  sim::Simulator sim;
+  net::DcnFabric dcn(&sim, net::DcnParams{});
+  dcn.AddHost(net::HostId(0));
+  dcn.AddHost(net::HostId(1));
+  dcn.SetNicBandwidthScale(net::HostId(0), 0.25);
+  EXPECT_EQ(dcn.nic_bandwidth_scale(net::HostId(0)), 0.25);
+  EXPECT_EQ(dcn.nic_bandwidth_scale(net::HostId(1)), 1.0);
+}
+
+// ------------------------------------------------------------- FaultPlan --
+
+TEST(FaultPlanTest, RandomPlansAreSeedDeterministic) {
+  const ClusterShape shape{16, 4};
+  FaultPlan::RandomSpec spec;
+  spec.device_crashes = 3;
+  spec.stragglers = 3;
+  spec.link_degrades = 2;
+  spec.partitions = 1;
+  const FaultPlan a = FaultPlan::Random(7, shape, spec);
+  const FaultPlan b = FaultPlan::Random(7, shape, spec);
+  const FaultPlan c = FaultPlan::Random(8, shape, spec);
+  ASSERT_EQ(a.size(), b.size());
+  bool differs_from_c = a.size() != c.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].device, b.events()[i].device);
+    EXPECT_EQ(a.events()[i].host, b.events()[i].host);
+    EXPECT_EQ(a.events()[i].severity, b.events()[i].severity);
+    if (!differs_from_c && (a.events()[i].at != c.events()[i].at ||
+                            a.events()[i].severity != c.events()[i].severity)) {
+      differs_from_c = true;
+    }
+  }
+  EXPECT_TRUE(differs_from_c) << "different seeds produced identical plans";
+}
+
+TEST(FaultPlanTest, SortedOrdersByInjectionTime) {
+  FaultPlan plan;
+  plan.CrashDevice(hw::DeviceId(0), TimePoint() + Duration::Millis(5));
+  plan.SlowDevice(hw::DeviceId(1), TimePoint() + Duration::Millis(1),
+                  Duration::Millis(1), 2.0);
+  auto sorted = plan.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].kind, FaultKind::kStraggler);
+  EXPECT_EQ(sorted[1].kind, FaultKind::kDeviceCrash);
+}
+
+// ------------------------------------- Pathways reaction: abort and retry --
+
+// A training step over `num_devices` devices with an AllReduce, run until
+// success via RunWithRetry.
+CompiledFunction StepFn(int num_devices) {
+  return CompiledFunction::Synthetic("step", num_devices, Duration::Micros(200),
+                                     net::CollectiveKind::kAllReduce, KiB(64));
+}
+
+TEST(FaultReactionTest, CrashAbortsInflightExecutionAndReleasesPeers) {
+  World w;  // 8 devices, one island
+  Client* client = w.runtime->CreateClient();
+  auto slice = client->AllocateSlice(8).value();  // whole island: no spares
+  auto fn = CompiledFunction::Synthetic("big", 8, Duration::Millis(4),
+                                        net::CollectiveKind::kAllReduce,
+                                        KiB(64));
+  auto result = client->RunFunction(fn, slice);
+  // Crash one gang member while the others are heading to the rendezvous.
+  FaultPlan plan;
+  plan.CrashDevice(w.cluster->device(3).id(), TimePoint() + Duration::Millis(2));
+  FaultInjector injector(w.cluster.get(), w.runtime.get(), plan);
+  injector.Arm();
+  w.sim.Run();
+  ASSERT_TRUE(result.ready());
+  EXPECT_TRUE(result.value().failed);
+  // The rendezvous was aborted: nothing is parked, the sim quiesced clean.
+  EXPECT_FALSE(w.sim.Deadlocked());
+  EXPECT_TRUE(w.sim.BlockedEntities().empty());
+  EXPECT_EQ(injector.stats().device_failures, 1);
+  EXPECT_EQ(injector.stats().executions_aborted, 1);
+  EXPECT_EQ(w.runtime->executions_aborted(), 1);
+  // Aborted execution's buffers were garbage-collected.
+  EXPECT_EQ(w.runtime->object_store().live_buffers(), 0);
+}
+
+TEST(FaultReactionTest, RetryAfterCrashSucceedsOnSpareDevices) {
+  World w;  // 8 devices
+  Client* client = w.runtime->CreateClient();
+  auto slice = client->AllocateSlice(4).value();  // island has 4 spares
+  ProgramBuilder pb("train");
+  pb.Call(StepFn(4), slice, {});
+  PathwaysProgram prog = std::move(pb).Build();
+
+  const hw::DeviceId victim =
+      w.runtime->resource_manager().Lookup(slice.devices[0].id);
+  FaultPlan plan;
+  plan.CrashDevice(victim, TimePoint() + Duration::Micros(300),
+                   /*down_for=*/Duration::Millis(20));
+  FaultInjector injector(w.cluster.get(), w.runtime.get(), plan);
+  injector.Arm();
+
+  auto result = client->RunWithRetry(&prog);
+  w.sim.RunUntilPredicate([&result] { return result.ready(); });
+  ASSERT_TRUE(result.ready());
+  EXPECT_FALSE(result.value().failed);
+  EXPECT_GT(result.value().attempts, 1);  // first attempt was aborted
+  EXPECT_GT(client->retries(), 0);
+  // The remap moved the victim's virtual device to a spare.
+  EXPECT_NE(w.runtime->resource_manager().Lookup(slice.devices[0].id), victim);
+  EXPECT_GT(w.runtime->resource_manager().vdevs_remapped(), 0);
+  // Recovery latency was sampled by the injector's observer.
+  EXPECT_EQ(injector.stats().recovery_latency_us.count(), 1);
+  EXPECT_GT(injector.stats().recovery_latency_us.mean(), 0.0);
+  w.sim.Run();
+  EXPECT_FALSE(w.sim.Deadlocked());
+}
+
+TEST(FaultReactionTest, PermanentCrashWithNoSparesExhaustsRetries) {
+  World w(/*hosts=*/1, /*devices_per_host=*/2);
+  Client* client = w.runtime->CreateClient();
+  auto slice = client->AllocateSlice(2).value();  // whole island
+  ProgramBuilder pb("train");
+  pb.Call(StepFn(2), slice, {});
+  PathwaysProgram prog = std::move(pb).Build();
+
+  FaultPlan plan;
+  plan.CrashDevice(w.cluster->device(0).id(),
+                   TimePoint() + Duration::Micros(100));  // permanent
+  FaultInjector injector(w.cluster.get(), w.runtime.get(), plan);
+  injector.Arm();
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = Duration::Micros(100);
+  auto result = client->RunWithRetry(&prog, {}, policy);
+  w.sim.Run();
+  ASSERT_TRUE(result.ready());
+  EXPECT_TRUE(result.value().failed);
+  EXPECT_EQ(result.value().attempts, 3);
+  EXPECT_FALSE(w.sim.Deadlocked());
+  // The virtual device had nowhere to go: counted as stranded.
+  EXPECT_GT(w.runtime->resource_manager().vdevs_stranded(), 0);
+}
+
+TEST(FaultReactionTest, RecoveredDeviceRejoinsAllocationPool) {
+  World w;
+  FaultPlan plan;
+  plan.CrashDevice(w.cluster->device(1).id(), TimePoint() + Duration::Micros(10),
+                   Duration::Micros(50));
+  FaultInjector injector(w.cluster.get(), w.runtime.get(), plan);
+  injector.Arm();
+  w.sim.Run();
+  EXPECT_TRUE(injector.device_up(w.cluster->device(1).id()));
+  EXPECT_TRUE(w.runtime->resource_manager().in_service(w.cluster->device(1).id()));
+  EXPECT_EQ(w.runtime->resource_manager().num_available_devices(),
+            w.cluster->num_devices());
+  EXPECT_EQ(injector.stats().device_recoveries, 1);
+  EXPECT_EQ(injector.stats().device_downtime_us.count(), 1);
+}
+
+TEST(FaultReactionTest, StragglerWindowSlowsOnlyTheWindow) {
+  // One device 4x slower for a window; a step that straddles the window
+  // takes longer, steps after the window return to baseline exactly.
+  auto run_steps = [](bool with_straggler) {
+    World w(/*hosts=*/1, /*devices_per_host=*/2);
+    Client* client = w.runtime->CreateClient();
+    auto slice = client->AllocateSlice(2).value();
+    ProgramBuilder pb("train");
+    pb.Call(StepFn(2), slice, {});
+    PathwaysProgram prog = std::move(pb).Build();
+    FaultInjector* injector = nullptr;
+    FaultPlan plan;
+    if (with_straggler) {
+      plan.SlowDevice(w.cluster->device(0).id(), TimePoint(),
+                      Duration::Millis(2), 4.0);
+    }
+    FaultInjector inj(w.cluster.get(), w.runtime.get(), plan);
+    inj.Arm();
+    injector = &inj;
+    (void)injector;
+    std::vector<double> step_ms;
+    for (int i = 0; i < 6; ++i) {
+      const TimePoint begin = w.sim.now();
+      auto r = client->Run(&prog);
+      w.sim.RunUntilPredicate([&r] { return r.ready(); });
+      step_ms.push_back((w.sim.now() - begin).ToMillis());
+    }
+    w.sim.Run();
+    return step_ms;
+  };
+  const auto base = run_steps(false);
+  const auto faulted = run_steps(true);
+  EXPECT_GT(faulted[0], base[0]);                  // inside the window
+  EXPECT_EQ(faulted.back(), base.back());          // fully recovered
+}
+
+TEST(FaultReactionTest, AbortWithParkedReservationDoesNotWedgeDeviceStream) {
+  // An output-shard reservation parked behind HBM back-pressure when its
+  // execution aborts must still resolve (vacuously) once memory frees;
+  // a dropped grant would stall the device executor's in-order enqueue
+  // stream forever, freezing every later program on that device.
+  hw::SystemParams params = hw::SystemParams::TpuDefault();
+  params.host_jitter_frac = 0;
+  params.hbm_capacity = MiB(100);
+  sim::Simulator sim;
+  auto cluster = std::make_unique<hw::Cluster>(&sim, params, 1, 1, 2);
+  PathwaysRuntime runtime(cluster.get(), pathways::PathwaysOptions{});
+  Client* client = runtime.CreateClient();
+
+  // Fill most of device 0 so the next output reservation parks.
+  auto& store = runtime.object_store();
+  pathways::ShardedBuffer hog = store.CreateBuffer(
+      client->id(), pathways::ExecutionId(), {cluster->device(0).id()}, MiB(90));
+  sim.Run();
+
+  auto slice = client->AllocateSlice(2).value();
+  auto fn = xlasim::CompiledFunction::Synthetic("big_out", 2,
+                                                Duration::Micros(100),
+                                                std::nullopt, 0, MiB(50));
+  auto doomed = client->RunFunction(fn, slice);
+  sim.RunFor(Duration::Millis(1));  // preps ran; dev0's reservation is parked
+  EXPECT_FALSE(doomed.ready());
+
+  cluster->device(1).Fail();  // doom the execution while the grant queues
+  runtime.AbortExecutionsUsing(cluster->device(1).id());
+  store.Release(hog.id);  // capacity frees; the stale grant must fire
+  sim.Run();
+  ASSERT_TRUE(doomed.ready());
+  EXPECT_TRUE(doomed.value().failed);
+  EXPECT_EQ(store.hbm_used(cluster->device(0).id()), 0);
+
+  // The stream on device 0 must still be alive for new work.
+  cluster->device(1).Recover();
+  auto fresh_slice = client->AllocateSlice(1).value();
+  auto small = xlasim::CompiledFunction::Synthetic("small", 1,
+                                                   Duration::Micros(50));
+  auto after = client->RunFunction(small, fresh_slice);
+  sim.Run();
+  EXPECT_TRUE(after.ready());
+  EXPECT_FALSE(after.value().failed);
+  EXPECT_FALSE(sim.Deadlocked());
+}
+
+TEST(FaultReactionTest, OverlappingWindowsMergePerTarget) {
+  // Two overlapping straggler windows on one device and two overlapping
+  // partitions on one host: the effect must persist until the union of the
+  // windows closes, not until the first window's revert fires.
+  World w;
+  FaultPlan plan;
+  plan.SlowDevice(w.cluster->device(0).id(), TimePoint() + Duration::Millis(1),
+                  Duration::Millis(2), 2.0);   // [1ms, 3ms)
+  plan.SlowDevice(w.cluster->device(0).id(), TimePoint() + Duration::Millis(2),
+                  Duration::Millis(4), 3.0);   // [2ms, 6ms)
+  const net::HostId host = w.cluster->host(1).id();
+  plan.PartitionHost(host, TimePoint() + Duration::Millis(1),
+                     Duration::Millis(2));     // [1ms, 3ms)
+  plan.PartitionHost(host, TimePoint() + Duration::Millis(2),
+                     Duration::Millis(4));     // [2ms, 6ms)
+  FaultInjector injector(w.cluster.get(), w.runtime.get(), plan);
+  injector.Arm();
+
+  auto& dev = w.cluster->device(0);
+  auto& dcn = w.cluster->dcn();
+  w.sim.RunUntil(TimePoint() + Duration::Millis(2.5));
+  EXPECT_EQ(dev.compute_multiplier(), 3.0);  // last applied severity wins
+  EXPECT_TRUE(dcn.partitioned(host));
+  w.sim.RunUntil(TimePoint() + Duration::Millis(4));  // first windows expired
+  EXPECT_EQ(dev.compute_multiplier(), 3.0)
+      << "first window's revert must not cut the second window short";
+  EXPECT_TRUE(dcn.partitioned(host));
+  w.sim.Run();  // past 6ms: union of windows closed
+  EXPECT_EQ(dev.compute_multiplier(), 1.0);
+  EXPECT_FALSE(dcn.partitioned(host));
+}
+
+TEST(FaultReactionTest, EmptyPlanInjectorIsInert) {
+  auto run = [](bool with_injector) {
+    World w;
+    Client* client = w.runtime->CreateClient();
+    auto slice = client->AllocateSlice(4).value();
+    std::unique_ptr<FaultInjector> injector;
+    if (with_injector) {
+      injector = std::make_unique<FaultInjector>(w.cluster.get(),
+                                                 w.runtime.get(), FaultPlan{});
+      injector->Arm();
+    }
+    auto r = client->RunFunction(StepFn(4), slice);
+    w.sim.Run();
+    EXPECT_TRUE(r.ready());
+    return std::make_pair(w.sim.now().nanos(), w.sim.events_executed());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace pw::faults

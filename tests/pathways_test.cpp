@@ -106,6 +106,73 @@ TEST(ResourceManagerTest, RemoveTwiceFails) {
   EXPECT_EQ(rm.RemoveDevice(dev).code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(ResourceManagerTest, RemapKeepsSliceOnDistinctDevices) {
+  // Shards of one slice must never share a physical device after a remap
+  // (two gang members on one single-threaded device deadlock at their
+  // collective), so the remap target set excludes the slice's own devices.
+  World w(/*hosts=*/1, /*devices_per_host=*/3);
+  ResourceManager& rm = w.runtime->resource_manager();
+  auto s = rm.AllocateSlice(ClientId(0), 2);
+  ASSERT_TRUE(s.ok());
+  const hw::DeviceId d0 = rm.Lookup(s->devices[0].id);
+  const hw::DeviceId d1 = rm.Lookup(s->devices[1].id);
+  ASSERT_TRUE(rm.MarkDeviceFailed(d0).ok());
+  const hw::DeviceId remapped = rm.Lookup(s->devices[0].id);
+  EXPECT_NE(remapped, d0);
+  EXPECT_NE(remapped, d1) << "remap collapsed two gang members onto one core";
+  EXPECT_EQ(rm.vdevs_remapped(), 1);
+  EXPECT_EQ(rm.vdevs_stranded(), 0);
+}
+
+TEST(ResourceManagerTest, CrashWithNoViableSpareStrandsVdev) {
+  World w(/*hosts=*/1, /*devices_per_host=*/2);
+  ResourceManager& rm = w.runtime->resource_manager();
+  auto s = rm.AllocateSlice(ClientId(0), 2);  // slice covers the island
+  ASSERT_TRUE(s.ok());
+  const hw::DeviceId d0 = rm.Lookup(s->devices[0].id);
+  // A crash always takes the device out of service, even with nowhere to
+  // remap: the vdev stays pointed at the dead device (stranded).
+  ASSERT_TRUE(rm.MarkDeviceFailed(d0).ok());
+  EXPECT_FALSE(rm.in_service(d0));
+  EXPECT_EQ(rm.Lookup(s->devices[0].id), d0);
+  EXPECT_EQ(rm.vdevs_stranded(), 1);
+  // Unlike a crash, a *drain* of the remaining device must refuse and roll
+  // back (it would strand the other shard).
+  const hw::DeviceId d1 = rm.Lookup(s->devices[1].id);
+  EXPECT_EQ(rm.RemoveDevice(d1).code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(rm.in_service(d1));
+  // Recovery restores service and future allocations.
+  ASSERT_TRUE(rm.MarkDeviceRecovered(d0).ok());
+  EXPECT_TRUE(rm.in_service(d0));
+  EXPECT_EQ(rm.num_available_devices(), 2);
+}
+
+TEST(ResourceManagerTest, MarkFailedTwiceIsFailedPrecondition) {
+  World w;
+  ResourceManager& rm = w.runtime->resource_manager();
+  const hw::DeviceId dev = w.cluster->device(0).id();
+  ASSERT_TRUE(rm.MarkDeviceFailed(dev).ok());
+  EXPECT_EQ(rm.MarkDeviceFailed(dev).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(rm.MarkDeviceFailed(hw::DeviceId(9999)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ResourceManagerTest, ReleaseSliceAfterRemapFreesRemappedLoad) {
+  World w(/*hosts=*/1, /*devices_per_host=*/3);
+  ResourceManager& rm = w.runtime->resource_manager();
+  auto s = rm.AllocateSlice(ClientId(0), 1);
+  ASSERT_TRUE(s.ok());
+  const hw::DeviceId before = rm.Lookup(s->devices[0].id);
+  ASSERT_TRUE(rm.MarkDeviceFailed(before).ok());
+  const hw::DeviceId after = rm.Lookup(s->devices[0].id);
+  ASSERT_NE(before, after);
+  rm.ReleaseSlice(*s);
+  // Load accounting followed the remap: the spare's load drops to zero and
+  // the dead device never went negative.
+  EXPECT_EQ(rm.load(after), 0);
+  EXPECT_EQ(rm.load(before), 0);
+}
+
 TEST(ResourceManagerTest, ReleaseClientDropsAllItsSlices) {
   World w;
   ResourceManager& rm = w.runtime->resource_manager();
@@ -152,6 +219,72 @@ TEST(ObjectStoreTest, GarbageCollectsFailedClientsBuffers) {
   EXPECT_EQ(w.runtime->FailClient(ClientId(1)), 2);
   EXPECT_TRUE(store.Contains(keep.id));
   EXPECT_EQ(store.hbm_used(devices[0]), MiB(5));
+}
+
+TEST(ObjectStoreTest, DeferredBufferReservesPerShardLazily) {
+  World w;
+  ObjectStore& store = w.runtime->object_store();
+  std::vector<hw::DeviceId> devices{w.cluster->device(0).id(),
+                                    w.cluster->device(1).id()};
+  ShardedBuffer buf =
+      store.CreateBufferDeferred(ClientId(0), ExecutionId(5), devices, MiB(10));
+  w.sim.Run();
+  // Deferred: handle exists, ready immediately, but no HBM held yet.
+  EXPECT_TRUE(buf.ready.ready());
+  EXPECT_EQ(store.hbm_used(devices[0]), 0);
+  auto r0 = store.ReserveShard(buf.id, 0);
+  w.sim.Run();
+  EXPECT_TRUE(r0.ready());
+  EXPECT_EQ(store.hbm_used(devices[0]), MiB(10));
+  EXPECT_EQ(store.hbm_used(devices[1]), 0);  // shard 1 still unreserved
+  // Releasing frees only what was actually reserved.
+  store.Release(buf.id);
+  EXPECT_EQ(store.hbm_used(devices[0]), 0);
+  EXPECT_EQ(store.hbm_used(devices[1]), 0);
+}
+
+TEST(ObjectStoreTest, ReservationGrantedAfterReleaseReturnsMemory) {
+  // A deferred shard reservation that is still queued behind HBM
+  // back-pressure when its buffer is released must hand the grant straight
+  // back instead of leaking it.
+  hw::SystemParams params;
+  params.hbm_capacity = MiB(100);
+  World w(1, 1, 1, {}, params);
+  ObjectStore& store = w.runtime->object_store();
+  std::vector<hw::DeviceId> devices{w.cluster->device(0).id()};
+  ShardedBuffer hog = store.CreateBuffer(ClientId(0), ExecutionId(), devices,
+                                         MiB(90));
+  ShardedBuffer deferred =
+      store.CreateBufferDeferred(ClientId(0), ExecutionId(7), devices, MiB(50));
+  w.sim.Run();
+  auto grant = store.ReserveShard(deferred.id, 0);
+  w.sim.Run();
+  EXPECT_FALSE(grant.ready());  // parked behind the hog
+  store.Release(deferred.id);   // released while the reservation queues
+  store.Release(hog.id);        // frees capacity; the stale grant fires...
+  w.sim.Run();
+  // ...and the memory must be back: nothing holds HBM now.
+  EXPECT_EQ(store.hbm_used(devices[0]), 0);
+  EXPECT_FALSE(store.Contains(deferred.id));
+}
+
+TEST(ObjectStoreTest, ReleaseAllForProducerFreesRegardlessOfRefcount) {
+  World w;
+  ObjectStore& store = w.runtime->object_store();
+  std::vector<hw::DeviceId> devices{w.cluster->device(0).id()};
+  ShardedBuffer a = store.CreateBuffer(ClientId(0), ExecutionId(3), devices,
+                                       MiB(4));
+  ShardedBuffer b = store.CreateBuffer(ClientId(0), ExecutionId(3), devices,
+                                       MiB(8));
+  ShardedBuffer other = store.CreateBuffer(ClientId(0), ExecutionId(4), devices,
+                                           MiB(16));
+  w.sim.Run();
+  store.AddRef(a.id);  // refcount 2: an abort must still collect it
+  EXPECT_EQ(store.ReleaseAllForProducer(ExecutionId(3)), 2);
+  EXPECT_FALSE(store.Contains(a.id));
+  EXPECT_FALSE(store.Contains(b.id));
+  EXPECT_TRUE(store.Contains(other.id));
+  EXPECT_EQ(store.hbm_used(devices[0]), MiB(16));
 }
 
 TEST(ObjectStoreTest, BackPressureDelaysReservation) {

@@ -28,9 +28,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
 #include "hw/cluster.h"
 #include "models/step_builder.h"
 #include "pathways/pathways.h"
@@ -88,12 +91,24 @@ struct ScenarioOutcome {
 // TPU parameters so the deterministic Rng path is exercised too. Client A
 // trains a chunked two-island data-parallel step; client B interleaves a
 // small AllReduce probe each step.
-ScenarioOutcome RunScenario() {
+//
+// `plan`, when present, is armed through a faults::FaultInjector before the
+// run (an *empty* plan must leave the outcome bit-identical to no injector
+// at all — that contract is regression-gated below). With a plan the
+// trainer submits through RunWithRetry so aborted steps are resubmitted.
+ScenarioOutcome RunScenario(
+    const std::optional<faults::FaultPlan>& plan = std::nullopt) {
   sim::Simulator sim;
   auto cluster = std::make_unique<hw::Cluster>(
       &sim, hw::SystemParams::TpuDefault(), /*islands=*/2,
       /*hosts_per_island=*/2, /*devices_per_host=*/4);
   PathwaysRuntime runtime(cluster.get(), pathways::PathwaysOptions{});
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (plan.has_value()) {
+    injector = std::make_unique<faults::FaultInjector>(cluster.get(), &runtime,
+                                                       *plan);
+    injector->Arm();
+  }
   Client* trainer = runtime.CreateClient();
   Client* prober = runtime.CreateClient(/*weight=*/2.0);
 
@@ -112,8 +127,9 @@ ScenarioOutcome RunScenario() {
       "probe", 2, Duration::Micros(50), net::CollectiveKind::kAllReduce,
       KiB(64));
 
+  const bool faulted = plan.has_value() && !plan->empty();
   for (int i = 0; i < 3; ++i) {
-    auto done = trainer->Run(&step);
+    auto done = faulted ? trainer->RunWithRetry(&step) : trainer->Run(&step);
     prober->RunFunction(probe_fn, probe_slice);
     sim.RunUntilPredicate([&done] { return done.ready(); });
   }
@@ -166,6 +182,72 @@ TEST(SimDeterminismGolden, MatchesRecordedEventTraceChecksum) {
   EXPECT_EQ(out.Checksum(), kGoldenChecksum)
       << "event-trace checksum mismatch: the engine changed event ordering. "
       << "actual checksum=0x" << std::hex << out.Checksum()
+      << " events=" << std::dec << out.events_executed
+      << " now_ns=" << out.final_now_ns;
+}
+
+// The fault subsystem's determinism-neutrality contract: arming an
+// injector with an EMPTY FaultPlan must reproduce the pre-fault-subsystem
+// goldens bit-for-bit — registering observers, the execution registry, and
+// every `if (faulted)` branch on the hot paths cost zero events and zero
+// reordering.
+TEST(SimDeterminismGolden, FaultFreePlanPreservesGolden) {
+  const ScenarioOutcome out = RunScenario(faults::FaultPlan{});
+  EXPECT_EQ(out.events_executed, kGoldenEventsExecuted)
+      << "an empty fault plan changed the event count";
+  EXPECT_EQ(out.final_now_ns, kGoldenFinalNowNs);
+  EXPECT_EQ(out.Checksum(), kGoldenChecksum)
+      << "an empty fault plan perturbed the event trace. actual checksum=0x"
+      << std::hex << out.Checksum();
+}
+
+// ----------------------------------------------------------------------- //
+// Fault-scenario golden: the same two-island training scenario under a
+// fixed fault plan — one gang member crashes mid-run and recovers, another
+// device straggles at 2.5x, one host NIC is halved, one host is briefly
+// partitioned. Gates the whole failover path (abort, rendezvous release,
+// remap, retry-with-backoff, replay-after-heal) the same way the core
+// engine is gated: any change to failover event ordering moves this
+// checksum. Re-record (values printed on failure) only for intentional
+// semantic changes.
+
+faults::FaultPlan FixedFaultPlan() {
+  faults::FaultPlan plan;
+  plan.CrashDevice(hw::DeviceId(2), TimePoint() + Duration::Millis(2),
+                   /*down_for=*/Duration::Millis(6));
+  plan.SlowDevice(hw::DeviceId(9), TimePoint() + Duration::Millis(1),
+                  /*window=*/Duration::Millis(4), /*multiplier=*/2.5);
+  plan.DegradeHostLink(net::HostId(1), TimePoint() + Duration::Millis(1.5),
+                       /*window=*/Duration::Millis(5), /*bandwidth_scale=*/0.5);
+  plan.PartitionHost(net::HostId(3), TimePoint() + Duration::Millis(2.5),
+                     /*window=*/Duration::Millis(1));
+  return plan;
+}
+
+constexpr std::uint64_t kFaultGoldenChecksum = 0x315ea444bc89b2c0ULL;
+constexpr std::int64_t kFaultGoldenEventsExecuted = 3296;
+constexpr std::int64_t kFaultGoldenFinalNowNs = 18090361921;
+
+TEST(SimDeterminismGolden, FaultScenarioTwoRunsBitIdentical) {
+  const ScenarioOutcome first = RunScenario(FixedFaultPlan());
+  const ScenarioOutcome second = RunScenario(FixedFaultPlan());
+  EXPECT_TRUE(SpansIdentical(first.spans, second.spans))
+      << "same fault plan, same process, different traces";
+  EXPECT_EQ(first.events_executed, second.events_executed);
+  EXPECT_EQ(first.final_now_ns, second.final_now_ns);
+  EXPECT_EQ(first.Checksum(), second.Checksum());
+}
+
+TEST(SimDeterminismGolden, FaultScenarioMatchesRecordedChecksum) {
+  const ScenarioOutcome out = RunScenario(FixedFaultPlan());
+  ASSERT_FALSE(out.spans.empty());
+  EXPECT_EQ(out.events_executed, kFaultGoldenEventsExecuted)
+      << "fault-scenario event count moved";
+  EXPECT_EQ(out.final_now_ns, kFaultGoldenFinalNowNs)
+      << "fault-scenario final clock moved";
+  EXPECT_EQ(out.Checksum(), kFaultGoldenChecksum)
+      << "fault-scenario event-trace checksum mismatch: failover semantics "
+      << "changed. actual checksum=0x" << std::hex << out.Checksum()
       << " events=" << std::dec << out.events_executed
       << " now_ns=" << out.final_now_ns;
 }
