@@ -38,6 +38,17 @@ double PercentileSampler::Percentile(double p) {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+void PercentileSampler::Merge(const PercentileSampler& other) {
+  if (&other == this) {
+    // Self-insert of a vector range is UB under reallocation, and doubling
+    // the sample multiset changes no percentile — nothing to do.
+    return;
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 Histogram::Histogram(double lo, double hi, int buckets)
     : lo_(lo), hi_(hi), counts_(static_cast<std::size_t>(buckets), 0) {
   PW_CHECK_GT(buckets, 0);
@@ -58,6 +69,29 @@ void Histogram::Add(double x) {
   auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
   if (idx >= counts_.size()) idx = counts_.size() - 1;
   ++counts_[idx];
+}
+
+double Histogram::MidpointMean() const {
+  const std::int64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range <= 0) return 0.0;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    sum += static_cast<double>(counts_[i]) *
+           (lo_ + (static_cast<double>(i) + 0.5) * width);
+  }
+  return sum / static_cast<double>(in_range);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  PW_CHECK(SameLayout(other))
+      << "Histogram::Merge requires identical bucket layouts";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
 }
 
 }  // namespace pw

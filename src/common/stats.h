@@ -41,6 +41,10 @@ class PercentileSampler {
   double Percentile(double p);
   double Median() { return Percentile(50.0); }
 
+  // Absorbs another sampler's samples (aggregating per-client recorders
+  // into a fleet-wide view). `other` is unchanged.
+  void Merge(const PercentileSampler& other);
+
  private:
   std::vector<double> samples_;
   bool sorted_ = false;
@@ -57,6 +61,19 @@ class Histogram {
   std::int64_t total() const { return total_; }
   std::int64_t underflow() const { return underflow_; }
   std::int64_t overflow() const { return overflow_; }
+
+  // Mean of in-range samples using bucket midpoints (underflow/overflow
+  // excluded); 0 when nothing landed in range.
+  double MidpointMean() const;
+
+  // True when `other` has the identical bucket layout (so Merge is legal).
+  bool SameLayout(const Histogram& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_ &&
+           counts_.size() == other.counts_.size();
+  }
+
+  // Adds another histogram's counts; the bucket layouts must match exactly.
+  void Merge(const Histogram& other);
 
  private:
   double lo_;

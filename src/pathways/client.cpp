@@ -1,5 +1,6 @@
 #include "pathways/client.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <map>
@@ -9,6 +10,16 @@
 #include "pathways/runtime.h"
 
 namespace pw::pathways {
+
+Duration RetryPolicy::BackoffFor(int failed_attempts) const {
+  const double factor =
+      std::pow(multiplier, static_cast<double>(failed_attempts - 1));
+  const double ns = static_cast<double>(initial_backoff.nanos()) * factor;
+  const double cap = static_cast<double>(max_backoff.nanos());
+  // The inverted comparison routes overflow (inf) and NaN to the cap too.
+  if (!(ns < cap)) return max_backoff;
+  return Duration::Nanos(static_cast<std::int64_t>(ns));
+}
 
 Client::Client(PathwaysRuntime* runtime, ClientId id, hw::Host* host,
                double weight)
@@ -122,15 +133,34 @@ sim::SimFuture<ExecutionResult> Client::RunWithRetry(
         return;
       }
       ++retries_;
-      const Duration backoff =
-          policy.initial_backoff *
-          std::pow(policy.multiplier, static_cast<double>(attempt_no - 1));
       runtime_->simulator().Schedule(
-          backoff, [self, attempt_no] { (*self)(attempt_no + 1); });
+          policy.BackoffFor(attempt_no),
+          [self, attempt_no] { (*self)(attempt_no + 1); });
     });
   };
   (*attempt)(1);
   return outer->future();
+}
+
+void Client::Submit(const PathwaysProgram* program,
+                    std::function<void(const ExecutionResult&)> done,
+                    std::optional<RetryPolicy> retry) {
+  auto fut = retry.has_value() ? RunWithRetry(program, {}, *retry)
+                               : Run(program);
+  fut.Then([this, done = std::move(done)](const ExecutionResult& result) {
+    // A program may list the same node output as a result more than once;
+    // the store holds one reference per buffer, so release each id once.
+    std::vector<LogicalBufferId> released;
+    for (const ShardedBuffer& out : result.outputs) {
+      if (std::find(released.begin(), released.end(), out.id) !=
+          released.end()) {
+        continue;
+      }
+      released.push_back(out.id);
+      runtime_->object_store().Release(out.id);
+    }
+    if (done) done(result);
+  });
 }
 
 sim::SimFuture<ExecutionResult> Client::RunFunction(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -28,13 +29,22 @@ namespace pw::pathways {
 class PathwaysRuntime;
 
 // Retry-with-backoff policy for RunWithRetry: attempt k (1-based) that fails
-// waits initial_backoff * multiplier^(k-1) before resubmitting. Resubmission
-// re-lowers the program, so it picks up any virtual-device remap the
-// resource manager performed after a device failure.
+// waits min(initial_backoff * multiplier^(k-1), max_backoff) before
+// resubmitting. Resubmission re-lowers the program, so it picks up any
+// virtual-device remap the resource manager performed after a device
+// failure. The cap is load-bearing, not cosmetic: the uncapped product
+// overflows Duration's int64 nanoseconds within ~60 doublings, and the
+// resulting negative delay aborts the run inside Simulator::Schedule.
 struct RetryPolicy {
   int max_attempts = 4;
   Duration initial_backoff = Duration::Micros(500);
   double multiplier = 2.0;
+  Duration max_backoff = Duration::Millis(100);
+
+  // Backoff before re-attempting after the `failed_attempts`-th failure
+  // (1-based). Computed in double and clamped to max_backoff *before* the
+  // Duration conversion, so it is overflow-proof for any attempt count.
+  Duration BackoffFor(int failed_attempts) const;
 };
 
 class Client {
@@ -74,6 +84,15 @@ class Client {
   sim::SimFuture<ExecutionResult> RunWithRetry(
       const PathwaysProgram* program, std::vector<ShardedBuffer> args = {},
       RetryPolicy policy = {});
+
+  // Fire-and-observe submission path for workload generators: runs the
+  // program (through RunWithRetry when `retry` is set, so device-failure
+  // aborts resubmit transparently), releases every output buffer on
+  // completion, and invokes `done` with the result. Generators drive this
+  // in a loop; buffer release keeps a long traffic run from accreting HBM.
+  void Submit(const PathwaysProgram* program,
+              std::function<void(const ExecutionResult&)> done,
+              std::optional<RetryPolicy> retry = std::nullopt);
 
   sim::SerialResource& cpu() { return cpu_; }
   PathwaysRuntime& runtime() { return *runtime_; }

@@ -30,17 +30,42 @@ void GangScheduler::SubmitSubgraph(std::shared_ptr<ProgramExecution> exec,
   if (q.entries.empty()) {
     // A newly busy client starts at the current virtual time so it cannot
     // claim a catch-up burst (standard stride-scheduler re-entry rule).
-    double min_pass = std::numeric_limits<double>::infinity();
-    for (const auto& [k, other] : queues_) {
-      if (!other.entries.empty()) min_pass = std::min(min_pass, other.pass);
+    // Virtual time is the backlogged minimum pass; when no queue happens
+    // to be backlogged at this instant (e.g. the only active client's sole
+    // entry is in flight), fall back to the maximum pass over all queues —
+    // without it, a rebase-clamped idle queue re-entering at such an
+    // instant would sit at pass 0 and win a bounded monopoly burst.
+    double anchor = BackloggedMinPass();
+    if (anchor == std::numeric_limits<double>::infinity()) {
+      anchor = 0;
+      for (const auto& [k, other] : queues_) {
+        anchor = std::max(anchor, other.pass);
+      }
     }
-    if (min_pass != std::numeric_limits<double>::infinity()) {
-      q.pass = std::max(q.pass, min_pass);
-    }
+    q.pass = std::max(q.pass, anchor);
   }
   q.stride = 1.0 / std::max(exec->client_weight(), 1e-9);
-  q.entries.push_back(Entry{std::move(exec), std::move(nodes), 0});
+  Enqueue(key, Entry{std::move(exec), std::move(nodes), 0, TimePoint()},
+          /*front=*/false);
   Pump();
+}
+
+double GangScheduler::BackloggedMinPass() const {
+  double min_pass = std::numeric_limits<double>::infinity();
+  for (const auto& [key, q] : queues_) {
+    if (!q.entries.empty()) min_pass = std::min(min_pass, q.pass);
+  }
+  return min_pass;
+}
+
+void GangScheduler::Enqueue(std::int64_t key, Entry entry, bool front) {
+  entry.enqueued_at = runtime_->simulator().now();
+  std::deque<Entry>& q = queues_[key].entries;
+  if (front) {
+    q.push_front(std::move(entry));
+  } else {
+    q.push_back(std::move(entry));
+  }
 }
 
 std::deque<GangScheduler::Entry>* GangScheduler::PickQueue() {
@@ -51,7 +76,31 @@ std::deque<GangScheduler::Entry>* GangScheduler::PickQueue() {
   }
   if (best == nullptr) return nullptr;
   best->pass += best->stride;
+  if (++picks_since_rebase_ >= kRebaseInterval ||
+      best->pass > kRebaseThreshold) {
+    RebasePasses();
+  }
   return &best->entries;
+}
+
+void GangScheduler::RebasePasses() {
+  picks_since_rebase_ = 0;
+  // Anchor at the minimum pass among backlogged queues: they are the ones
+  // whose relative spacing decides upcoming picks. Idle queues clamp at
+  // zero — on re-entry the catch-up rule in SubmitSubgraph lifts them back
+  // to the current virtual time, so no burst can result.
+  const double min_pass = BackloggedMinPass();
+  if (min_pass == std::numeric_limits<double>::infinity() || min_pass <= 0) {
+    return;
+  }
+  for (auto& [key, q] : queues_) {
+    q.pass = std::max(0.0, q.pass - min_pass);
+  }
+  ++pass_rebases_;
+}
+
+void GangScheduler::AgePassesForTesting(double offset) {
+  for (auto& [key, q] : queues_) q.pass += offset;
 }
 
 void GangScheduler::Pump() {
@@ -70,6 +119,11 @@ void GangScheduler::Pump() {
     Pump();
     return;
   }
+  // Accrue this queueing episode's wait on the entry; it is committed to
+  // client_stats_ only when the gang actually dispatches (an abort while
+  // the scheduling decision is in flight drops the entry, and its wait,
+  // so queue_wait / gangs_dispatched stays a per-dispatched-gang delay).
+  entry.picked_wait += runtime_->simulator().now() - entry.enqueued_at;
   pumping_ = true;
   // Scheduling decision cost, then emit the gang's dispatch messages.
   sched_cpu_.Submit(runtime_->params().scheduler_decision_cost,
@@ -120,7 +174,7 @@ void GangScheduler::DispatchGang(Entry entry) {
                 runtime_->options().policy == SchedulerPolicy::kFifo
                     ? 0
                     : shared_entry->exec->client().value();
-            queues_[key].entries.push_front(std::move(*shared_entry));
+            Enqueue(key, std::move(*shared_entry), /*front=*/true);
             Pump();
           });
       pumping_ = false;
@@ -167,6 +221,10 @@ void GangScheduler::DispatchGang(Entry entry) {
   sched_cpu_.Submit(Duration::Zero(), [this, entry = std::move(entry),
                                        node]() mutable {
     ++gangs_dispatched_;
+    ClientSchedStats& stats = client_stats_[entry.exec->client().value()];
+    ++stats.gangs_dispatched;
+    stats.queue_wait += entry.picked_wait;
+    entry.picked_wait = Duration::Zero();
     ++entry.next_node;
     auto exec2 = entry.exec;
     const bool more = entry.next_node < entry.nodes.size();
@@ -176,7 +234,7 @@ void GangScheduler::DispatchGang(Entry entry) {
             runtime_->options().policy == SchedulerPolicy::kFifo
                 ? 0
                 : entry.exec->client().value();
-        queues_[key].entries.push_back(std::move(entry));
+        Enqueue(key, std::move(entry), /*front=*/false);
       }
       pumping_ = false;
       Pump();

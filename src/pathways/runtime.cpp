@@ -45,6 +45,24 @@ int PathwaysRuntime::FailClient(ClientId client) {
   return object_store_.ReleaseAllForOwner(client);
 }
 
+GangScheduler::ClientSchedStats PathwaysRuntime::SchedStatsFor(
+    ClientId client) const {
+  GangScheduler::ClientSchedStats total;
+  for (const auto& sched : schedulers_) {
+    auto it = sched->client_stats().find(client.value());
+    if (it == sched->client_stats().end()) continue;
+    total.gangs_dispatched += it->second.gangs_dispatched;
+    total.queue_wait += it->second.queue_wait;
+  }
+  return total;
+}
+
+std::int64_t PathwaysRuntime::total_pass_rebases() const {
+  std::int64_t total = 0;
+  for (const auto& sched : schedulers_) total += sched->pass_rebases();
+  return total;
+}
+
 void PathwaysRuntime::RegisterExecution(
     const std::shared_ptr<ProgramExecution>& exec) {
   live_execs_[exec->id()] = exec;

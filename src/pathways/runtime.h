@@ -44,6 +44,12 @@ class PathwaysRuntime {
   GangScheduler& scheduler(hw::IslandId island) {
     return *schedulers_.at(static_cast<std::size_t>(island.value()));
   }
+  // Per-client scheduling stats summed over every island scheduler (a
+  // multi-island program queues on several of them). Workload recorders use
+  // this to split end-to-end latency into queueing and execution.
+  GangScheduler::ClientSchedStats SchedStatsFor(ClientId client) const;
+  // Total stride pass rebases across islands (drift-control telemetry).
+  std::int64_t total_pass_rebases() const;
   DeviceExecutor& executor(hw::DeviceId device) {
     return *executors_.at(static_cast<std::size_t>(device.value()));
   }

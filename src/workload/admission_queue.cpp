@@ -1,0 +1,78 @@
+#include "workload/admission_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "pathways/runtime.h"
+
+namespace pw::workload {
+
+const char* ToString(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kDropTail: return "drop-tail";
+    case ShedPolicy::kRejectWithRetry: return "reject-retry";
+  }
+  return "unknown";
+}
+
+AdmissionQueue::AdmissionQueue(pathways::Client* client,
+                               const pathways::PathwaysProgram* program,
+                               AdmissionOptions options,
+                               LatencyRecorder* recorder)
+    : client_(client),
+      program_(program),
+      options_(options),
+      recorder_(recorder) {
+  PW_CHECK(client != nullptr && program != nullptr && recorder != nullptr);
+  PW_CHECK_GT(options_.capacity, 0u);
+  PW_CHECK_GT(options_.max_outstanding, 0);
+}
+
+bool AdmissionQueue::Offer() {
+  recorder_->OnArrival(waiting_.size());
+  return OfferInternal(
+      Request{client_->runtime().simulator().now(), /*offers=*/1});
+}
+
+bool AdmissionQueue::OfferInternal(Request req) {
+  if (waiting_.size() >= options_.capacity) {
+    if (options_.policy == ShedPolicy::kDropTail ||
+        req.offers >= options_.retry.max_attempts) {
+      recorder_->OnShed();
+      return false;
+    }
+    recorder_->OnAdmissionRetry();
+    const Duration backoff = options_.retry.BackoffFor(req.offers);
+    ++req.offers;
+    ++pending_reoffers_;
+    client_->runtime().simulator().Schedule(backoff, [this, req] {
+      --pending_reoffers_;
+      OfferInternal(req);
+    });
+    return true;
+  }
+  waiting_.push_back(req);
+  Pump();
+  return true;
+}
+
+void AdmissionQueue::Pump() {
+  while (outstanding_ < options_.max_outstanding && !waiting_.empty()) {
+    const Request req = waiting_.front();
+    waiting_.pop_front();
+    ++outstanding_;
+    client_->Submit(
+        program_,
+        [this, req](const pathways::ExecutionResult& result) {
+          --outstanding_;
+          recorder_->OnCompletion(
+              client_->runtime().simulator().now() - req.arrival,
+              result.failed);
+          Pump();
+        },
+        options_.retry_executions ? std::optional(options_.retry)
+                                  : std::nullopt);
+  }
+}
+
+}  // namespace pw::workload

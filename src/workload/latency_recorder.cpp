@@ -1,0 +1,55 @@
+#include "workload/latency_recorder.h"
+
+#include <algorithm>
+
+namespace pw::workload {
+
+LatencyRecorder::LatencyRecorder(std::size_t queue_capacity)
+    : queue_depth_(0.0, static_cast<double>(queue_capacity + 1),
+                   static_cast<int>(queue_capacity + 1)),
+      queue_capacity_(queue_capacity) {}
+
+void LatencyRecorder::BeginMeasurementWindow() {
+  latency_us_ = PercentileSampler();
+  queue_depth_ = Histogram(0.0, static_cast<double>(queue_capacity_ + 1),
+                           static_cast<int>(queue_capacity_ + 1));
+}
+
+void LatencyRecorder::OnArrival(std::size_t queue_depth) {
+  ++arrivals_;
+  queue_depth_.Add(static_cast<double>(queue_depth));
+}
+
+void LatencyRecorder::OnCompletion(Duration latency, bool failed) {
+  if (failed) {
+    ++failures_;
+    return;
+  }
+  ++completions_;
+  latency_us_.Add(latency.ToMicros());
+}
+
+double LatencyRecorder::MeanQueueDepth() const {
+  // Integer depth d lands in bucket [d, d+1), so the midpoint mean is the
+  // true mean plus half a bucket (and 0 for an empty histogram).
+  return std::max(0.0, queue_depth_.MidpointMean() - 0.5);
+}
+
+double LatencyRecorder::shed_fraction() const {
+  if (arrivals_ == 0) return 0.0;
+  return static_cast<double>(sheds_) / static_cast<double>(arrivals_);
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  latency_us_.Merge(other.latency_us_);
+  if (queue_depth_.SameLayout(other.queue_depth_)) {
+    queue_depth_.Merge(other.queue_depth_);
+  }
+  arrivals_ += other.arrivals_;
+  completions_ += other.completions_;
+  failures_ += other.failures_;
+  sheds_ += other.sheds_;
+  admission_retries_ += other.admission_retries_;
+}
+
+}  // namespace pw::workload

@@ -1,0 +1,78 @@
+// Per-client record of one traffic run.
+//
+// Collects end-to-end request latency (arrival to result landing back on
+// the client host) in a PercentileSampler, an arrival-sampled queue-depth
+// Histogram, and goodput/shed counters. One recorder per tenant; Merge()
+// folds tenants into a fleet-wide view for reporting.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace pw::workload {
+
+class LatencyRecorder {
+ public:
+  // `queue_capacity` sizes the depth histogram: one unit-wide bucket per
+  // possible waiting-queue depth 0..capacity.
+  explicit LatencyRecorder(std::size_t queue_capacity = 64);
+
+  // --- Event hooks (driven by the generators / admission queue) ---
+  // A request arrived; `queue_depth` is the waiting-queue depth it found.
+  void OnArrival(std::size_t queue_depth);
+  // A full-queue arrival was deferred for a backoff re-offer.
+  void OnAdmissionRetry() { ++admission_retries_; }
+  // A request was shed (drop-tail overflow, or re-offer budget exhausted).
+  void OnShed() { ++sheds_; }
+  // A submitted request resolved. Latency is sampled only for successes;
+  // failures (execution aborted and retries exhausted) count separately.
+  void OnCompletion(Duration latency, bool failed);
+
+  // Discards distribution state (latency samples, depth histogram) while
+  // keeping the cumulative counters. Benches call this when their warmup
+  // transient ends so percentiles and depth describe the same steady-state
+  // window as their differenced counters.
+  void BeginMeasurementWindow();
+
+  // --- Counters ---
+  std::int64_t arrivals() const { return arrivals_; }
+  std::int64_t completions() const { return completions_; }  // goodput
+  std::int64_t failures() const { return failures_; }
+  std::int64_t sheds() const { return sheds_; }
+  std::int64_t admission_retries() const { return admission_retries_; }
+  // Fraction of arrivals shed; 0 when nothing arrived.
+  double shed_fraction() const;
+
+  // --- Distributions ---
+  // Latency percentile in microseconds (p in [0,100]); 0 when empty.
+  double LatencyUs(double percentile) {
+    return latency_us_.Percentile(percentile);
+  }
+  PercentileSampler& latency_us() { return latency_us_; }
+  const Histogram& queue_depth() const { return queue_depth_; }
+  // Mean waiting-queue depth observed by arrivals. Depth samples are
+  // integers in unit-width buckets, so this corrects the half-bucket
+  // offset a raw midpoint estimate would carry.
+  double MeanQueueDepth() const;
+
+  // Folds `other` into this recorder: latency samples and counters always
+  // merge; the depth histograms merge only when both recorders share a
+  // queue_capacity (depth distributions over different capacities are not
+  // comparable — e.g. a closed-loop tenant's capacity-1 recorder folded
+  // into an open-loop fleet view keeps its latencies, drops its depths).
+  void Merge(const LatencyRecorder& other);
+
+ private:
+  PercentileSampler latency_us_;
+  Histogram queue_depth_;
+  std::size_t queue_capacity_;
+  std::int64_t arrivals_ = 0;
+  std::int64_t completions_ = 0;
+  std::int64_t failures_ = 0;
+  std::int64_t sheds_ = 0;
+  std::int64_t admission_retries_ = 0;
+};
+
+}  // namespace pw::workload

@@ -1,0 +1,126 @@
+#include "workload/traffic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "pathways/runtime.h"
+
+namespace pw::workload {
+
+const char* ToString(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kUniform: return "uniform";
+    case ArrivalProcess::kBurst: return "burst";
+  }
+  return "unknown";
+}
+
+namespace {
+sim::Simulator* SimOf(pathways::Client* client) {
+  PW_CHECK(client != nullptr);
+  return &client->runtime().simulator();
+}
+}  // namespace
+
+OpenLoopGenerator::OpenLoopGenerator(pathways::Client* client,
+                                     const pathways::PathwaysProgram* program,
+                                     OpenLoopSpec spec,
+                                     AdmissionOptions admission)
+    : sim_(SimOf(client)),
+      spec_(spec),
+      rng_(spec.seed),
+      recorder_(admission.capacity),
+      queue_(client, program, admission, &recorder_) {
+  PW_CHECK_GT(spec_.rate_per_sec, 0.0);
+  PW_CHECK_GT(spec_.horizon.nanos(), 0);
+  if (spec_.process == ArrivalProcess::kBurst) {
+    PW_CHECK_GT(spec_.burst_size, 0);
+    PW_CHECK_GE(spec_.burst_gap.nanos(), 0);
+  }
+}
+
+void OpenLoopGenerator::Start() {
+  PW_CHECK(!started_) << "OpenLoopGenerator::Start called twice";
+  started_ = true;
+  stop_at_ = sim_->now() + spec_.horizon;
+  ScheduleNext();
+}
+
+Duration OpenLoopGenerator::NextInterarrival() {
+  const double mean_gap_s = 1.0 / spec_.rate_per_sec;
+  switch (spec_.process) {
+    case ArrivalProcess::kPoisson:
+      return Duration::Seconds(rng_.NextExponential(mean_gap_s));
+    case ArrivalProcess::kUniform:
+      return Duration::Seconds(rng_.NextDouble(0.0, 2.0 * mean_gap_s));
+    case ArrivalProcess::kBurst: {
+      if (burst_left_ > 0) {
+        --burst_left_;
+        return spec_.burst_gap;
+      }
+      burst_left_ = spec_.burst_size - 1;
+      // One cycle delivers burst_size arrivals and must average
+      // burst_size/rate of elapsed time to preserve the mean rate, so the
+      // exponential burst-start gap's mean is that cycle time minus the
+      // (burst_size-1)*burst_gap already spent inside the burst (clamped:
+      // a burst_gap so large the intra-burst time alone exceeds the cycle
+      // budget degrades to back-to-back bursts below the requested rate).
+      const double cycle_s = mean_gap_s * static_cast<double>(spec_.burst_size);
+      const double intra_s = static_cast<double>(spec_.burst_size - 1) *
+                             spec_.burst_gap.ToSeconds();
+      return Duration::Seconds(
+          rng_.NextExponential(std::max(cycle_s - intra_s, 0.0)));
+    }
+  }
+  PW_CHECK(false) << "unreachable";
+  return Duration::Zero();
+}
+
+void OpenLoopGenerator::ScheduleNext() {
+  const TimePoint at = sim_->now() + NextInterarrival();
+  if (at >= stop_at_) return;  // open loop ends; in-flight work drains
+  sim_->ScheduleAt(at, [this] {
+    ++generated_;
+    queue_.Offer();
+    ScheduleNext();
+  });
+}
+
+ClosedLoopGenerator::ClosedLoopGenerator(
+    pathways::Client* client, const pathways::PathwaysProgram* program,
+    ClosedLoopSpec spec)
+    : client_(client),
+      program_(program),
+      spec_(spec),
+      recorder_(/*queue_capacity=*/1) {
+  PW_CHECK(client != nullptr && program != nullptr);
+  PW_CHECK_GT(spec_.concurrency, 0);
+  PW_CHECK_GT(spec_.horizon.nanos(), 0);
+}
+
+void ClosedLoopGenerator::Start() {
+  PW_CHECK(!started_) << "ClosedLoopGenerator::Start called twice";
+  started_ = true;
+  stop_at_ = client_->runtime().simulator().now() + spec_.horizon;
+  for (int i = 0; i < spec_.concurrency; ++i) IssueOne();
+}
+
+void ClosedLoopGenerator::IssueOne() {
+  sim::Simulator& sim = client_->runtime().simulator();
+  if (sim.now() >= stop_at_) return;
+  // A closed loop never queues client-side: depth is always 0.
+  recorder_.OnArrival(/*queue_depth=*/0);
+  ++in_flight_;
+  const TimePoint issued = sim.now();
+  client_->Submit(
+      program_,
+      [this, issued, &sim](const pathways::ExecutionResult& result) {
+        --in_flight_;
+        recorder_.OnCompletion(sim.now() - issued, result.failed);
+        IssueOne();
+      },
+      spec_.retry_executions ? std::optional(spec_.retry) : std::nullopt);
+}
+
+}  // namespace pw::workload

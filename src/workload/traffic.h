@@ -1,0 +1,117 @@
+// Deterministic multi-tenant traffic generators (see docs/WORKLOADS.md).
+//
+// OpenLoopGenerator models a population of users who do not wait for each
+// other: inter-arrival gaps are drawn from pw::Rng (Poisson, uniform, or
+// bursty), so offered load is independent of how the system keeps up —
+// the regime where queues actually grow and proportional-share scheduling
+// is observable (paper Fig. 9 under serving traffic). ClosedLoopGenerator
+// models a fixed pool of synchronous callers: a constant `concurrency`
+// requests are always in flight, each reissued on completion.
+//
+// Every generator draws randomness only from its own seeded pw::Rng and
+// schedules only simulator events, so a traffic run is bit-reproducible:
+// same (seed, spec, scenario) => identical event trace, on any platform
+// and across SweepRunner thread counts. Generators capture `this` in
+// simulator callbacks and must outlive the run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "pathways/client.h"
+#include "pathways/program.h"
+#include "sim/simulator.h"
+#include "workload/admission_queue.h"
+#include "workload/latency_recorder.h"
+
+namespace pw::workload {
+
+enum class ArrivalProcess {
+  kPoisson,  // exponential gaps, mean 1/rate — memoryless user population
+  kUniform,  // uniform gaps in [0, 2/rate) — same mean, bounded burstiness
+  kBurst,    // bursts of `burst_size` arrivals `burst_gap` apart; the
+             // exponential gap between bursts is sized so the whole
+             // process keeps the configured mean rate
+};
+
+const char* ToString(ArrivalProcess process);
+
+struct OpenLoopSpec {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  double rate_per_sec = 1000.0;  // mean arrival rate
+  int burst_size = 8;            // kBurst only
+  Duration burst_gap = Duration::Micros(5);
+  // Arrivals are generated in [start time, start time + horizon).
+  Duration horizon = Duration::Millis(50);
+  std::uint64_t seed = 1;
+};
+
+class OpenLoopGenerator {
+ public:
+  OpenLoopGenerator(pathways::Client* client,
+                    const pathways::PathwaysProgram* program,
+                    OpenLoopSpec spec, AdmissionOptions admission = {});
+
+  OpenLoopGenerator(const OpenLoopGenerator&) = delete;
+  OpenLoopGenerator& operator=(const OpenLoopGenerator&) = delete;
+
+  // Schedules the first arrival; call once, then run the simulator.
+  void Start();
+
+  LatencyRecorder& recorder() { return recorder_; }
+  const AdmissionQueue& queue() const { return queue_; }
+  std::int64_t arrivals_generated() const { return generated_; }
+
+ private:
+  void ScheduleNext();
+  Duration NextInterarrival();
+
+  sim::Simulator* sim_;
+  OpenLoopSpec spec_;
+  Rng rng_;
+  LatencyRecorder recorder_;
+  AdmissionQueue queue_;
+  TimePoint stop_at_;
+  int burst_left_ = 0;
+  std::int64_t generated_ = 0;
+  bool started_ = false;
+};
+
+struct ClosedLoopSpec {
+  int concurrency = 4;  // requests always in flight
+  // New requests are issued while now < start time + horizon.
+  Duration horizon = Duration::Millis(50);
+  // Passed to Client::Submit when retry_executions is set.
+  pathways::RetryPolicy retry;
+  bool retry_executions = false;
+};
+
+class ClosedLoopGenerator {
+ public:
+  ClosedLoopGenerator(pathways::Client* client,
+                      const pathways::PathwaysProgram* program,
+                      ClosedLoopSpec spec);
+
+  ClosedLoopGenerator(const ClosedLoopGenerator&) = delete;
+  ClosedLoopGenerator& operator=(const ClosedLoopGenerator&) = delete;
+
+  // Issues the initial `concurrency` requests; call once, then run.
+  void Start();
+
+  LatencyRecorder& recorder() { return recorder_; }
+  int in_flight() const { return in_flight_; }
+
+ private:
+  void IssueOne();
+
+  pathways::Client* client_;
+  const pathways::PathwaysProgram* program_;
+  ClosedLoopSpec spec_;
+  LatencyRecorder recorder_;
+  TimePoint stop_at_;
+  int in_flight_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace pw::workload

@@ -1,0 +1,8 @@
+// Umbrella header for the multi-tenant traffic engine: open/closed-loop
+// generators, bounded admission queues with shed policies, and per-client
+// latency recorders. See docs/WORKLOADS.md for the model and knobs.
+#pragma once
+
+#include "workload/admission_queue.h"
+#include "workload/latency_recorder.h"
+#include "workload/traffic.h"

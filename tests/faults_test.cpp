@@ -465,6 +465,99 @@ TEST(FaultReactionTest, OverlappingWindowsMergePerTarget) {
   EXPECT_FALSE(dcn.partitioned(host));
 }
 
+// ------------------------------------------ Window-merge edge cases --------
+
+TEST(WindowMergeEdgeTest, ZeroLengthCrashWindowIsPermanentDespiteLaterWindow) {
+  // A zero-length crash window means "no recovery event" (permanent). A
+  // later *recovering* window on the same device merges into the outage and
+  // must not revive it: permanent is absorbing under the union-of-windows
+  // rule.
+  World w;
+  const hw::DeviceId dev = w.cluster->device(2).id();
+  FaultPlan plan;
+  plan.CrashDevice(dev, TimePoint() + Duration::Millis(1),
+                   /*down_for=*/Duration::Zero());  // permanent
+  plan.CrashDevice(dev, TimePoint() + Duration::Millis(2),
+                   /*down_for=*/Duration::Millis(1));  // [2ms, 3ms)
+  FaultInjector injector(w.cluster.get(), w.runtime.get(), plan);
+  injector.Arm();
+  w.sim.Run();
+  EXPECT_TRUE(w.cluster->device(dev).failed());
+  EXPECT_EQ(injector.stats().device_failures, 1);  // merged, not re-counted
+  EXPECT_EQ(injector.stats().device_recoveries, 0);
+}
+
+TEST(WindowMergeEdgeTest, ZeroLengthWindowsDieForWindowedFaultKinds) {
+  // Stragglers, link degradation, and partitions have no "permanent"
+  // reading: a zero-length window is a plan bug and must die loudly.
+  FaultPlan plan;
+  EXPECT_DEATH(plan.SlowDevice(hw::DeviceId(0), TimePoint(), Duration::Zero(),
+                               2.0),
+               "windows must end");
+  EXPECT_DEATH(plan.DegradeHostLink(net::HostId(0), TimePoint(),
+                                    Duration::Zero(), 0.5),
+               "windows must end");
+  EXPECT_DEATH(plan.PartitionHost(net::HostId(0), TimePoint(),
+                                  Duration::Zero()),
+               "partitions must heal");
+}
+
+TEST(WindowMergeEdgeTest, ExactlyAdjacentCrashWindowsAreTwoOutages) {
+  // [1ms, 3ms) and [3ms, 5ms): the first recovery and the second crash fire
+  // at the same tick. They must not merge into a never-recovered device —
+  // the revert (armed first) recovers, the apply re-fails, and both outages
+  // are booked.
+  World w;
+  const hw::DeviceId dev = w.cluster->device(1).id();
+  FaultPlan plan;
+  plan.CrashDevice(dev, TimePoint() + Duration::Millis(1), Duration::Millis(2));
+  plan.CrashDevice(dev, TimePoint() + Duration::Millis(3), Duration::Millis(2));
+  FaultInjector injector(w.cluster.get(), w.runtime.get(), plan);
+  injector.Arm();
+  w.sim.RunUntil(TimePoint() + Duration::Millis(4));
+  EXPECT_TRUE(w.cluster->device(dev).failed());  // second window in force
+  w.sim.Run();
+  EXPECT_FALSE(w.cluster->device(dev).failed());
+  EXPECT_EQ(injector.stats().device_failures, 2);
+  EXPECT_EQ(injector.stats().device_recoveries, 2);
+  EXPECT_EQ(injector.stats().device_downtime_us.count(), 2);
+  // Each outage's downtime is its own 2ms window, not the 4ms union.
+  EXPECT_NEAR(injector.stats().device_downtime_us.mean(), 2000.0, 1.0);
+}
+
+TEST(WindowMergeEdgeTest, RecoveryTickCoincidingWithNewWindowHandsOff) {
+  // A straggler window ending at the exact tick the next one starts on the
+  // same device: severity hands off (2x -> 3x) with no gap at 1x in
+  // between, and the effect ends with the second window. Same shape for a
+  // host-link degrade.
+  World w;
+  const hw::DeviceId dev = w.cluster->device(0).id();
+  const net::HostId host = w.cluster->host(1).id();
+  FaultPlan plan;
+  plan.SlowDevice(dev, TimePoint() + Duration::Millis(1), Duration::Millis(2),
+                  2.0);  // [1ms, 3ms)
+  plan.SlowDevice(dev, TimePoint() + Duration::Millis(3), Duration::Millis(3),
+                  3.0);  // [3ms, 6ms)
+  plan.DegradeHostLink(host, TimePoint() + Duration::Millis(1),
+                       Duration::Millis(2), 0.5);
+  plan.DegradeHostLink(host, TimePoint() + Duration::Millis(3),
+                       Duration::Millis(3), 0.25);
+  FaultInjector injector(w.cluster.get(), w.runtime.get(), plan);
+  injector.Arm();
+  w.sim.RunUntil(TimePoint() + Duration::Millis(2));
+  EXPECT_EQ(w.cluster->device(dev).compute_multiplier(), 2.0);
+  EXPECT_EQ(w.cluster->dcn().nic_bandwidth_scale(host), 0.5);
+  w.sim.RunUntil(TimePoint() + Duration::Millis(4));  // past the hand-off tick
+  EXPECT_EQ(w.cluster->device(dev).compute_multiplier(), 3.0)
+      << "first window's revert must not blank the adjacent second window";
+  EXPECT_EQ(w.cluster->dcn().nic_bandwidth_scale(host), 0.25);
+  w.sim.Run();
+  EXPECT_EQ(w.cluster->device(dev).compute_multiplier(), 1.0);
+  EXPECT_EQ(w.cluster->dcn().nic_bandwidth_scale(host), 1.0);
+  EXPECT_EQ(injector.stats().straggler_windows, 2);
+  EXPECT_EQ(injector.stats().link_degrades, 2);
+}
+
 TEST(FaultReactionTest, EmptyPlanInjectorIsInert) {
   auto run = [](bool with_injector) {
     World w;

@@ -636,6 +636,172 @@ TEST(FairnessTest, WeightedStrideApproximatesProportionalShare) {
   EXPECT_LT(ratio, 4.5);
 }
 
+// Keeps resubmitting `prog` on `client` — releasing outputs through the
+// Client::Submit path — until the simulated clock passes `until`.
+void SubmitLoop(World& w, Client* client, const PathwaysProgram* prog,
+                TimePoint until) {
+  client->Submit(prog, [&w, client, prog, until](const ExecutionResult&) {
+    if (w.sim.now() < until) SubmitLoop(w, client, prog, until);
+  });
+}
+
+TEST(FairnessTest, AgedPassesKeepProportionalShare) {
+  // Long-run pass-drift regression (the stride-rebase fix). Passes grow by
+  // one stride per pick, so after enough gangs pass/stride crosses 2^52 and
+  // `pass += stride` rounds to a no-op: the affected queue's virtual time
+  // freezes and tie-breaking hands it the whole island. Simulating years of
+  // traffic is not an option, so AgePassesForTesting advances every queue's
+  // pass by 2^53 — a relative no-op that lands the scheduler exactly in the
+  // degenerate regime. Without RebasePasses (revert the fix to check) the
+  // weight-3 client starves and this test fails; with it, the first pick
+  // rebases the passes back to zero and the shares recover.
+  PathwaysOptions options;
+  options.policy = SchedulerPolicy::kWeightedStride;
+  options.max_inflight_gangs = 2;
+  World w(/*hosts=*/2, /*devices_per_host=*/2, 1, options);
+  Client* c1 = w.runtime->CreateClient(/*weight=*/1.0);
+  Client* c2 = w.runtime->CreateClient(/*weight=*/3.0);
+
+  auto slice1 = c1->AllocateSlice(4).value();
+  auto slice2 = c2->AllocateSlice(4).value();
+  auto fn = CompiledFunction::Synthetic("work", 4, Duration::Micros(330),
+                                        net::CollectiveKind::kAllReduce, 64);
+  ProgramBuilder pb1("p1");
+  pb1.Call(fn, slice1, {});
+  PathwaysProgram prog1 = std::move(pb1).Build();
+  ProgramBuilder pb2("p2");
+  pb2.Call(fn, slice2, {});
+  PathwaysProgram prog2 = std::move(pb2).Build();
+  const TimePoint until = TimePoint() + Duration::Millis(55);
+  for (int i = 0; i < 4; ++i) {
+    SubmitLoop(w, c1, &prog1, until);
+    SubmitLoop(w, c2, &prog2, until);
+  }
+  // Let both queues come into existence, then age the scheduler as if it
+  // had already served ~2^53 units of virtual time.
+  w.sim.RunUntil(TimePoint() + Duration::Millis(2));
+  w.runtime->scheduler(hw::IslandId(0)).AgePassesForTesting(9007199254740992.0);
+  w.sim.RunUntil(TimePoint() + Duration::Millis(60));
+
+  auto busy = w.cluster->trace().BusyPerClient(
+      TimePoint() + Duration::Millis(10), TimePoint() + Duration::Millis(50));
+  ASSERT_GT(busy[c1->id().value()].nanos(), 0)
+      << "weight-1 client starved: pass drift un-rebased";
+  const double ratio = busy[c2->id().value()] / busy[c1->id().value()];
+  EXPECT_GT(ratio, 2.0) << "weight-3 client starved: pass drift un-rebased";
+  EXPECT_LT(ratio, 4.5);
+  EXPECT_GT(w.runtime->scheduler(hw::IslandId(0)).pass_rebases(), 0);
+}
+
+TEST(FairnessTest, IdleClientReEntryGetsNoCatchUpBurst) {
+  // A client that sat idle while another served (and the rebase anchored
+  // passes near zero) must re-enter at the current virtual time, not claim
+  // a catch-up monopoly for the time it was away.
+  PathwaysOptions options;
+  options.policy = SchedulerPolicy::kWeightedStride;
+  options.max_inflight_gangs = 2;
+  World w(/*hosts=*/2, /*devices_per_host=*/2, 1, options);
+  Client* steady = w.runtime->CreateClient(/*weight=*/1.0);
+  Client* late = w.runtime->CreateClient(/*weight=*/1.0);
+
+  auto slice1 = steady->AllocateSlice(4).value();
+  auto slice2 = late->AllocateSlice(4).value();
+  auto fn = CompiledFunction::Synthetic("work", 4, Duration::Micros(330),
+                                        net::CollectiveKind::kAllReduce, 64);
+  ProgramBuilder pb1("steady");
+  pb1.Call(fn, slice1, {});
+  PathwaysProgram prog1 = std::move(pb1).Build();
+  ProgramBuilder pb2("late");
+  pb2.Call(fn, slice2, {});
+  PathwaysProgram prog2 = std::move(pb2).Build();
+
+  const TimePoint until = TimePoint() + Duration::Millis(55);
+  // `late` touches the scheduler once at t=0 (creating its queue at pass
+  // ~0), then goes idle while `steady` accrues 20ms of virtual time.
+  late->Submit(&prog2, {});
+  w.sim.ScheduleAt(TimePoint() + Duration::Millis(2), [&] {
+    for (int i = 0; i < 4; ++i) SubmitLoop(w, steady, &prog1, until);
+  });
+  // `late` re-enters at t=20ms with 4 programs in flight.
+  w.sim.ScheduleAt(TimePoint() + Duration::Millis(20), [&] {
+    for (int i = 0; i < 4; ++i) SubmitLoop(w, late, &prog2, until);
+  });
+  w.sim.RunUntil(TimePoint() + Duration::Millis(60));
+
+  // In the window right after re-entry both clients are backlogged with
+  // equal weights: the late client must share ~50/50, not monopolize.
+  auto busy = w.cluster->trace().BusyPerClient(
+      TimePoint() + Duration::Millis(22), TimePoint() + Duration::Millis(50));
+  const double total = (busy[steady->id().value()] + busy[late->id().value()])
+                           .ToSeconds();
+  ASSERT_GT(total, 0);
+  const double late_share = busy[late->id().value()].ToSeconds() / total;
+  EXPECT_GT(late_share, 0.35);
+  EXPECT_LT(late_share, 0.65) << "idle re-entry claimed a catch-up burst";
+}
+
+// ----------------------------------------------------------- Retry policy --
+
+TEST(RetryPolicyTest, BackoffIsCappedAndMonotone) {
+  RetryPolicy policy;
+  policy.initial_backoff = Duration::Micros(500);
+  policy.multiplier = 2.0;
+  policy.max_backoff = Duration::Millis(10);
+  EXPECT_EQ(policy.BackoffFor(1), Duration::Micros(500));
+  EXPECT_EQ(policy.BackoffFor(2), Duration::Millis(1));
+  EXPECT_EQ(policy.BackoffFor(3), Duration::Millis(2));
+  // 500us * 2^5 = 16ms clamps to the 10ms cap...
+  EXPECT_EQ(policy.BackoffFor(6), Duration::Millis(10));
+  // ...and stays there for any attempt count, including ones where the
+  // uncapped product overflows double and int64 alike.
+  Duration prev = Duration::Zero();
+  for (int k = 1; k <= 400; ++k) {
+    const Duration b = policy.BackoffFor(k);
+    EXPECT_GT(b.nanos(), 0);
+    EXPECT_LE(b, policy.max_backoff);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  EXPECT_EQ(policy.BackoffFor(400), Duration::Millis(10));
+}
+
+TEST(RetryPolicyTest, ManyAttemptsDoNotOverflowSimulatedTime) {
+  // Pre-fix, initial_backoff * pow(multiplier, k-1) overflowed Duration
+  // around k=60 (4^k), producing a negative delay that died inside
+  // Simulator::Schedule. Post-fix the total backoff is bounded by
+  // max_attempts * max_backoff.
+  World w(/*hosts=*/1, /*devices_per_host=*/2);
+  Client* client = w.runtime->CreateClient();
+  auto slice = client->AllocateSlice(2).value();
+  ProgramBuilder pb("train");
+  pb.Call(CompiledFunction::Synthetic("step", 2, Duration::Micros(200),
+                                      net::CollectiveKind::kAllReduce,
+                                      KiB(64)),
+          slice, {});
+  PathwaysProgram prog = std::move(pb).Build();
+
+  // Permanent failure with no spare devices: every attempt aborts.
+  w.sim.Schedule(Duration::Micros(100), [&] {
+    w.cluster->device(0).Fail();
+    (void)w.runtime->resource_manager().MarkDeviceFailed(
+        w.cluster->device(0).id());
+    w.runtime->AbortExecutionsUsing(w.cluster->device(0).id());
+  });
+
+  RetryPolicy policy;
+  policy.max_attempts = 80;
+  policy.multiplier = 4.0;
+  policy.initial_backoff = Duration::Micros(500);
+  policy.max_backoff = Duration::Millis(2);
+  auto result = client->RunWithRetry(&prog, {}, policy);
+  w.sim.Run();
+  ASSERT_TRUE(result.ready());
+  EXPECT_TRUE(result.value().failed);
+  EXPECT_EQ(result.value().attempts, 80);
+  // 80 attempts x (2ms cap + per-attempt work) stays well under a second.
+  EXPECT_LT(w.sim.now().ToSeconds(), 1.0);
+}
+
 // ------------------------------------------------- Back-pressure liveness --
 
 TEST(BackPressureTest, HbmPressureStallsButCompletes) {
