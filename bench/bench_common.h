@@ -86,6 +86,14 @@ class Reporter {
   std::map<std::string, double> summary_;
 };
 
+// Looks up one metric in a sweep result row; 0.0 when absent.
+inline double MetricOf(const sweep::ResultRow& row, const std::string& name) {
+  for (const auto& [k, v] : row.metrics) {
+    if (k == name) return v;
+  }
+  return 0.0;
+}
+
 inline void Header(const std::string& title, const std::string& paper_claim) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());

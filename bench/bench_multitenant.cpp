@@ -202,13 +202,6 @@ sweep::Metrics MeasurePoint(const sweep::ParamPoint& p, bool quick) {
   return m;
 }
 
-double MetricOf(const sweep::ResultRow& row, const std::string& name) {
-  for (const auto& [k, v] : row.metrics) {
-    if (k == name) return v;
-  }
-  return 0.0;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -248,14 +241,14 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < table.rows().size(); ++i) {
     const auto& row = table.rows()[i];
     const auto& p = points[i];
-    const double err = MetricOf(row, "share_err_max");
-    const bool overloaded = MetricOf(row, "overloaded") > 0.5;
+    const double err = pw::bench::MetricOf(row, "share_err_max");
+    const bool overloaded = pw::bench::MetricOf(row, "overloaded") > 0.5;
     if (overloaded) gate_err = std::max(gate_err, err);
     std::printf("%8lld %10.2f %13s %10.1f%% %8.1f%% %9.0f %10.0f %10s\n",
                 static_cast<long long>(p.GetInt("clients")),
                 p.GetDouble("rate_scale"), p.GetString("policy").c_str(),
-                100 * err, 100 * MetricOf(row, "shed_frac"),
-                MetricOf(row, "p50_us"), MetricOf(row, "p99_us"),
+                100 * err, 100 * pw::bench::MetricOf(row, "shed_frac"),
+                pw::bench::MetricOf(row, "p50_us"), pw::bench::MetricOf(row, "p99_us"),
                 overloaded ? "yes" : "no");
   }
   std::printf("\ndeterminism across SweepRunner thread counts: %s\n",

@@ -65,8 +65,13 @@ void Histogram::Add(double x) {
     ++overflow_;
     return;
   }
-  const double frac = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  // Index by bucket width, not by fraction-of-range: (x/(hi-lo))*buckets
+  // double-rounds, and for integer samples in unit-width buckets (queue
+  // depths) the rounding can push a sample one bucket low — e.g. lo=0,
+  // hi=22, 22 buckets, x=15 lands in bucket 14. Dividing by the width keeps
+  // unit-width integer bucketing exact.
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>((x - lo_) / width);
   if (idx >= counts_.size()) idx = counts_.size() - 1;
   ++counts_[idx];
 }

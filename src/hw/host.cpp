@@ -8,7 +8,8 @@ Host::Host(sim::Simulator* sim, HostId id, const SystemParams& params,
       id_(id),
       params_(params),
       dcn_(dcn),
-      cpu_(sim, "host" + std::to_string(id.value()) + "/cpu") {
+      cpu_(sim, "host" + std::to_string(id.value()) + "/cpu"),
+      dram_(params.host_dram_capacity) {
   dcn_->AddHost(id_);
 }
 

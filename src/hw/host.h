@@ -15,6 +15,7 @@
 #include "common/units.h"
 #include "hw/device.h"
 #include "hw/system_params.h"
+#include "memory/dram_allocator.h"
 #include "net/dcn.h"
 #include "net/link.h"
 #include "sim/serial_resource.h"
@@ -70,12 +71,18 @@ class Host {
   net::DcnFabric& dcn() { return *dcn_; }
   const SystemParams& params() const { return params_; }
 
+  // Host DRAM backing spilled/staged device data (capacity accounting only;
+  // the spill data path itself rides the device's PCIe link).
+  memory::DramAllocator& dram() { return dram_; }
+  const memory::DramAllocator& dram() const { return dram_; }
+
  private:
   sim::Simulator* sim_;
   HostId id_;
   const SystemParams& params_;
   net::DcnFabric* dcn_;
   sim::SerialResource cpu_;
+  memory::DramAllocator dram_;
   std::vector<Device*> devices_;
   std::map<DeviceId, std::unique_ptr<net::Link>> pcie_;
 };

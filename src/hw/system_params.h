@@ -57,6 +57,9 @@ struct SystemParams {
   Bytes hbm_capacity = GiB(16);
   Duration kernel_launch_overhead = Duration::Micros(3);
 
+  // --- Host DRAM (spill target for cold device buffers, docs/MEMORY.md) ---
+  Bytes host_dram_capacity = GiB(64);
+
   std::uint64_t seed = 42;
 
   // TPU-pod-like defaults (used by configs A/B/C).

@@ -1,0 +1,53 @@
+// Host-DRAM capacity accounting for spilled/staged device data.
+//
+// Unlike HBM, host DRAM is not a back-pressured resource in this model:
+// spills are opportunistic, so a caller that cannot get DRAM simply skips
+// the spill (the victim stays resident) instead of queueing. TryAllocate /
+// Free keep exact byte accounting so tests can assert that fault unwinding
+// returns every spilled byte.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace pw::memory {
+
+class DramAllocator {
+ public:
+  explicit DramAllocator(Bytes capacity) : capacity_(capacity) {
+    PW_CHECK_GT(capacity, 0);
+  }
+
+  DramAllocator(const DramAllocator&) = delete;
+  DramAllocator& operator=(const DramAllocator&) = delete;
+
+  // Returns false (and allocates nothing) if `bytes` does not fit.
+  bool TryAllocate(Bytes bytes) {
+    PW_CHECK_GE(bytes, 0);
+    if (bytes > available()) return false;
+    used_ += bytes;
+    peak_ = std::max(peak_, used_);
+    return true;
+  }
+
+  void Free(Bytes bytes) {
+    PW_CHECK_GE(bytes, 0);
+    PW_CHECK_LE(bytes, used_) << "freeing more DRAM than allocated";
+    used_ -= bytes;
+  }
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes available() const { return capacity_ - used_; }
+  Bytes peak_used() const { return peak_; }
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  Bytes peak_ = 0;
+};
+
+}  // namespace pw::memory

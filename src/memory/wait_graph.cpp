@@ -1,0 +1,94 @@
+#include "memory/wait_graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace pw::memory {
+
+void WaitForGraph::AddEdge(std::int64_t from, std::int64_t to,
+                           std::string label) {
+  edges_[from].push_back(Edge{to, std::move(label)});
+}
+
+std::size_t WaitForGraph::num_edges() const {
+  std::size_t n = 0;
+  for (const auto& [from, out] : edges_) n += out.size();
+  return n;
+}
+
+std::vector<std::int64_t> WaitForGraph::FindCycle() const {
+  // Iterative DFS keeping the gray path explicitly; std::map iteration gives
+  // a deterministic visit order, so the same graph reports the same cycle.
+  enum : int { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::map<std::int64_t, int> color;
+  for (const auto& [start, unused] : edges_) {
+    (void)unused;
+    if (color[start] != kWhite) continue;
+    std::vector<std::pair<std::int64_t, std::size_t>> stack;  // (node, next edge)
+    std::vector<std::int64_t> path;
+    stack.emplace_back(start, 0);
+    while (!stack.empty()) {
+      const std::int64_t node = stack.back().first;
+      const std::size_t idx = stack.back().second;
+      if (idx == 0) {
+        color[node] = kGray;
+        path.push_back(node);
+      }
+      const auto it = edges_.find(node);
+      const std::size_t degree = it == edges_.end() ? 0 : it->second.size();
+      if (idx < degree) {
+        ++stack.back().second;
+        const std::int64_t next = it->second[idx].to;
+        if (color[next] == kGray) {
+          // Back edge: the gray path from `next` to `node` closes a cycle.
+          auto pos = std::find(path.begin(), path.end(), next);
+          std::vector<std::int64_t> cycle(pos, path.end());
+          cycle.push_back(next);
+          return cycle;
+        }
+        if (color[next] == kWhite) stack.emplace_back(next, 0);
+      } else {
+        color[node] = kBlack;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::string WaitForGraph::DescribeCycle(
+    const std::map<std::int64_t, std::string>& names) const {
+  const std::vector<std::int64_t> cycle = FindCycle();
+  if (cycle.empty()) return "";
+  auto name_of = [&names](std::int64_t id) -> std::string {
+    auto it = names.find(id);
+    if (it != names.end()) return it->second;
+    std::ostringstream os;
+    os << "entity " << id;
+    return os.str();
+  };
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (i > 0) {
+      // Attach the edge label between cycle[i-1] and cycle[i], if any.
+      std::string label;
+      auto it = edges_.find(cycle[i - 1]);
+      if (it != edges_.end()) {
+        for (const Edge& e : it->second) {
+          if (e.to == cycle[i] && !e.label.empty()) {
+            label = e.label;
+            break;
+          }
+        }
+      }
+      os << " -> ";
+      if (!label.empty()) os << "[" << label << "] ";
+    }
+    os << name_of(cycle[i]);
+  }
+  return os.str();
+}
+
+}  // namespace pw::memory

@@ -1,0 +1,43 @@
+// Wait-for graph over opaque entity ids (executions, staged buffers).
+//
+// The spill subsystem builds one of these when a device has a stalled HBM
+// reservation it cannot relieve: an edge a -> b means "a's front reservation
+// is stalled on a device where b holds granted memory". A cycle is a true
+// reservation deadlock — with reservation ordering enforced it cannot form,
+// so finding one is a PW_CHECK-worthy invariant violation that names the
+// culprits instead of letting the event queue drain silently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pw::memory {
+
+class WaitForGraph {
+ public:
+  void AddEdge(std::int64_t from, std::int64_t to, std::string label = "");
+
+  bool empty() const { return edges_.empty(); }
+  std::size_t num_edges() const;
+
+  // Node ids of one cycle (first node repeated at the end), or empty if the
+  // graph is acyclic. Deterministic: nodes and edges are visited in id order.
+  std::vector<std::int64_t> FindCycle() const;
+
+  // "exec 3 -> exec 5 (dev1 HBM) -> exec 3" rendering of FindCycle(); ""
+  // when acyclic. `names` overrides the default "entity <id>" display name.
+  std::string DescribeCycle(
+      const std::map<std::int64_t, std::string>& names = {}) const;
+
+ private:
+  struct Edge {
+    std::int64_t to;
+    std::string label;
+  };
+  // from -> edges, both sides iterated in sorted order for determinism.
+  std::map<std::int64_t, std::vector<Edge>> edges_;
+};
+
+}  // namespace pw::memory

@@ -15,12 +15,20 @@ TimePoint DcnFabric::Send(HostId src, HostId dst, Bytes bytes,
                           std::function<void()> on_delivered) {
   PW_CHECK(nics_.contains(src)) << "unknown src host " << src;
   PW_CHECK(nics_.contains(dst)) << "unknown dst host " << dst;
+  // Counted at submission, held or not: throughput telemetry sampled during
+  // a fault window must see the traffic *offered* in that window, not a
+  // heal-time replay burst misattributed to the recovery period.
+  ++messages_;
+  bytes_ += bytes;
+  return Route(src, dst, bytes, std::move(on_delivered));
+}
+
+TimePoint DcnFabric::Route(HostId src, HostId dst, Bytes bytes,
+                           std::function<void()> on_delivered) {
   if (src == dst) {
     // Loopback: no NIC serialization, small fixed cost. Never held by a
     // partition — a partition cuts the fabric, and loopback traffic does
     // not touch the fabric.
-    ++messages_;
-    bytes_ += bytes;
     const TimePoint at = sim_->now() + Duration::Micros(1);
     sim_->ScheduleAt(at, std::move(on_delivered));
     return at;
@@ -34,8 +42,6 @@ TimePoint DcnFabric::Send(HostId src, HostId dst, Bytes bytes,
       return sim_->now();  // lower bound; actual delivery awaits the heal
     }
   }
-  ++messages_;
-  bytes_ += bytes;
   return nics_[src]->Transfer(bytes + params_.per_message_header,
                               std::move(on_delivered));
 }
@@ -65,19 +71,28 @@ void DcnFabric::SetPartitioned(HostId host, bool partitioned) {
   }
   auto it = partitioned_.find(host);
   if (it == partitioned_.end()) return;
-  // Heal: replay held messages in original order. Send() re-checks the
-  // other endpoint, so a message whose peer is still partitioned simply
-  // moves to that peer's hold queue.
+  // Heal: replay held messages in original order, without re-counting them
+  // (each was counted when first offered). Route() re-checks the other
+  // endpoint, so a message whose peer is still partitioned simply moves to
+  // that peer's hold queue.
   std::vector<HeldMessage> held = std::move(it->second);
   partitioned_.erase(it);
   for (HeldMessage& m : held) {
-    Send(m.src, m.dst, m.bytes, std::move(m.on_delivered));
+    Route(m.src, m.dst, m.bytes, std::move(m.on_delivered));
   }
 }
 
 std::size_t DcnFabric::messages_held() const {
   std::size_t n = 0;
   for (const auto& [host, queue] : partitioned_) n += queue.size();
+  return n;
+}
+
+Bytes DcnFabric::held_bytes() const {
+  Bytes n = 0;
+  for (const auto& [host, queue] : partitioned_) {
+    for (const HeldMessage& m : queue) n += m.bytes;
+  }
   return n;
 }
 

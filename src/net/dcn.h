@@ -48,7 +48,10 @@ class DcnFabric {
   // (src == dst) messages are delivered after a loopback cost only. If
   // either endpoint is partitioned the message is held (FIFO, per
   // partitioned host) and re-submitted when that host heals; the returned
-  // TimePoint is then only a lower bound on delivery.
+  // TimePoint is then only a lower bound on delivery. Held messages still
+  // count toward messages_sent()/bytes_sent() at submission time — traffic
+  // telemetry attributes load to when it was offered, not to the heal-time
+  // replay burst (held_bytes() exposes the in-limbo amount separately).
   TimePoint Send(HostId src, HostId dst, Bytes bytes,
                  std::function<void()> on_delivered);
 
@@ -66,6 +69,10 @@ class DcnFabric {
   void SetPartitioned(HostId host, bool partitioned);
   bool partitioned(HostId host) const { return partitioned_.contains(host); }
   std::size_t messages_held() const;
+  // Payload bytes currently parked in partition hold queues (already
+  // counted in bytes_sent(); they leave this number when the heal replays
+  // them onto the wire).
+  Bytes held_bytes() const;
 
   const DcnParams& params() const { return params_; }
   std::int64_t messages_sent() const { return messages_; }
@@ -78,6 +85,11 @@ class DcnFabric {
     Bytes bytes;
     std::function<void()> on_delivered;
   };
+
+  // Send() minus the counting: used for heal-time replay, whose messages
+  // were already counted when first submitted.
+  TimePoint Route(HostId src, HostId dst, Bytes bytes,
+                  std::function<void()> on_delivered);
 
   sim::Simulator* sim_;
   DcnParams params_;

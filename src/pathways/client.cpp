@@ -54,9 +54,17 @@ ShardedBuffer Client::TransferToDevice(const VirtualSlice& slice,
       &runtime_->simulator(), static_cast<int>(devices.size()));
   for (std::size_t i = 0; i < devices.size(); ++i) {
     const hw::DeviceId dev = devices[i];
-    reservations[i].Then([this, dev, bytes_per_shard, landed](const sim::Unit&) {
+    const int shard = static_cast<int>(i);
+    const LogicalBufferId id = buffer.id;
+    reservations[i].Then([this, id, shard, dev, bytes_per_shard,
+                          landed](const sim::Unit&) {
       runtime_->cluster().host_of(dev).pcie(dev).Transfer(
-          bytes_per_shard, [landed] { landed->CountDown(); });
+          bytes_per_shard, [this, id, shard, landed] {
+            // Data is on the device: from here the shard is cold-spillable
+            // until an execution reads it.
+            runtime_->object_store().MarkShardContentReady(id, shard);
+            landed->CountDown();
+          });
     });
   }
   buffer.ready = landed->done();

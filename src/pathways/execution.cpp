@@ -1,6 +1,8 @@
 #include "pathways/execution.h"
 
+#include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/logging.h"
 #include "pathways/runtime.h"
@@ -128,34 +130,84 @@ void ProgramExecution::WireEdge(int consumer_node, int operand_index) {
       // Trigger: producer shard i ready AND consumer shard j prepped.
       sim::SimFuture<sim::Unit> producer_ready;
       hw::DeviceId src_dev;
+      LogicalBufferId src_buf;
       if (src.kind == ValueRef::Kind::kNodeOutput) {
         NodeState& pstate = nodes_[static_cast<std::size_t>(src.index)];
         producer_ready =
             pstate.shards[static_cast<std::size_t>(i)].output_ready->future();
         src_dev = pstate.devices[static_cast<std::size_t>(i)];
+        src_buf = pstate.output.id;
       } else {
         const ShardedBuffer& arg = args_[static_cast<std::size_t>(src.index)];
         producer_ready = arg.ready;
         src_dev = arg.shards[static_cast<std::size_t>(i)].device;
+        src_buf = arg.id;
       }
       const auto consumer_prepped =
           cstate.shards[static_cast<std::size_t>(j)].prep_done->future();
       auto self = shared_from_this();
       sim::WhenAll(sim, {producer_ready, consumer_prepped})
-          .Then([self, src_dev, dst_dev, piece_bytes, latch](const sim::Unit&) {
-            self->StartTransfer(src_dev, dst_dev, piece_bytes, latch);
+          .Then([self, src_buf, src_shard = i, src_dev, dst_dev, piece_bytes,
+                 latch](const sim::Unit&) {
+            self->StartTransfer(src_buf, src_shard, src_dev, dst_dev,
+                                piece_bytes, latch);
           });
     }
   }
 }
 
-void ProgramExecution::StartTransfer(hw::DeviceId src, hw::DeviceId dst,
+void ProgramExecution::StartTransfer(LogicalBufferId src_buffer, int src_shard,
+                                     hw::DeviceId src, hw::DeviceId dst,
                                      Bytes bytes,
                                      std::shared_ptr<sim::CountdownLatch> latch) {
   if (aborted_) return;  // input latches were force-completed by Abort()
+  ObjectStore& store = runtime_->object_store();
   hw::Cluster& cluster = runtime_->cluster();
+  auto self = shared_from_this();
+  // Pin the source shard for the duration of the read (spill victims must
+  // not be mid-read). Spilled sources are *read through* from host DRAM
+  // into the consumer's input staging — consumption never re-acquires HBM,
+  // which is what keeps spilling deadlock-free against the non-preemptible
+  // in-order device streams (docs/MEMORY.md).
+  store.PinShard(src_buffer, src_shard);
+  outstanding_reads_.emplace_back(src_buffer, src_shard);
+  if (store.ShardInDram(src_buffer, src_shard)) {
+    hw::Host& src_host = cluster.host_of(src);
+    hw::Host& dst_host = cluster.host_of(dst);
+    ++transfers_;
+    store.NoteDramRead(bytes);
+    if (src == dst) {
+      // Paging the bytes back to their own device: if idle HBM is free this
+      // doubles as a restore (the shard becomes resident again — the
+      // "spilled argument paged back in before its gang runs" path).
+      store.TryRestoreShard(src_buffer, src_shard);
+      dst_host.pcie(dst).Transfer(bytes, [self, src_buffer, src_shard, latch] {
+        self->FinishRead(src_buffer, src_shard);
+        latch->CountDown();
+      });
+      return;
+    }
+    if (src_host.id() == dst_host.id()) {
+      // DRAM → destination device over the destination's PCIe link.
+      dst_host.pcie(dst).Transfer(bytes, [self, src_buffer, src_shard, latch] {
+        self->FinishRead(src_buffer, src_shard);
+        latch->CountDown();
+      });
+      return;
+    }
+    // DRAM → DCN → destination host → destination device.
+    src_host.SendDcn(dst_host.id(), bytes, [self, src_buffer, src_shard,
+                                            &dst_host, dst, bytes, latch] {
+      self->FinishRead(src_buffer, src_shard);
+      dst_host.pcie(dst).Transfer(bytes, [latch] { latch->CountDown(); });
+    });
+    return;
+  }
   if (src == dst) {
-    // Producer output is directly addressable: no data movement.
+    // Producer output is directly addressable and the consumer's prep
+    // staging already covers input_bytes_per_shard: the operand is handed
+    // off in place, completing this read immediately.
+    FinishRead(src_buffer, src_shard);
     latch->CountDown();
     return;
   }
@@ -163,21 +215,37 @@ void ProgramExecution::StartTransfer(hw::DeviceId src, hw::DeviceId dst,
   const hw::IslandId src_island = cluster.device(src).island();
   const hw::IslandId dst_island = cluster.device(dst).island();
   if (src_island == dst_island) {
-    // Device-to-device over the island's private interconnect.
+    // Device-to-device over the island's private interconnect; the read
+    // completes once the data has landed.
     cluster.island_of(src).Transfer(src, dst, bytes).Then(
-        [latch](const sim::Unit&) { latch->CountDown(); });
+        [self, src_buffer, src_shard, latch](const sim::Unit&) {
+          self->FinishRead(src_buffer, src_shard);
+          latch->CountDown();
+        });
     return;
   }
-  // Cross-island: PCIe device→host, DCN host→host, PCIe host→device.
+  // Cross-island: PCIe device→host, DCN host→host, PCIe host→device. The
+  // read completes after the first hop — the bytes have left the source
+  // device.
   hw::Host& src_host = cluster.host_of(src);
   hw::Host& dst_host = cluster.host_of(dst);
-  auto self = shared_from_this();
-  src_host.pcie(src).Transfer(bytes, [self, &src_host, &dst_host, dst, bytes,
-                                      latch] {
-    src_host.SendDcn(dst_host.id(), bytes, [&dst_host, dst, bytes, latch] {
-      dst_host.pcie(dst).Transfer(bytes, [latch] { latch->CountDown(); });
-    });
-  });
+  src_host.pcie(src).Transfer(
+      bytes, [self, src_buffer, src_shard, &src_host, &dst_host, dst, bytes,
+              latch] {
+        self->FinishRead(src_buffer, src_shard);
+        src_host.SendDcn(dst_host.id(), bytes, [&dst_host, dst, bytes, latch] {
+          dst_host.pcie(dst).Transfer(bytes, [latch] { latch->CountDown(); });
+        });
+      });
+}
+
+void ProgramExecution::FinishRead(LogicalBufferId buffer, int shard) {
+  if (aborted_) return;
+  auto it = std::find(outstanding_reads_.begin(), outstanding_reads_.end(),
+                      std::make_pair(buffer, shard));
+  PW_CHECK(it != outstanding_reads_.end());
+  outstanding_reads_.erase(it);
+  runtime_->object_store().UnpinShard(buffer, shard);
 }
 
 void ProgramExecution::WireRelease() {
@@ -215,6 +283,17 @@ void ProgramExecution::WireRelease() {
 hw::DeviceId ProgramExecution::DeviceFor(int node, int shard) const {
   return nodes_.at(static_cast<std::size_t>(node))
       .devices.at(static_cast<std::size_t>(shard));
+}
+
+void ProgramExecution::AssignGangTicket(int node) {
+  NodeState& state = nodes_.at(static_cast<std::size_t>(node));
+  PW_CHECK(state.ticket == hw::kUnticketed)
+      << "gang ticket for node " << node << " assigned twice";
+  ObjectStore& store = runtime_->object_store();
+  state.ticket = store.NextTicket();
+  store.RegisterTicket(state.ticket, id_.value(),
+                       "exec " + std::to_string(id_.value()));
+  store.SetBufferTicket(state.output.id, state.ticket);
 }
 
 bool ProgramExecution::IsResultNode(int node) const {
@@ -258,7 +337,11 @@ sim::SimFuture<sim::Unit> ProgramExecution::NodeEnqueued(int node) const {
 void ProgramExecution::MarkShardComplete(int node, int shard) {
   if (aborted_) return;
   NodeState& state = nodes_.at(static_cast<std::size_t>(node));
-  state.shards.at(static_cast<std::size_t>(shard)).output_ready->Set(sim::Unit{});
+  ShardState& ss = state.shards.at(static_cast<std::size_t>(shard));
+  // The output exists from here on, which is what makes the output shard a
+  // spill candidate while it waits (refcount-held, idle) for consumers.
+  runtime_->object_store().MarkShardContentReady(state.output.id, shard);
+  ss.output_ready->Set(sim::Unit{});
   state.completion_latch->CountDown();
 }
 
@@ -345,6 +428,11 @@ void ProgramExecution::OnResultShardMessage() {
         }
       }
       self->finished_ = true;
+      // Retiring the gang tickets keeps the ordering diagnostics registry
+      // from growing over a long run.
+      for (const NodeState& node : self->nodes_) {
+        self->runtime_->object_store().FinishTicket(node.ticket);
+      }
       self->done_promise_->Set(std::move(result));
       self->runtime_->OnExecutionFinished(self->id_, /*success=*/true);
     });
@@ -381,10 +469,20 @@ void ProgramExecution::Abort() {
       }
     }
   }
+  // Unpin every read that will now never happen — argument buffers outlive
+  // this execution and must not stay spill-protected by a dead reader.
+  // (aborted_ is already set, so late read-completion callbacks no-op.)
+  for (const auto& [buf, shard] : outstanding_reads_) {
+    runtime_->object_store().UnpinShard(buf, shard);
+  }
+  outstanding_reads_.clear();
   // Collect everything this execution produced (output buffers, reserved or
   // deferred). Scratch is freed by the executor continuations as the dropped
   // kernels' completion futures fire.
   runtime_->object_store().ReleaseAllForProducer(id_);
+  for (const NodeState& node : nodes_) {
+    runtime_->object_store().FinishTicket(node.ticket);
+  }
   done_promise_->Set(ExecutionResult{.outputs = {}, .failed = true});
   runtime_->OnExecutionFinished(id_, /*success=*/false);
 }

@@ -55,6 +55,16 @@ class ProgramExecution
   net::HostId client_host() const { return client_host_; }
   const PathwaysProgram& program() const { return *program_; }
 
+  // --- Reservation ordering (docs/MEMORY.md) ---
+  // Called by the island scheduler at the instant it commits to dispatching
+  // `node`'s gang: draws one global reservation ticket for the whole gang,
+  // so all of its shard reservations (scratch + output, every device) enter
+  // the per-device queues in one scheduler-consistent global order.
+  void AssignGangTicket(int node);
+  hw::MemoryTicket gang_ticket(int node) const {
+    return nodes_.at(static_cast<std::size_t>(node)).ticket;
+  }
+
   // --- Lowered placement (physical devices, resolved at creation) ---
   hw::DeviceId DeviceFor(int node, int shard) const;
   // True if this node's output is a program result (its shards report
@@ -116,6 +126,12 @@ class ProgramExecution
   std::int64_t transfers_started() const { return transfers_; }
 
  private:
+  // One wired-but-unconsumed read of a source shard finished (the data was
+  // handed off / left the source device): drops the spill-protection pin.
+  // No-op after Abort(), which drains the outstanding list itself.
+  void FinishRead(LogicalBufferId buffer, int shard);
+
+ private:
   ProgramExecution(PathwaysRuntime* runtime, ClientId client,
                    double client_weight, net::HostId client_host,
                    sim::SerialResource* client_cpu,
@@ -126,8 +142,12 @@ class ProgramExecution
   void WireTransfers();
   void WireEdge(int consumer_node, int operand_index);
   // Schedules the physical movement for one (src,dst) shard pair; fulfills
-  // `done_latch` when the data lands in the consumer's input buffer.
-  void StartTransfer(hw::DeviceId src, hw::DeviceId dst, Bytes bytes,
+  // `done_latch` when the data lands in the consumer's input buffer. A
+  // spilled source shard is read through from host DRAM (and restored to
+  // HBM opportunistically when it is headed back to its own device); the
+  // source stays pinned while it is being read.
+  void StartTransfer(LogicalBufferId src_buffer, int src_shard,
+                     hw::DeviceId src, hw::DeviceId dst, Bytes bytes,
                      std::shared_ptr<sim::CountdownLatch> done_latch);
   void WireRelease();
 
@@ -141,6 +161,8 @@ class ProgramExecution
     std::vector<ShardState> shards;
     std::vector<hw::DeviceId> devices;  // lowered placement per shard
     ShardedBuffer output;               // deferred: shards reserved at prep
+    // Gang-wide reservation ticket, drawn at scheduler dispatch.
+    hw::MemoryTicket ticket = hw::kUnticketed;
     std::unique_ptr<sim::SimPromise<sim::Unit>> client_release;
     std::unique_ptr<sim::CountdownLatch> enqueue_latch;
     std::unique_ptr<sim::CountdownLatch> completion_latch;
@@ -158,6 +180,12 @@ class ProgramExecution
   ExecutionId id_;
 
   std::vector<NodeState> nodes_;
+  // Source shards pinned for the duration of an active read (multiset:
+  // scatter/gather edges read one shard several times). The pin only spans
+  // the read itself — spilled shards are consumed by reading through from
+  // host DRAM, so idle data stays evictable right up to the moment it is
+  // actually being moved.
+  std::vector<std::pair<LogicalBufferId, int>> outstanding_reads_;
   std::unique_ptr<sim::SimPromise<ExecutionResult>> done_promise_;
   int result_shard_messages_expected_ = 0;
   int result_shard_messages_received_ = 0;

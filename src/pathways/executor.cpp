@@ -33,8 +33,11 @@ void DeviceExecutor::Dispatch(std::shared_ptr<ProgramExecution> exec, int node,
   host_->RunOnCpu(
       runtime_->Jitter(params.executor_prep_cost),
       [this, exec, node, shard, seq, staging] {
-        auto scratch = runtime_->object_store().AllocateScratch(device_->id(),
-                                                                staging);
+        // Scratch rides the gang's dispatch ticket so it enters the device
+        // FIFO in the same scheduler-consistent order as the gang's output
+        // shards.
+        auto scratch = runtime_->object_store().AllocateScratch(
+            device_->id(), staging, exec->gang_ticket(node));
         auto output_reserved = exec->ReserveOutputShard(node, shard);
         sim::WhenAll(&runtime_->simulator(), {scratch, output_reserved})
             .Then([this, exec, node, shard, seq, staging](const sim::Unit&) {

@@ -45,7 +45,8 @@ void GangScheduler::SubmitSubgraph(std::shared_ptr<ProgramExecution> exec,
     q.pass = std::max(q.pass, anchor);
   }
   q.stride = 1.0 / std::max(exec->client_weight(), 1e-9);
-  Enqueue(key, Entry{std::move(exec), std::move(nodes), 0, TimePoint()},
+  Enqueue(key,
+          Entry{std::move(exec), std::move(nodes), 0, TimePoint(), Duration()},
           /*front=*/false);
   Pump();
 }
@@ -182,6 +183,14 @@ void GangScheduler::DispatchGang(Entry entry) {
       return;
     }
   }
+
+  // Commit point: the gang will be emitted. Draw its global reservation
+  // ticket *here* — the scheduler is the single emission point, so ticket
+  // order matches per-device gang arrival order by construction, and every
+  // other reservation source (client staging, retries) is globally ordered
+  // against the gang pipeline (paper §4.6 "scheduler ensures allocation
+  // order"; docs/MEMORY.md).
+  exec->AssignGangTicket(node);
 
   // Admission control: hold a slot until the gang's last shard completes
   // (completion notice rides back over the DCN).

@@ -1,6 +1,54 @@
 #include "pathways/object_store.h"
 
+#include <algorithm>
+#include <sstream>
+
+#include "memory/wait_graph.h"
+
 namespace pw::pathways {
+
+namespace {
+
+// Wait-for-graph node id for a buffer entry: executions key by their id
+// value; ownerless staged buffers get a disjoint negative range.
+std::int64_t EntityOf(ExecutionId producer, LogicalBufferId id) {
+  if (producer.valid()) return producer.value();
+  return -(id.value() + 1);
+}
+
+}  // namespace
+
+void ObjectStore::RegisterTicket(hw::MemoryTicket ticket, std::int64_t entity,
+                                 std::string name) {
+  tickets_[ticket] = TicketInfo{entity, std::move(name)};
+}
+
+void ObjectStore::FinishTicket(hw::MemoryTicket ticket) {
+  if (ticket == hw::kUnticketed) return;
+  tickets_.erase(ticket);
+}
+
+void ObjectStore::SetBufferTicket(LogicalBufferId id, hw::MemoryTicket ticket) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;  // released before its gang dispatched
+  it->second.ticket = ticket;
+}
+
+std::string ObjectStore::TicketName(hw::MemoryTicket ticket) const {
+  auto it = tickets_.find(ticket);
+  if (it != tickets_.end()) return it->second.name;
+  std::ostringstream os;
+  if (ticket == hw::kUnticketed) {
+    os << "unticketed";
+  } else {
+    os << "ticket " << ticket;
+  }
+  return os.str();
+}
+
+void ObjectStore::Touch(ShardState& state) {
+  state.last_use_ns = cluster_->simulator().now().nanos();
+}
 
 ShardedBuffer ObjectStore::CreateBuffer(
     ClientId owner, ExecutionId producer,
@@ -11,23 +59,58 @@ ShardedBuffer ObjectStore::CreateBuffer(
   Entry entry;
   entry.owner = owner;
   entry.producer = producer;
-  std::vector<sim::SimFuture<sim::Unit>> reservations;
-  reservations.reserve(devices.size());
+  entry.ticket = NextTicket();
   for (const hw::DeviceId dev : devices) {
     entry.shards.push_back(
         ShardBuffer{shard_ids_.Next(), dev, bytes_per_shard, BufferLocation::kHbm});
-    reservations.push_back(
-        cluster_->device(dev).hbm().AllocateAsync(bytes_per_shard));
   }
-  entry.shard_reserved.assign(devices.size(), true);
+  entry.states.assign(devices.size(), ShardState{});
+  const LogicalBufferId id = logical_ids_.Next();
+  {
+    std::ostringstream os;
+    os << "staged buffer " << id;
+    RegisterTicket(entry.ticket, EntityOf(producer, id), os.str());
+  }
   ShardedBuffer handle;
-  handle.id = logical_ids_.Next();
+  handle.id = id;
   handle.shards = entry.shards;
+  const hw::MemoryTicket ticket = entry.ticket;
+  entries_[id] = std::move(entry);
+  // Issue every shard reservation atomically (one simulator event), all
+  // under one ticket — an eager buffer's requests cannot interleave
+  // inconsistently with anything across devices.
+  std::vector<sim::SimFuture<sim::Unit>> reservations;
+  reservations.reserve(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const hw::DeviceId dev = devices[i];
+    const int shard = static_cast<int>(i);
+    reservations.push_back(cluster_->device(dev).hbm().AllocateAsync(
+        bytes_per_shard, ticket, [this, id, shard, dev, bytes_per_shard] {
+          auto it = entries_.find(id);
+          if (it == entries_.end()) {
+            // Released while the reservation queued: hand the memory back.
+            // Deferred to its own event — admission happens inside the
+            // allocator's serve loop, which must not re-enter itself.
+            cluster_->simulator().Schedule(
+                Duration::Zero(), [this, dev, bytes_per_shard] {
+                  cluster_->device(dev).hbm().Free(bytes_per_shard);
+                });
+            return;
+          }
+          ShardState& state = it->second.states[static_cast<std::size_t>(shard)];
+          state.requested = true;
+          state.granted = true;
+          state.residency = ShardResidency::kHbm;
+          Touch(state);
+          const int d = static_cast<int>(dev.value());
+          logical_live_[d] += bytes_per_shard;
+          logical_peak_[d] = std::max(logical_peak_[d], logical_live_[d]);
+        }));
+  }
   handle.ready = sim::WhenAll(&cluster_->simulator(), reservations);
   if (per_shard_reservations != nullptr) {
     *per_shard_reservations = reservations;
   }
-  entries_[handle.id] = std::move(entry);
   return handle;
 }
 
@@ -43,7 +126,7 @@ ShardedBuffer ObjectStore::CreateBufferDeferred(
     entry.shards.push_back(
         ShardBuffer{shard_ids_.Next(), dev, bytes_per_shard, BufferLocation::kHbm});
   }
-  entry.shard_reserved.assign(devices.size(), false);
+  entry.states.assign(devices.size(), ShardState{});
   ShardedBuffer handle;
   handle.id = logical_ids_.Next();
   handle.shards = entry.shards;
@@ -58,39 +141,304 @@ sim::SimFuture<sim::Unit> ObjectStore::ReserveShard(LogicalBufferId id,
   PW_CHECK(it != entries_.end()) << "ReserveShard on unknown buffer " << id;
   Entry& entry = it->second;
   const ShardBuffer& sb = entry.shards.at(static_cast<std::size_t>(shard));
-  PW_CHECK(!entry.shard_reserved.at(static_cast<std::size_t>(shard)))
+  ShardState& state = entry.states.at(static_cast<std::size_t>(shard));
+  PW_CHECK(!state.requested)
       << "shard " << shard << " of buffer " << id << " reserved twice";
+  state.requested = true;
   sim::SimPromise<sim::Unit> granted(&cluster_->simulator());
   auto fut = granted.future();
   cluster_->device(sb.device)
       .hbm()
-      .AllocateAsync(sb.bytes)
-      .Then([this, id, shard, device = sb.device, bytes = sb.bytes,
-             granted](const sim::Unit&) mutable {
-        auto it2 = entries_.find(id);
-        if (it2 == entries_.end()) {
-          // Buffer released (failed-client GC, aborted execution) while the
-          // reservation queued: hand the memory straight back — but still
-          // fire the grant. Waiters gate work on this future (the executor's
-          // in-order enqueue stream, most critically); a silently dropped
-          // promise would wedge them forever, while a vacuous grant lets
-          // them unwind through their own aborted-state checks.
-          cluster_->device(device).hbm().Free(bytes);
-        } else {
-          it2->second.shard_reserved[static_cast<std::size_t>(shard)] = true;
-        }
+      .AllocateAsync(
+          sb.bytes, entry.ticket,
+          [this, id, shard, device = sb.device, bytes = sb.bytes] {
+            auto it2 = entries_.find(id);
+            if (it2 == entries_.end()) {
+              // Buffer released (failed-client GC, aborted execution) while
+              // the reservation queued: hand the memory straight back — the
+              // future below still fires its vacuous grant. Deferred to its
+              // own event; admission happens inside the allocator's serve
+              // loop, which must not re-enter itself.
+              cluster_->simulator().Schedule(
+                  Duration::Zero(), [this, device, bytes] {
+                    cluster_->device(device).hbm().Free(bytes);
+                  });
+              return;
+            }
+            ShardState& st = it2->second.states[static_cast<std::size_t>(shard)];
+            st.granted = true;
+            st.residency = ShardResidency::kHbm;
+            Touch(st);
+            const int d = static_cast<int>(device.value());
+            logical_live_[d] += bytes;
+            logical_peak_[d] = std::max(logical_peak_[d], logical_live_[d]);
+          })
+      .Then([granted](const sim::Unit&) mutable {
+        // Waiters gate work on this future (the executor's in-order enqueue
+        // stream, most critically); a silently dropped promise would wedge
+        // them forever, while a vacuous grant lets them unwind through
+        // their own aborted-state checks.
         granted.Set(sim::Unit{});
       });
   return fut;
 }
 
 sim::SimFuture<sim::Unit> ObjectStore::AllocateScratch(hw::DeviceId device,
-                                                       Bytes bytes) {
-  return cluster_->device(device).hbm().AllocateAsync(bytes);
+                                                       Bytes bytes,
+                                                       hw::MemoryTicket ticket) {
+  return cluster_->device(device).hbm().AllocateAsync(bytes, ticket);
 }
 
 void ObjectStore::FreeScratch(hw::DeviceId device, Bytes bytes) {
   cluster_->device(device).hbm().Free(bytes);
+}
+
+void ObjectStore::MarkShardContentReady(LogicalBufferId id, int shard) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  ShardState& state = entry.states.at(static_cast<std::size_t>(shard));
+  state.content_ready = true;
+  Touch(state);
+  // Newly spillable: retry a stalled device whose candidates were all
+  // still content-pending (staged bytes landing produce no HBM free that
+  // would otherwise re-fire the stall observer).
+  MaybeKickSpiller(entry.shards[static_cast<std::size_t>(shard)].device);
+}
+
+void ObjectStore::PinShard(LogicalBufferId id, int shard) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  ShardState& state = it->second.states.at(static_cast<std::size_t>(shard));
+  ++state.pins;
+  Touch(state);
+}
+
+void ObjectStore::UnpinShard(LogicalBufferId id, int shard) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  ShardState& state = entry.states.at(static_cast<std::size_t>(shard));
+  PW_CHECK_GT(state.pins, 0) << "unpin of unpinned shard " << shard
+                             << " of buffer " << id;
+  --state.pins;
+  if (state.pins == 0) {
+    // The shard just became a spill candidate; a stalled device whose only
+    // candidates were pinned would otherwise never be retried (nothing
+    // else frees HBM there to re-fire the stall observer).
+    MaybeKickSpiller(entry.shards[static_cast<std::size_t>(shard)].device);
+  }
+}
+
+void ObjectStore::MaybeKickSpiller(hw::DeviceId device) {
+  if (spiller_ != nullptr &&
+      cluster_->device(device).hbm().HasStalledWaiter()) {
+    spiller_->OnStall(static_cast<int>(device.value()));
+  }
+}
+
+bool ObjectStore::ShardInDram(LogicalBufferId id, int shard) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  return it->second.states.at(static_cast<std::size_t>(shard)).residency ==
+         ShardResidency::kHostDram;
+}
+
+bool ObjectStore::TryRestoreShard(LogicalBufferId id, int shard) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  Entry& entry = it->second;
+  ShardBuffer& sb = entry.shards.at(static_cast<std::size_t>(shard));
+  ShardState& state = entry.states.at(static_cast<std::size_t>(shard));
+  if (state.residency != ShardResidency::kHostDram) return false;
+  // Allocate() refuses while waiters queue, so a restore never jumps the
+  // reservation order — it only soaks up genuinely idle capacity.
+  if (!cluster_->device(sb.device).hbm().Allocate(sb.bytes).ok()) return false;
+  state.residency = ShardResidency::kHbm;
+  sb.location = BufferLocation::kHbm;
+  cluster_->host_of(sb.device).dram().Free(sb.bytes);
+  ++fills_completed_;
+  Touch(state);
+  // DRAM headroom returned: devices of this host whose spills were blocked
+  // on an exhausted DRAM pool can try again.
+  for (const hw::Device* dev : cluster_->host_of(sb.device).devices()) {
+    MaybeKickSpiller(dev->id());
+  }
+  return true;
+}
+
+BufferLocation ObjectStore::shard_location(LogicalBufferId id,
+                                           int shard) const {
+  auto it = entries_.find(id);
+  PW_CHECK(it != entries_.end());
+  return it->second.shards.at(static_cast<std::size_t>(shard)).location;
+}
+
+ShardResidency ObjectStore::shard_residency(LogicalBufferId id,
+                                            int shard) const {
+  auto it = entries_.find(id);
+  PW_CHECK(it != entries_.end());
+  return it->second.states.at(static_cast<std::size_t>(shard)).residency;
+}
+
+bool ObjectStore::HasStalledReservation(int device) const {
+  return cluster_->device(device).hbm().HasStalledWaiter();
+}
+
+bool ObjectStore::StartSpill(int device) {
+  // LRU scan over granted, content-ready, unpinned, HBM-resident shards
+  // homed on `device`. std::map iteration makes ties deterministic.
+  LogicalBufferId victim_id;
+  int victim_shard = -1;
+  std::int64_t victim_last_use = 0;
+  Bytes victim_bytes = 0;
+  for (auto& [id, entry] : entries_) {
+    for (std::size_t i = 0; i < entry.shards.size(); ++i) {
+      const ShardBuffer& sb = entry.shards[i];
+      const ShardState& st = entry.states[i];
+      if (static_cast<int>(sb.device.value()) != device) continue;
+      if (!st.granted || !st.content_ready || st.pins > 0 ||
+          st.residency != ShardResidency::kHbm || sb.bytes <= 0) {
+        continue;
+      }
+      if (victim_shard < 0 || st.last_use_ns < victim_last_use) {
+        victim_id = id;
+        victim_shard = static_cast<int>(i);
+        victim_last_use = st.last_use_ns;
+        victim_bytes = sb.bytes;
+      }
+    }
+  }
+  if (victim_shard < 0) return false;
+  const hw::DeviceId dev(device);
+  hw::Host& host = cluster_->host_of(dev);
+  if (!host.dram().TryAllocate(victim_bytes)) return false;  // DRAM exhausted
+  Entry& entry = entries_.at(victim_id);
+  entry.states[static_cast<std::size_t>(victim_shard)].residency =
+      ShardResidency::kSpillingOut;
+  // Device→host page-out over the device's PCIe link; HBM frees when the
+  // last byte lands in DRAM. Readers arriving mid-flight still source from
+  // the (intact) HBM copy.
+  host.pcie(dev).Transfer(
+      victim_bytes, [this, id = victim_id, shard = victim_shard, dev,
+                     bytes = victim_bytes, device] {
+        auto it = entries_.find(id);
+        if (it == entries_.end()) {
+          // Buffer died mid-spill: FreeEntry already returned the HBM side;
+          // the DRAM destination is ours to give back.
+          cluster_->host_of(dev).dram().Free(bytes);
+        } else {
+          Entry& e = it->second;
+          ShardState& st = e.states[static_cast<std::size_t>(shard)];
+          PW_CHECK(st.residency == ShardResidency::kSpillingOut);
+          if (st.pins > 0) {
+            // A reader pinned the shard mid-migration and is sourcing from
+            // the (intact) HBM copy: abandon the spill rather than free
+            // memory that is still being read. A surviving stall re-kicks
+            // the spiller, which now sees the pin and picks elsewhere.
+            st.residency = ShardResidency::kHbm;
+            cluster_->host_of(dev).dram().Free(bytes);
+          } else {
+            st.residency = ShardResidency::kHostDram;
+            e.shards[static_cast<std::size_t>(shard)].location =
+                BufferLocation::kHostDram;
+            ++spills_completed_;
+            spilled_bytes_total_ += bytes;
+            cluster_->device(dev).hbm().Free(bytes);  // serves waiters
+          }
+        }
+        if (spiller_ != nullptr) spiller_->OnSpillComplete(device);
+      });
+  return true;
+}
+
+std::string ObjectStore::DescribeReservationCycle() const {
+  // Build the wait-for graph across every device: a stalled front waiter's
+  // entity waits on every entity holding granted memory on that device.
+  memory::WaitForGraph graph;
+  std::map<std::int64_t, std::string> names;
+  for (int d = 0; d < cluster_->num_devices(); ++d) {
+    const hw::HbmAllocator& hbm = cluster_->device(d).hbm();
+    if (!hbm.HasStalledWaiter()) continue;
+    const hw::MemoryTicket waiting = hbm.front_waiter_ticket();
+    auto tick_it = tickets_.find(waiting);
+    if (tick_it == tickets_.end()) continue;  // unattributable waiter
+    const std::int64_t waiter_entity = tick_it->second.entity;
+    names[waiter_entity] = tick_it->second.name;
+    std::ostringstream label;
+    label << "dev" << d << " HBM";
+    for (const auto& [id, entry] : entries_) {
+      bool holds = false;
+      for (std::size_t i = 0; i < entry.shards.size(); ++i) {
+        if (static_cast<int>(entry.shards[i].device.value()) == d &&
+            entry.states[i].granted &&
+            entry.states[i].residency != ShardResidency::kHostDram) {
+          holds = true;
+          break;
+        }
+      }
+      if (!holds) continue;
+      const std::int64_t holder = EntityOf(entry.producer, id);
+      if (holder == waiter_entity) continue;
+      std::ostringstream holder_name;
+      if (entry.producer.valid()) {
+        holder_name << "exec " << entry.producer.value();
+      } else {
+        holder_name << "buffer " << id;
+      }
+      names[holder] = holder_name.str();
+      graph.AddEdge(waiter_entity, holder, label.str());
+    }
+  }
+  return graph.DescribeCycle(names);
+}
+
+void ObjectStore::CheckNoReservationWedge() const {
+  bool stalled = false;
+  std::ostringstream reasons;
+  for (int d = 0; d < cluster_->num_devices(); ++d) {
+    const std::string reason = BlockedReservationReason(hw::DeviceId(d));
+    if (reason.empty()) continue;
+    if (stalled) reasons << "; ";
+    stalled = true;
+    reasons << reason;
+  }
+  if (!stalled) return;
+  const std::string cycle = DescribeReservationCycle();
+  PW_CHECK(false) << "HBM reservation wedge at quiescence: "
+                  << (cycle.empty() ? reasons.str()
+                                    : "cycle " + cycle + " (" + reasons.str() +
+                                          ")");
+}
+
+std::string ObjectStore::BlockedReservationReason(hw::DeviceId device) const {
+  const hw::HbmAllocator& hbm = cluster_->device(device).hbm();
+  if (!hbm.HasStalledWaiter()) return "";
+  std::ostringstream os;
+  os << "dev" << device.value() << " HBM: " << hbm.waiters()
+     << " stalled reservation(s); front " << TicketName(hbm.front_waiter_ticket())
+     << " wants " << hbm.front_waiter_bytes() << " B (" << hbm.available()
+     << " B free)";
+  // Name the holders so the operator sees who to blame.
+  bool first = true;
+  for (const auto& [id, entry] : entries_) {
+    for (std::size_t i = 0; i < entry.shards.size(); ++i) {
+      if (entry.shards[i].device != device || !entry.states[i].granted ||
+          entry.states[i].residency == ShardResidency::kHostDram) {
+        continue;
+      }
+      os << (first ? "; holders: " : ", ");
+      first = false;
+      if (entry.producer.valid()) {
+        os << "exec " << entry.producer.value();
+      } else {
+        os << "buffer " << id;
+      }
+      os << " (" << entry.shards[i].bytes << " B)";
+      break;  // one line per buffer
+    }
+  }
+  return os.str();
 }
 
 void ObjectStore::AddRef(LogicalBufferId id) {
@@ -141,12 +489,69 @@ int ObjectStore::refcount(LogicalBufferId id) const {
   return it->second.refcount;
 }
 
-void ObjectStore::FreeEntry(const Entry& entry) {
+Bytes ObjectStore::logical_live_bytes(hw::DeviceId device) const {
+  auto it = logical_live_.find(static_cast<int>(device.value()));
+  return it == logical_live_.end() ? 0 : it->second;
+}
+
+Bytes ObjectStore::logical_peak_bytes(hw::DeviceId device) const {
+  auto it = logical_peak_.find(static_cast<int>(device.value()));
+  return it == logical_peak_.end() ? 0 : it->second;
+}
+
+std::string ObjectStore::DumpShardStates() const {
+  std::ostringstream os;
+  for (const auto& [id, entry] : entries_) {
+    for (std::size_t i = 0; i < entry.shards.size(); ++i) {
+      const ShardBuffer& sb = entry.shards[i];
+      const ShardState& st = entry.states[i];
+      const char* res = "hbm";
+      switch (st.residency) {
+        case ShardResidency::kHbm: res = "hbm"; break;
+        case ShardResidency::kSpillingOut: res = "spilling"; break;
+        case ShardResidency::kHostDram: res = "dram"; break;
+      }
+      os << "buffer " << id << "/" << i << " producer=" << entry.producer
+         << " ticket=" << entry.ticket << " dev" << sb.device.value() << " "
+         << sb.bytes << "B requested=" << st.requested
+         << " granted=" << st.granted << " ready=" << st.content_ready
+         << " residency=" << res << " pins=" << st.pins
+         << " last_use=" << st.last_use_ns << "ns\n";
+    }
+  }
+  return os.str();
+}
+
+void ObjectStore::FreeEntry(Entry& entry) {
+  // Retire the buffer's ticket from the diagnostics registry (for gang
+  // tickets the owning execution also does this — FinishTicket is an
+  // idempotent erase). Without it, every staged buffer of a long serving
+  // run would leak one registry entry.
+  FinishTicket(entry.ticket);
   for (std::size_t i = 0; i < entry.shards.size(); ++i) {
     const ShardBuffer& s = entry.shards[i];
-    if (s.location == BufferLocation::kHbm && entry.shard_reserved[i]) {
-      cluster_->device(s.device).hbm().Free(s.bytes);
+    ShardState& st = entry.states[i];
+    if (!st.granted) continue;
+    switch (st.residency) {
+      case ShardResidency::kHbm:
+        cluster_->device(s.device).hbm().Free(s.bytes);
+        break;
+      case ShardResidency::kSpillingOut:
+        // We hold both sides mid-flight: the HBM source is ours to free,
+        // the DRAM destination belongs to the in-flight migration (which
+        // will find the entry gone).
+        cluster_->device(s.device).hbm().Free(s.bytes);
+        break;
+      case ShardResidency::kHostDram:
+        cluster_->host_of(s.device).dram().Free(s.bytes);
+        // DRAM headroom returned; see TryRestoreShard.
+        for (const hw::Device* dev : cluster_->host_of(s.device).devices()) {
+          MaybeKickSpiller(dev->id());
+        }
+        break;
     }
+    const int d = static_cast<int>(s.device.value());
+    logical_live_[d] -= s.bytes;
   }
 }
 

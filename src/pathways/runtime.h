@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "hw/cluster.h"
+#include "memory/spiller.h"
 #include "pathways/executor.h"
 #include "pathways/gang_scheduler.h"
 #include "pathways/ids.h"
@@ -41,6 +42,8 @@ class PathwaysRuntime {
 
   ResourceManager& resource_manager() { return resource_manager_; }
   ObjectStore& object_store() { return object_store_; }
+  // Spill engine behind every device's HBM stall observer (docs/MEMORY.md).
+  memory::Spiller& spiller() { return *spiller_; }
   GangScheduler& scheduler(hw::IslandId island) {
     return *schedulers_.at(static_cast<std::size_t>(island.value()));
   }
@@ -102,6 +105,7 @@ class PathwaysRuntime {
   PathwaysOptions options_;
   ResourceManager resource_manager_;
   ObjectStore object_store_;
+  std::unique_ptr<memory::Spiller> spiller_;
   std::vector<std::unique_ptr<GangScheduler>> schedulers_;
   std::vector<std::unique_ptr<DeviceExecutor>> executors_;
   std::vector<std::unique_ptr<hw::Host>> client_hosts_;

@@ -254,5 +254,21 @@ TEST(HistogramTest, BucketsAndOverflow) {
   EXPECT_EQ(h.overflow(), 2);
 }
 
+TEST(HistogramTest, IntegerSamplesLandInTheirExactUnitBucket) {
+  // Regression for the fraction-of-range index math: with lo=0, hi=22,
+  // 22 unit buckets, (15/22)*22 rounds below 15 in double and dropped the
+  // sample one bucket low. Every integer sample must land in its own
+  // unit-width bucket — queue-depth histograms depend on it.
+  for (int buckets : {5, 22, 23, 26, 43, 65, 101}) {
+    Histogram h(0.0, static_cast<double>(buckets), buckets);
+    for (int d = 0; d < buckets; ++d) h.Add(static_cast<double>(d));
+    for (int d = 0; d < buckets; ++d) {
+      EXPECT_EQ(h.bucket_count(d), 1) << "buckets=" << buckets << " d=" << d;
+    }
+    EXPECT_EQ(h.overflow(), 0);
+    EXPECT_EQ(h.underflow(), 0);
+  }
+}
+
 }  // namespace
 }  // namespace pw

@@ -71,6 +71,106 @@ TEST(HbmTest, ImmediateAllocateRespectsQueue) {
   EXPECT_TRUE(hbm.Allocate(50).ok());
 }
 
+TEST(HbmTest, ZeroByteRequestNeverQueues) {
+  // An empty shard needs no capacity and can relieve none by waiting; on a
+  // full device with waiters it must be granted on the spot or drain paths
+  // (in-order executor enqueue streams gated on per-shard reservations)
+  // deadlock behind pressure a 0-byte grant cannot relieve.
+  sim::Simulator sim;
+  HbmAllocator hbm(&sim, 1000);
+  ASSERT_TRUE(hbm.Allocate(1000).ok());     // device full
+  auto stalled = hbm.AllocateAsync(400);    // real back-pressure
+  ASSERT_EQ(hbm.waiters(), 1u);
+  auto empty = hbm.AllocateAsync(0);
+  EXPECT_TRUE(empty.ready());               // granted immediately, no queue
+  EXPECT_EQ(hbm.waiters(), 1u);
+  EXPECT_TRUE(hbm.Allocate(0).ok());        // immediate flavor too
+  sim.Run();
+  EXPECT_FALSE(stalled.ready());
+  EXPECT_EQ(hbm.used(), 1000);
+}
+
+TEST(HbmTest, WaitersServedInTicketOrder) {
+  // Reservation ordering (docs/MEMORY.md): waiters are served oldest global
+  // ticket first regardless of arrival order, so an older execution's shard
+  // cannot park behind a younger one that would then circular-wait on it.
+  sim::Simulator sim;
+  HbmAllocator hbm(&sim, 1000);
+  ASSERT_TRUE(hbm.Allocate(1000).ok());
+  auto young = hbm.AllocateAsync(600, /*ticket=*/7);
+  auto old_req = hbm.AllocateAsync(600, /*ticket=*/3);
+  EXPECT_EQ(hbm.front_waiter_ticket(), 3u);
+  hbm.Free(1000);
+  sim.Run();
+  EXPECT_TRUE(old_req.ready());   // served first despite arriving second
+  EXPECT_FALSE(young.ready());    // strict order: no overtaking
+  hbm.Free(600);
+  sim.Run();
+  EXPECT_TRUE(young.ready());
+}
+
+TEST(HbmTest, NewOldestRequestIsServedPastQueuedYoungerWaiters) {
+  sim::Simulator sim;
+  HbmAllocator hbm(&sim, 1000);
+  ASSERT_TRUE(hbm.Allocate(800).ok());
+  auto young = hbm.AllocateAsync(500, /*ticket=*/9);  // stalls (300 free)
+  ASSERT_FALSE(young.ready());
+  // An older request that fits must not park behind the younger waiter —
+  // that inversion is exactly how cross-device reservation cycles form.
+  auto old_req = hbm.AllocateAsync(200, /*ticket=*/2);
+  EXPECT_TRUE(old_req.ready());
+  EXPECT_FALSE(young.ready());
+}
+
+TEST(HbmTest, TicketOrderingDisabledRevertsToArrivalFifo) {
+  // The pre-fix regression hook: with ordering off, tickets are ignored and
+  // the queue is plain arrival-order FIFO again.
+  sim::Simulator sim;
+  HbmAllocator hbm(&sim, 1000);
+  hbm.set_ticket_ordering(false);
+  ASSERT_TRUE(hbm.Allocate(1000).ok());
+  auto young = hbm.AllocateAsync(600, /*ticket=*/7);
+  auto old_req = hbm.AllocateAsync(600, /*ticket=*/3);
+  hbm.Free(600);
+  sim.Run();
+  EXPECT_TRUE(young.ready());     // arrival order wins
+  EXPECT_FALSE(old_req.ready());
+}
+
+TEST(HbmTest, StallObserverFiresOnQueueAndOnUndrainableFree) {
+  sim::Simulator sim;
+  HbmAllocator hbm(&sim, 1000);
+  int stalls = 0;
+  hbm.set_stall_observer([&stalls] { ++stalls; });
+  ASSERT_TRUE(hbm.Allocate(900).ok());
+  auto waiting = hbm.AllocateAsync(500);
+  EXPECT_EQ(stalls, 1);  // queued
+  hbm.Free(100);         // 200 free: still cannot serve the waiter
+  EXPECT_EQ(stalls, 2);
+  hbm.Free(800);
+  sim.Run();
+  EXPECT_TRUE(waiting.ready());
+  EXPECT_EQ(stalls, 2);  // a draining free does not re-notify
+  EXPECT_EQ(hbm.used(), 500);
+}
+
+TEST(HbmTest, OnAdmitRunsSynchronouslyAtGrant) {
+  sim::Simulator sim;
+  HbmAllocator hbm(&sim, 1000);
+  bool admitted = false;
+  auto fut = hbm.AllocateAsync(300, kUnticketed, [&admitted] { admitted = true; });
+  EXPECT_TRUE(admitted);  // before any event runs
+  EXPECT_TRUE(fut.ready());
+  ASSERT_TRUE(hbm.Allocate(700).ok());
+  bool admitted2 = false;
+  auto queued = hbm.AllocateAsync(100, kUnticketed, [&admitted2] { admitted2 = true; });
+  EXPECT_FALSE(admitted2);
+  hbm.Free(300);  // grant happens inside Free
+  EXPECT_TRUE(admitted2);
+  sim.Run();
+  EXPECT_TRUE(queued.ready());
+}
+
 // ------------------------------------------------------- CollectiveGroup --
 
 TEST(CollectiveGroupTest, CompletesAtLastArrivalPlusCommTime) {

@@ -227,6 +227,60 @@ TEST(DcnBatcherTest, SeparateWindowsSeparateFlushes) {
   EXPECT_EQ(batcher.flushes(), 2);
 }
 
+TEST(DcnFabricTest, HeldTrafficCountsAtSubmissionNotAtHeal) {
+  // Partition-held messages are *offered* load: they must appear in
+  // messages_sent()/bytes_sent() the moment Send() accepts them, or fault
+  // telemetry sampled inside the outage window under-reports throughput and
+  // the heal-time replay shows up as a phantom burst. held_bytes() exposes
+  // the in-limbo amount separately.
+  sim::Simulator sim;
+  DcnFabric dcn(&sim, DcnParams{});
+  dcn.AddHost(HostId(0));
+  dcn.AddHost(HostId(1));
+  dcn.SetPartitioned(HostId(1), true);
+  int delivered = 0;
+  dcn.Send(HostId(0), HostId(1), 1000, [&] { ++delivered; });
+  dcn.Send(HostId(0), HostId(1), 500, [&] { ++delivered; });
+  EXPECT_EQ(dcn.messages_sent(), 2);  // counted at submission
+  EXPECT_EQ(dcn.bytes_sent(), 1500);
+  EXPECT_EQ(dcn.messages_held(), 2u);
+  EXPECT_EQ(dcn.held_bytes(), 1500);
+  sim.Run();
+  EXPECT_EQ(delivered, 0);  // still partitioned
+  dcn.SetPartitioned(HostId(1), false);
+  sim.Run();
+  EXPECT_EQ(delivered, 2);
+  // The heal-time replay must not double-count.
+  EXPECT_EQ(dcn.messages_sent(), 2);
+  EXPECT_EQ(dcn.bytes_sent(), 1500);
+  EXPECT_EQ(dcn.messages_held(), 0u);
+  EXPECT_EQ(dcn.held_bytes(), 0);
+}
+
+TEST(DcnFabricTest, ReplayThroughSecondPartitionStaysCountedOnce) {
+  // A message healed out of one hold queue but re-held on the other
+  // endpoint's queue is still the same offered message: counters must not
+  // move on either transition.
+  sim::Simulator sim;
+  DcnFabric dcn(&sim, DcnParams{});
+  for (int h = 0; h < 2; ++h) dcn.AddHost(HostId(h));
+  dcn.SetPartitioned(HostId(0), true);
+  dcn.SetPartitioned(HostId(1), true);
+  int delivered = 0;
+  dcn.Send(HostId(0), HostId(1), 256, [&] { ++delivered; });
+  EXPECT_EQ(dcn.messages_sent(), 1);
+  EXPECT_EQ(dcn.held_bytes(), 256);
+  dcn.SetPartitioned(HostId(0), false);  // moves to host 1's hold queue
+  EXPECT_EQ(dcn.messages_sent(), 1);
+  EXPECT_EQ(dcn.messages_held(), 1u);
+  EXPECT_EQ(dcn.held_bytes(), 256);
+  dcn.SetPartitioned(HostId(1), false);
+  sim.Run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(dcn.messages_sent(), 1);
+  EXPECT_EQ(dcn.bytes_sent(), 256);
+}
+
 TEST(DcnBatcherTest, DistinctDestinationsDoNotCoalesce) {
   sim::Simulator sim;
   DcnFabric dcn(&sim, DcnParams{});

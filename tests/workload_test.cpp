@@ -349,5 +349,28 @@ TEST(WorkloadFairnessTest, OverloadedOpenLoopFollowsStrideWeights) {
   EXPECT_GT(stats_b.queue_wait.nanos(), 0);
 }
 
+TEST(LatencyRecorderTest, FullQueueDepthSampleIsCountedNotDropped) {
+  // Regression: an arrival that finds the waiting queue full observes
+  // depth == capacity — the signature sample of the overloaded regime
+  // bench_multitenant measures. It must land in its own histogram bucket
+  // (not overflow, not one bucket low via the old fraction-of-range index
+  // math) and be reflected by MeanQueueDepth.
+  for (std::size_t capacity : {4u, 21u, 64u}) {
+    LatencyRecorder r(capacity);
+    r.OnArrival(capacity);  // full queue
+    const Histogram& h = r.queue_depth();
+    EXPECT_EQ(h.overflow(), 0) << "capacity=" << capacity;
+    EXPECT_EQ(h.bucket_count(static_cast<int>(capacity)), 1)
+        << "capacity=" << capacity;
+    EXPECT_DOUBLE_EQ(r.MeanQueueDepth(), static_cast<double>(capacity));
+  }
+  // The interior depth that the old index math misplaced (15/22*22 < 15).
+  LatencyRecorder r(21);
+  r.OnArrival(15);
+  EXPECT_EQ(r.queue_depth().bucket_count(15), 1);
+  EXPECT_EQ(r.queue_depth().bucket_count(14), 0);
+  EXPECT_DOUBLE_EQ(r.MeanQueueDepth(), 15.0);
+}
+
 }  // namespace
 }  // namespace pw::workload
