@@ -1,0 +1,286 @@
+// LLM serving regime (docs/SERVING.md): two open-loop tenants drive a
+// shared slice through the iteration-level batcher while per-sequence KV
+// caches live in the ObjectStore — grown one append per decode step,
+// paged to host DRAM under HBM pressure, read through / restored by the
+// next decode's argument transfer.
+//
+// Swept over arrival-rate x batch-policy x KV-budget-scale via
+// SweepRunner. HBM is sized *below* half the aggregate projected KV
+// working set, so the 0.5x budget point runs with spilling active.
+// Hard gates (non-zero exit):
+//   * forward progress: every point quiesces with the batcher idle, every
+//     offered request finished or was shed, and the store's wedge check
+//     passes — zero deadlocks at every point;
+//   * continuous batching earns its keep: >= 1.5x the static baseline's
+//     goodput at the highest swept arrival rate;
+//   * memory pressure is real: the 0.5x-budget points actually spilled;
+//   * tail latency: p99 TTFT for the continuous batcher at the lowest
+//     swept rate stays under a pinned bound;
+//   * the sweep table is byte-identical between 1 and N runner threads.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "pathways/pathways.h"
+#include "serving/serving.h"
+
+namespace {
+
+using namespace pw;
+using pathways::PathwaysRuntime;
+using serving::BatcherConfig;
+using serving::BatchPolicy;
+using serving::KvCacheConfig;
+using serving::ServingMetrics;
+using serving::ServingTenant;
+using serving::ServingTrace;
+using serving::TenantSpec;
+
+constexpr Bytes kKvBytesPerToken = KiB(4);
+constexpr int kMaxBatch = 8;
+constexpr int kMinPrefill = 8, kMaxPrefill = 48;
+// Wide output-length spread: static batches straggle on the long tail,
+// which is exactly the regime continuous batching exists for.
+constexpr int kMinDecode = 2, kMaxDecode = 32;
+// Projected full KV of one worst-case sequence, per device shard.
+constexpr int kMaxKvTokens = kMaxPrefill + kMaxDecode - 1;
+// Aggregate projected KV working set of a full batch, per device shard.
+constexpr Bytes kWorkingSetPerShard =
+    static_cast<Bytes>(kMaxBatch) * kMaxKvTokens * kKvBytesPerToken;
+
+sweep::Metrics MeasurePoint(const sweep::ParamPoint& p, bool quick) {
+  const double rate = p.GetDouble("rate_per_s");  // total across tenants
+  const bool continuous = p.GetInt("policy_continuous") != 0;
+  const double kv_scale = p.GetDouble("kv_scale");
+  const Duration horizon = Duration::Millis(quick ? 2 : 8);
+
+  sim::Simulator sim;
+  hw::SystemParams params = hw::SystemParams::TpuDefault();
+  params.host_jitter_frac = 0;
+  BatcherConfig cfg;
+  cfg.policy = continuous ? BatchPolicy::kContinuous : BatchPolicy::kStatic;
+  cfg.max_batch = kMaxBatch;
+  cfg.token_budget = 256;
+  cfg.kv_budget_per_device =
+      static_cast<Bytes>(kv_scale * static_cast<double>(kWorkingSetPerShard));
+  // HBM far below the working set (plus fixed staging headroom): even the
+  // 0.5x-budget point must overflow KV into host DRAM to keep serving.
+  params.hbm_capacity =
+      static_cast<Bytes>(0.2 * static_cast<double>(kWorkingSetPerShard)) +
+      cfg.activation_bytes_per_shard + cfg.output_bytes_per_shard + KiB(128);
+  auto cluster = std::make_unique<hw::Cluster>(&sim, params, /*islands=*/1,
+                                               /*hosts_per_island=*/1,
+                                               /*devices_per_host=*/2);
+  PathwaysRuntime runtime(cluster.get(), pathways::PathwaysOptions{});
+  pathways::Client* client = runtime.CreateClient();
+  pathways::VirtualSlice slice = client->AllocateSlice(2).value();
+
+  ServingMetrics metrics;
+  ServingTrace trace;
+  serving::Batcher batcher(client, slice, KvCacheConfig{kKvBytesPerToken},
+                           cfg, &metrics, &trace);
+
+  auto tenant_spec = [&](int t) {
+    TenantSpec spec;
+    spec.arrivals.process = t == 0 ? workload::ArrivalProcess::kPoisson
+                                   : workload::ArrivalProcess::kUniform;
+    spec.arrivals.rate_per_sec = rate / 2;
+    spec.arrivals.horizon = horizon;
+    spec.arrivals.seed = 11 + static_cast<std::uint64_t>(t) * 17;
+    spec.min_prefill_tokens = kMinPrefill;
+    spec.max_prefill_tokens = kMaxPrefill;
+    spec.min_decode_tokens = kMinDecode;
+    spec.max_decode_tokens = kMaxDecode;
+    spec.token_seed = 101 + static_cast<std::uint64_t>(t);
+    return spec;
+  };
+  ServingTenant tenant0(0, &batcher, &sim, tenant_spec(0));
+  ServingTenant tenant1(1, &batcher, &sim, tenant_spec(1));
+  tenant0.Start();
+  tenant1.Start();
+  sim.Run();
+
+  runtime.object_store().CheckNoReservationWedge();
+  const bool all_accounted =
+      batcher.finished() + batcher.shed() == metrics.arrivals();
+  const bool deadlocked =
+      sim.Deadlocked() || !batcher.idle() || !all_accounted;
+  const pathways::ObjectStore& store = runtime.object_store();
+  const double seconds = sim.now().ToSeconds();
+
+  sweep::Metrics m;
+  m.emplace_back("arrivals", static_cast<double>(metrics.arrivals()));
+  m.emplace_back("finished", static_cast<double>(batcher.finished()));
+  m.emplace_back("shed", static_cast<double>(batcher.shed()));
+  m.emplace_back("iterations", static_cast<double>(batcher.iterations()));
+  m.emplace_back("goodput_per_s",
+                 static_cast<double>(batcher.finished()) / seconds);
+  m.emplace_back("tokens_per_s",
+                 static_cast<double>(metrics.prefills() + metrics.tokens()) /
+                     seconds);
+  m.emplace_back("ttft_p50_us", metrics.TtftUs(50));
+  m.emplace_back("ttft_p99_us", metrics.TtftUs(99));
+  m.emplace_back("token_p50_us", metrics.TokenLatencyUs(50));
+  m.emplace_back("token_p99_us", metrics.TokenLatencyUs(99));
+  m.emplace_back("spills", static_cast<double>(store.spills_completed()));
+  m.emplace_back("dram_reads", static_cast<double>(store.dram_reads()));
+  m.emplace_back("kv_grows", static_cast<double>(store.grows_completed()));
+  m.emplace_back("deadlocked", deadlocked ? 1.0 : 0.0);
+  m.emplace_back("leaked_buffers",
+                 static_cast<double>(store.live_buffers()));
+  // Trace checksum folded into doubles: any nondeterminism in event order
+  // shows up in the cross-thread-count CSV comparison.
+  m.emplace_back("trace_lo",
+                 static_cast<double>(trace.Checksum() & 0xffffffffULL));
+  m.emplace_back("trace_hi", static_cast<double>(trace.Checksum() >> 32));
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const pw::bench::Args args = pw::bench::Args::Parse(argc, argv);
+  pw::bench::Header(
+      "LLM serving: continuous batching + KV cache under memory pressure",
+      "iteration-level batching over gang-scheduled slices; per-sequence KV "
+      "grows in the object store and pages to host DRAM under pressure");
+
+  pw::sweep::ParamGrid grid;
+  grid.AxisDoubles("rate_per_s",
+                   args.quick ? std::vector<double>{1500, 24000}
+                              : std::vector<double>{1500, 8000, 24000})
+      .AxisInts("policy_continuous", {1, 0})
+      .AxisDoubles("kv_scale", args.quick ? std::vector<double>{0.5}
+                                          : std::vector<double>{0.5, 1.0});
+
+  auto point_fn = [&args](const pw::sweep::ParamPoint& p) {
+    return MeasurePoint(p, args.quick);
+  };
+  pw::sweep::SweepRunner runner;  // hardware_concurrency threads
+  pw::sweep::ResultTable table = runner.Run(grid, point_fn);
+
+  // Determinism gate: byte-identical table from a single-threaded rerun.
+  pw::sweep::SweepRunner serial(pw::sweep::SweepRunner::Options{.threads = 1});
+  pw::sweep::ResultTable table1 = serial.Run(grid, point_fn);
+  std::ostringstream csv_mt, csv_1t;
+  table.WriteCsv(csv_mt);
+  table1.WriteCsv(csv_1t);
+  const bool deterministic = csv_mt.str() == csv_1t.str();
+
+  const auto points = grid.Points();
+  double max_rate = 0, min_rate = 1e18;
+  for (const auto& pt : points) {
+    max_rate = std::max(max_rate, pt.GetDouble("rate_per_s"));
+    min_rate = std::min(min_rate, pt.GetDouble("rate_per_s"));
+  }
+
+  std::printf("%10s %6s %8s %9s %6s %10s %9s %9s %9s %7s %8s\n", "rate/s",
+              "policy", "kv_x", "goodput/s", "shed", "ttft_p50", "ttft_p99",
+              "tok_p50", "tok_p99", "spills", "deadlock");
+  bool any_deadlock = false;
+  bool any_leak = false;
+  double spills_at_half_budget = 0;
+  double p99_ttft_low_rate_cont = 0;
+  // goodput[policy][kv_scale] at the highest swept rate.
+  std::map<std::pair<int, double>, double> top_rate_goodput;
+  for (std::size_t i = 0; i < table.rows().size(); ++i) {
+    const auto& row = table.rows()[i];
+    const double rate = points[i].GetDouble("rate_per_s");
+    const bool cont = points[i].GetInt("policy_continuous") != 0;
+    const double scale = points[i].GetDouble("kv_scale");
+    const double goodput = pw::bench::MetricOf(row, "goodput_per_s");
+    const bool deadlocked = pw::bench::MetricOf(row, "deadlocked") > 0.5;
+    any_deadlock |= deadlocked;
+    any_leak |= pw::bench::MetricOf(row, "leaked_buffers") > 0.5;
+    if (scale == 0.5) {
+      spills_at_half_budget += pw::bench::MetricOf(row, "spills");
+    }
+    if (cont && rate == min_rate) {
+      p99_ttft_low_rate_cont = std::max(p99_ttft_low_rate_cont,
+                                        pw::bench::MetricOf(row, "ttft_p99_us"));
+    }
+    if (rate == max_rate) top_rate_goodput[{cont ? 1 : 0, scale}] = goodput;
+    std::printf("%10.0f %6s %7.2fx %9.0f %6.0f %9.0fus %8.0fus %8.0fus %8.0fus %7.0f %8s\n",
+                rate, cont ? "cont" : "static", scale, goodput,
+                pw::bench::MetricOf(row, "shed"),
+                pw::bench::MetricOf(row, "ttft_p50_us"),
+                pw::bench::MetricOf(row, "ttft_p99_us"),
+                pw::bench::MetricOf(row, "token_p50_us"),
+                pw::bench::MetricOf(row, "token_p99_us"),
+                pw::bench::MetricOf(row, "spills"),
+                deadlocked ? "YES" : "no");
+  }
+
+  // Continuous-vs-static goodput at the highest swept rate, worst case
+  // over KV budget scales.
+  double min_speedup = 1e18;
+  for (const auto& [key, goodput] : top_rate_goodput) {
+    if (key.first != 1) continue;
+    const auto st = top_rate_goodput.find({0, key.second});
+    if (st == top_rate_goodput.end() || st->second <= 0) continue;
+    min_speedup = std::min(min_speedup, goodput / st->second);
+  }
+  std::printf("\ncontinuous vs static goodput at %.0f req/s: %.2fx (worst "
+              "KV scale)\n", max_rate, min_speedup);
+  std::printf("determinism across SweepRunner thread counts: %s\n",
+              deterministic ? "byte-identical" : "MISMATCH");
+
+  pw::bench::Reporter report("serving", args);
+  for (std::size_t i = 0; i < table.rows().size(); ++i) {
+    report.AddRow(table.rows()[i].params, table.rows()[i].metrics);
+  }
+  report.Summary("deadlocks", any_deadlock ? 1.0 : 0.0);
+  report.Summary("continuous_goodput_x", min_speedup);
+  report.Summary("spills_at_half_budget", spills_at_half_budget);
+  report.Summary("p99_ttft_low_rate_us", p99_ttft_low_rate_cont);
+  report.Summary("deterministic", deterministic ? 1.0 : 0.0);
+  report.Write();
+
+  bool fail = false;
+  if (any_deadlock) {
+    std::fprintf(stderr, "FAIL: deadlock / unfinished point detected\n");
+    fail = true;
+  }
+  if (any_leak) {
+    std::fprintf(stderr, "FAIL: object-store buffers leaked at quiescence\n");
+    fail = true;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: sweep table differs between 1 and N threads\n");
+    fail = true;
+  }
+  if (min_speedup < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: continuous batching only %.2fx static goodput at the "
+                 "highest rate (need >= 1.5x)\n",
+                 min_speedup);
+    fail = true;
+  }
+  if (spills_at_half_budget <= 0) {
+    std::fprintf(stderr,
+                 "FAIL: no spilling at the 0.5x KV budget — memory pressure "
+                 "was not real\n");
+    fail = true;
+  }
+  const double p99_ttft_bound_us = 2000.0;
+  if (p99_ttft_low_rate_cont > p99_ttft_bound_us) {
+    std::fprintf(stderr,
+                 "FAIL: p99 TTFT %.0fus at the lowest rate (continuous) "
+                 "exceeds %.0fus\n",
+                 p99_ttft_low_rate_cont, p99_ttft_bound_us);
+    fail = true;
+  }
+  if (!fail) {
+    std::printf("gates: zero deadlocks, continuous %.2fx >= 1.5x static, "
+                "spilling active at 0.5x budget, p99 TTFT %.0fus <= %.0fus, "
+                "deterministic\n",
+                min_speedup, p99_ttft_low_rate_cont, p99_ttft_bound_us);
+  }
+  return fail ? 1 : 0;
+}

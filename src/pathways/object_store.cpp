@@ -183,6 +183,110 @@ sim::SimFuture<sim::Unit> ObjectStore::ReserveShard(LogicalBufferId id,
   return fut;
 }
 
+sim::SimFuture<sim::Unit> ObjectStore::GrowShard(LogicalBufferId id, int shard,
+                                                 Bytes delta) {
+  auto it = entries_.find(id);
+  PW_CHECK(it != entries_.end()) << "GrowShard on unknown buffer " << id;
+  PW_CHECK_GT(delta, 0);
+  Entry& entry = it->second;
+  ShardBuffer& sb = entry.shards.at(static_cast<std::size_t>(shard));
+  ShardState& state = entry.states.at(static_cast<std::size_t>(shard));
+  PW_CHECK(state.granted)
+      << "GrowShard before shard " << shard << " of buffer " << id
+      << " holds memory";
+  const hw::DeviceId dev = sb.device;
+  const int d = static_cast<int>(dev.value());
+
+  if (state.residency == ShardResidency::kHostDram &&
+      cluster_->host_of(dev).dram().TryAllocate(delta)) {
+    // Paged-out sequence keeps growing in DRAM, no HBM traffic at all.
+    sb.bytes += delta;
+    logical_live_[d] += delta;
+    logical_peak_[d] = std::max(logical_peak_[d], logical_live_[d]);
+    ++grows_completed_;
+    grown_bytes_total_ += delta;
+    Touch(state);
+    return sim::ReadyFuture(&cluster_->simulator(), sim::Unit{});
+  }
+
+  // Either resident (kHbm / kSpillingOut — the grow pin below makes an
+  // in-flight page-out abandon) or paged out with DRAM exhausted, in which
+  // case the shard re-enters HBM at its grown size and frees its DRAM copy
+  // at grant (a forced restore).
+  const bool forced_restore = state.residency == ShardResidency::kHostDram;
+  const Bytes request = forced_restore ? sb.bytes + delta : delta;
+  ++state.pins;  // spill-protect the shard while the delta is queued
+  Touch(state);
+  const hw::MemoryTicket ticket = NextTicket();
+  {
+    std::ostringstream os;
+    os << "grow buffer " << id << "/" << shard;
+    RegisterTicket(ticket, EntityOf(entry.producer, id), os.str());
+  }
+  sim::SimPromise<sim::Unit> granted(&cluster_->simulator());
+  auto fut = granted.future();
+  cluster_->device(dev)
+      .hbm()
+      .AllocateAsync(
+          request, ticket,
+          [this, id, shard, dev, delta, request, ticket, forced_restore] {
+            FinishTicket(ticket);
+            auto it2 = entries_.find(id);
+            if (it2 == entries_.end()) {
+              // Buffer released while the grow queued (fault unwinding):
+              // hand the grant straight back. Deferred to its own event —
+              // admission runs inside the allocator's serve loop, which
+              // must not re-enter itself.
+              cluster_->simulator().Schedule(
+                  Duration::Zero(), [this, dev, request] {
+                    cluster_->device(dev).hbm().Free(request);
+                  });
+              return;
+            }
+            Entry& e = it2->second;
+            ShardBuffer& sb2 = e.shards[static_cast<std::size_t>(shard)];
+            ShardState& st = e.states[static_cast<std::size_t>(shard)];
+            if (forced_restore) {
+              if (st.residency == ShardResidency::kHostDram) {
+                // The expected case: flip residency to the fresh HBM copy
+                // and return the DRAM side.
+                cluster_->host_of(dev).dram().Free(sb2.bytes);
+                st.residency = ShardResidency::kHbm;
+                sb2.location = BufferLocation::kHbm;
+                ++fills_completed_;
+                for (const hw::Device* hd : cluster_->host_of(dev).devices()) {
+                  MaybeKickSpiller(hd->id());
+                }
+              } else {
+                // A same-device read restored the shard while our grown-size
+                // reservation queued; only the delta is still needed, so the
+                // redundant old-size portion goes back (deferred, as above).
+                const Bytes extra = request - delta;
+                cluster_->simulator().Schedule(
+                    Duration::Zero(), [this, dev, extra] {
+                      cluster_->device(dev).hbm().Free(extra);
+                    });
+              }
+            }
+            sb2.bytes += delta;
+            const int d2 = static_cast<int>(dev.value());
+            logical_live_[d2] += delta;
+            logical_peak_[d2] = std::max(logical_peak_[d2], logical_live_[d2]);
+            ++grows_completed_;
+            grown_bytes_total_ += delta;
+            Touch(st);
+          })
+      .Then([this, id, shard, granted](const sim::Unit&) mutable {
+        // Drop the grow pin through UnpinShard so a stalled spiller is
+        // re-kicked, then complete the caller's future. A vacuous grant on
+        // a released buffer still fires — callers unwind through their own
+        // aborted-state checks, exactly like ReserveShard.
+        UnpinShard(id, shard);
+        granted.Set(sim::Unit{});
+      });
+  return fut;
+}
+
 sim::SimFuture<sim::Unit> ObjectStore::AllocateScratch(hw::DeviceId device,
                                                        Bytes bytes,
                                                        hw::MemoryTicket ticket) {
@@ -331,11 +435,14 @@ bool ObjectStore::StartSpill(int device) {
           Entry& e = it->second;
           ShardState& st = e.states[static_cast<std::size_t>(shard)];
           PW_CHECK(st.residency == ShardResidency::kSpillingOut);
-          if (st.pins > 0) {
-            // A reader pinned the shard mid-migration and is sourcing from
-            // the (intact) HBM copy: abandon the spill rather than free
-            // memory that is still being read. A surviving stall re-kicks
-            // the spiller, which now sees the pin and picks elsewhere.
+          if (st.pins > 0 || e.shards[static_cast<std::size_t>(shard)].bytes != bytes) {
+            // Two reasons to abandon rather than complete: a reader pinned
+            // the shard mid-migration and is sourcing from the (intact) HBM
+            // copy, or the shard *grew* under the migration (KV append) so
+            // the DRAM copy no longer covers it. Either way the HBM copy is
+            // authoritative; free the DRAM destination and let a surviving
+            // stall re-kick the spiller, which then picks elsewhere (or
+            // re-picks this shard at its new size).
             st.residency = ShardResidency::kHbm;
             cluster_->host_of(dev).dram().Free(bytes);
           } else {
@@ -481,6 +588,12 @@ int ObjectStore::ReleaseAllForProducer(ExecutionId producer) {
     }
   }
   return collected;
+}
+
+Bytes ObjectStore::shard_bytes(LogicalBufferId id, int shard) const {
+  auto it = entries_.find(id);
+  PW_CHECK(it != entries_.end());
+  return it->second.shards.at(static_cast<std::size_t>(shard)).bytes;
 }
 
 int ObjectStore::refcount(LogicalBufferId id) const {

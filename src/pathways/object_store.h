@@ -125,6 +125,25 @@ class ObjectStore : public memory::SpillBackend {
   // to the allocator immediately.
   sim::SimFuture<sim::Unit> ReserveShard(LogicalBufferId id, int shard);
 
+  // Appends `delta` bytes to one granted shard — the KV-cache decode-step
+  // append (docs/SERVING.md). The shard is internally pinned for the grow's
+  // duration, so it cannot become a *new* spill victim while the delta is
+  // queued (and an in-flight page-out abandons itself rather than complete
+  // against a shard that grew under it). By residency:
+  //   * kHbm / kSpillingOut — the delta enters the device's reservation
+  //     queue under a fresh ticket drawn now, so appends issued within one
+  //     simulator event are served in a deterministic global order;
+  //   * kHostDram — the append lands in host DRAM synchronously when it
+  //     fits (a paged-out sequence keeps growing without touching HBM);
+  //     with DRAM exhausted the shard instead re-enters HBM at its grown
+  //     size (old + delta queued as one reservation) and the DRAM copy is
+  //     freed at grant — a forced restore.
+  // The returned future completes when the delta is granted; callers gate
+  // the next decode step on it. Shard bytes (and the logical-bytes stats)
+  // grow at grant time, never before.
+  sim::SimFuture<sim::Unit> GrowShard(LogicalBufferId id, int shard,
+                                      Bytes delta);
+
   // Raw per-device scratch allocation (executor-internal); same back-pressure
   // and the same ticket ordering as buffer reservations.
   sim::SimFuture<sim::Unit> AllocateScratch(
@@ -206,6 +225,10 @@ class ObjectStore : public memory::SpillBackend {
   std::int64_t spills_completed() const { return spills_completed_; }
   std::int64_t fills_completed() const { return fills_completed_; }
   Bytes spilled_bytes_total() const { return spilled_bytes_total_; }
+  std::int64_t grows_completed() const { return grows_completed_; }
+  Bytes grown_bytes_total() const { return grown_bytes_total_; }
+  // Current bytes of one shard (grows land here at grant time).
+  Bytes shard_bytes(LogicalBufferId id, int shard) const;
   // Reads served straight from host DRAM (spilled shard consumed without
   // restoring residency). Executions report these via NoteDramRead.
   void NoteDramRead(Bytes bytes) {
@@ -263,6 +286,8 @@ class ObjectStore : public memory::SpillBackend {
   std::int64_t spills_completed_ = 0;
   std::int64_t fills_completed_ = 0;
   Bytes spilled_bytes_total_ = 0;
+  std::int64_t grows_completed_ = 0;
+  Bytes grown_bytes_total_ = 0;
   std::int64_t dram_reads_ = 0;
   Bytes dram_read_bytes_ = 0;
 };

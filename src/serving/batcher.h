@@ -1,0 +1,153 @@
+// Iteration-level batching scheduler (docs/SERVING.md).
+//
+// The batcher turns a stream of requests into a sequence of *iteration
+// programs*: each iteration is one gang-scheduled PathwaysProgram on the
+// batcher's slice whose arguments are the running sequences' KV-cache
+// buffers, so KV paging costs (spill, read-through, restore) ride the
+// normal argument-transfer dataflow and compose with faults, admission and
+// oversubscription. Two policies:
+//
+//   * kContinuous — new prefills are admitted into the running batch at
+//     every iteration boundary, subject to a per-iteration token budget
+//     (each decoding sequence costs one token, an admitted prompt costs
+//     its prefill tokens) and a projected-KV budget per device. Finished
+//     sequences leave the batch the moment they emit their last token.
+//   * kStatic — the classic baseline kept for comparison: a batch is
+//     filled only when the previous batch has *fully* drained, so long
+//     generations straggle the whole batch.
+//
+// Deadlock freedom under KV pressure (kv_budget_per_device above free
+// HBM, spilling active): the batcher never holds pins across an
+// iteration. Argument reads pin each KV shard only for the duration of
+// the transfer and read spilled shards straight from host DRAM without
+// re-acquiring HBM (the PR-5 read-through path), so mid-iteration
+// reservations — staging, outputs — always find the batch's cold KV
+// spillable. The boundary appends are chained *sequentially*: each
+// GrowShard self-pins only its own sequence while its reservation waits,
+// leaving every other sequence a valid spill victim, so the boundary
+// makes progress even with HBM packed wall-to-wall with KV. The one kind
+// of KV that can NOT spill is a freshly admitted prompt's (its contents
+// don't exist until the prefill pass writes them), so admission bounds
+// the fresh KV per boundary to physical HBM minus the iteration staging.
+// Admission additionally caps the *projected full* KV of the running
+// batch (prompt + all future decode appends) at kv_budget_per_device to
+// bound paging traffic; a request whose lone projected KV exceeds the
+// budget — or whose prompt KV cannot fit beside the staging at all — can
+// never run and is shed at offer time.
+//
+// After an execution abort (device crash mid-iteration) every running
+// sequence's KV is released — its shards span the crashed device — and the
+// requests re-enter the queue head for a fresh prefill; the next iteration
+// re-lowers against the resource manager's post-remap mapping (PR-3 path).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "common/units.h"
+#include "pathways/client.h"
+#include "serving/kv_cache.h"
+#include "serving/metrics.h"
+#include "serving/request.h"
+
+namespace pw::serving {
+
+enum class BatchPolicy { kContinuous, kStatic };
+
+const char* ToString(BatchPolicy policy);
+
+struct BatcherConfig {
+  BatchPolicy policy = BatchPolicy::kContinuous;
+  int max_batch = 8;        // sequences running concurrently
+  int token_budget = 512;   // per-iteration: decoders (1 each) + prompts
+  // Cap on the running batch's projected full KV per device shard;
+  // 0 = uncapped. Must leave HBM headroom for activations + outputs.
+  Bytes kv_budget_per_device = 0;
+  std::size_t queue_capacity = 64;  // waiting requests; overflow sheds
+
+  // Iteration kernel cost model.
+  Duration iteration_base = Duration::Micros(40);
+  Duration prefill_per_token = Duration::Nanos(300);
+  Duration decode_per_token = Duration::Micros(1);  // per decoding sequence
+  Bytes activation_bytes_per_shard = KiB(256);
+  Bytes output_bytes_per_shard = KiB(32);
+  // Per-iteration tensor-parallel AllReduce (exercises gang semantics).
+  bool collective = true;
+  Bytes collective_bytes_per_shard = KiB(16);
+
+  // Backoff between consecutive aborted iterations (waits out a crash
+  // window the resource manager could not remap around).
+  pathways::RetryPolicy retry;
+};
+
+class Batcher {
+ public:
+  Batcher(pathways::Client* client, pathways::VirtualSlice slice,
+          KvCacheConfig kv_config, BatcherConfig config,
+          ServingMetrics* metrics, ServingTrace* trace = nullptr);
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  // One request arriving now. Returns false iff it was shed on the spot
+  // (queue overflow, or its projected KV alone exceeds the budget).
+  bool Offer(Request req);
+
+  // --- Introspection ---
+  std::int64_t iterations() const { return iterations_; }
+  std::int64_t finished() const { return finished_; }
+  std::int64_t shed() const { return shed_; }
+  std::int64_t aborted_iterations() const { return aborted_iterations_; }
+  int running() const { return static_cast<int>(running_.size()); }
+  std::size_t queue_depth() const { return queue_.size(); }
+  bool idle() const {
+    return !iteration_inflight_ && running_.empty() && queue_.empty();
+  }
+  KvCache& kv() { return kv_; }
+  const KvCache& kv() const { return kv_; }
+  const BatcherConfig& config() const { return config_; }
+
+ private:
+  void MaybeStartIteration();
+  void StartIteration();
+  void AdmitFromQueue();
+  void OnIterationDone(const pathways::ExecutionResult& result);
+  void HandleAbort();
+  Bytes ProjectedPerShard(const Request& req) const {
+    return kv_.BytesForTokens(req.max_kv_tokens());
+  }
+  // HBM the iteration itself reserves per device (activation staging +
+  // output); fresh prompt KV must fit beside it (see AdmitFromQueue).
+  Bytes StagingPerShard() const;
+  void Trace(const char* kind, std::int64_t request, std::int64_t detail = 0);
+
+  pathways::Client* client_;
+  pathways::VirtualSlice slice_;
+  BatcherConfig config_;
+  KvCache kv_;
+  ServingMetrics* metrics_;
+  ServingTrace* trace_;
+  sim::Simulator* sim_;
+
+  // Smallest HBM capacity across the slice's devices: the bound on fresh
+  // (not-yet-content-ready, hence unspillable) prompt KV per boundary.
+  Bytes hbm_floor_ = 0;
+
+  std::deque<Request> queue_;
+  // Running batch keyed by request id (deterministic iteration order);
+  // admission order and id order coincide per tenant.
+  std::map<std::int64_t, Request> running_;
+  Bytes batch_projected_per_shard_ = 0;
+  // Program of the in-flight iteration (must outlive its execution).
+  std::unique_ptr<pathways::PathwaysProgram> current_program_;
+  bool iteration_inflight_ = false;
+  int consecutive_aborts_ = 0;
+  std::int64_t iterations_ = 0;
+  std::int64_t finished_ = 0;
+  std::int64_t shed_ = 0;
+  std::int64_t aborted_iterations_ = 0;
+};
+
+}  // namespace pw::serving

@@ -1,0 +1,99 @@
+// Serving-side measurement: latency distributions and the event trace.
+//
+// ServingMetrics collects the three serving numbers the paper's regime
+// cares about — TTFT (arrival to first output token, queueing included),
+// per-token decode latency, and goodput — plus shed/abort counters. One
+// instance per batcher; Merge() folds scenario shards into a fleet view.
+//
+// ServingTrace is the serving analogue of sim::Trace for golden tests: an
+// append-only log of semantic events (arrive/admit/shed/prefill/token/
+// finish/abort/requeue) with an FNV-1a checksum, so any change to batching
+// or KV-cache semantics moves a pinned constant in tests/serving_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace pw::serving {
+
+class ServingTrace {
+ public:
+  struct Event {
+    std::int64_t at_ns = 0;
+    std::string kind;
+    std::int64_t request = -1;
+    std::int64_t detail = 0;
+  };
+
+  void Record(std::int64_t at_ns, std::string kind, std::int64_t request,
+              std::int64_t detail = 0) {
+    events_.push_back(Event{at_ns, std::move(kind), request, detail});
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::uint64_t Checksum() const;
+  std::string ToString() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+class ServingMetrics {
+ public:
+  void OnArrival() { ++arrivals_; }
+  void OnShed() { ++sheds_; }
+  void OnFirstToken(Duration ttft) {
+    ++prefills_;
+    ttft_us_.Add(ttft.ToSeconds() * 1e6);
+  }
+  void OnToken(Duration since_last) {
+    ++tokens_;
+    token_latency_us_.Add(since_last.ToSeconds() * 1e6);
+  }
+  void OnFinish(Duration e2e) {
+    ++finished_;
+    e2e_us_.Add(e2e.ToSeconds() * 1e6);
+  }
+  void OnAbortedIteration() { ++aborted_iterations_; }
+
+  std::int64_t arrivals() const { return arrivals_; }
+  std::int64_t sheds() const { return sheds_; }
+  std::int64_t prefills() const { return prefills_; }
+  std::int64_t tokens() const { return tokens_; }
+  std::int64_t finished() const { return finished_; }  // goodput
+  std::int64_t aborted_iterations() const { return aborted_iterations_; }
+
+  // Percentiles in microseconds, p in [0,100]; 0 when empty.
+  double TtftUs(double p) { return ttft_us_.Percentile(p); }
+  double TokenLatencyUs(double p) { return token_latency_us_.Percentile(p); }
+  double E2eUs(double p) { return e2e_us_.Percentile(p); }
+
+  void Merge(const ServingMetrics& other) {
+    arrivals_ += other.arrivals_;
+    sheds_ += other.sheds_;
+    prefills_ += other.prefills_;
+    tokens_ += other.tokens_;
+    finished_ += other.finished_;
+    aborted_iterations_ += other.aborted_iterations_;
+    ttft_us_.Merge(other.ttft_us_);
+    token_latency_us_.Merge(other.token_latency_us_);
+    e2e_us_.Merge(other.e2e_us_);
+  }
+
+ private:
+  PercentileSampler ttft_us_;
+  PercentileSampler token_latency_us_;
+  PercentileSampler e2e_us_;
+  std::int64_t arrivals_ = 0;
+  std::int64_t sheds_ = 0;
+  std::int64_t prefills_ = 0;
+  std::int64_t tokens_ = 0;
+  std::int64_t finished_ = 0;
+  std::int64_t aborted_iterations_ = 0;
+};
+
+}  // namespace pw::serving

@@ -1,0 +1,47 @@
+// Serving request model (docs/SERVING.md).
+//
+// One request is one LLM inference: a prompt of `prefill_tokens` processed
+// in a single prefill pass, then `decode_tokens` output tokens emitted one
+// per decode iteration (the prefill pass itself yields the first output
+// token, which is what TTFT measures). The batcher owns the progress
+// fields; tenants fill in only identity, token counts, and arrival time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace pw::serving {
+
+enum class RequestState {
+  kQueued,    // waiting for admission into the running batch
+  kPrefill,   // admitted; its prefill iteration is in flight
+  kDecoding,  // emitting one token per decode iteration
+  kFinished,  // all output tokens emitted
+  kShed,      // dropped at offer time (queue overflow or oversized KV)
+};
+
+const char* ToString(RequestState state);
+
+struct Request {
+  std::int64_t id = -1;
+  int tenant = 0;
+  int prefill_tokens = 1;  // prompt length (>= 1)
+  int decode_tokens = 1;   // output length (>= 1; first token from prefill)
+  TimePoint arrival;
+
+  // --- Progress, owned by the batcher ---
+  RequestState state = RequestState::kQueued;
+  int tokens_decoded = 0;
+  // 1 + the number of crash-induced re-prefills this request survived.
+  int attempts = 1;
+  TimePoint first_token_at;
+  TimePoint last_token_at;
+  TimePoint finished_at;
+
+  // KV tokens held at completion: the prompt plus one appended KV entry per
+  // decode step after the first token.
+  int max_kv_tokens() const { return prefill_tokens + decode_tokens - 1; }
+};
+
+}  // namespace pw::serving

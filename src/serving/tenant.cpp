@@ -1,0 +1,40 @@
+#include "serving/tenant.h"
+
+#include "common/logging.h"
+
+namespace pw::serving {
+
+ServingTenant::ServingTenant(int tenant_id, Batcher* batcher,
+                             sim::Simulator* sim, TenantSpec spec)
+    : tenant_id_(tenant_id),
+      batcher_(batcher),
+      sim_(sim),
+      spec_(spec),
+      token_rng_(spec.token_seed),
+      generator_(sim, spec.arrivals, [this] { OnArrival(); }) {
+  PW_CHECK(batcher_ != nullptr);
+  PW_CHECK_GE(spec_.min_prefill_tokens, 1);
+  PW_CHECK_GE(spec_.max_prefill_tokens, spec_.min_prefill_tokens);
+  PW_CHECK_GE(spec_.min_decode_tokens, 1);
+  PW_CHECK_GE(spec_.max_decode_tokens, spec_.min_decode_tokens);
+}
+
+void ServingTenant::OnArrival() {
+  Request req;
+  // Ids unique across tenants and monotone within one, so running-batch
+  // iteration order (keyed by id) is deterministic and admission-ordered.
+  req.id = static_cast<std::int64_t>(tenant_id_) * 1'000'000 + next_request_++;
+  req.tenant = tenant_id_;
+  req.prefill_tokens =
+      spec_.min_prefill_tokens +
+      static_cast<int>(token_rng_.NextBounded(static_cast<std::uint64_t>(
+          spec_.max_prefill_tokens - spec_.min_prefill_tokens + 1)));
+  req.decode_tokens =
+      spec_.min_decode_tokens +
+      static_cast<int>(token_rng_.NextBounded(static_cast<std::uint64_t>(
+          spec_.max_decode_tokens - spec_.min_decode_tokens + 1)));
+  req.arrival = sim_->now();
+  batcher_->Offer(std::move(req));
+}
+
+}  // namespace pw::serving

@@ -1,0 +1,57 @@
+// ServingTenant: one tenant's open-loop request stream.
+//
+// Reuses the PR-4 OpenLoopGenerator (sink mode) for the arrival process —
+// Poisson/uniform/burst, per-tenant seed — and draws each request's prompt
+// and output lengths from its own seeded Rng, so a tenant's stream is
+// bit-reproducible from (spec, seeds) alone and independent of every other
+// tenant and of how the batcher keeps up. Requests are offered to the
+// shared Batcher, where admission happens at iteration boundaries.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "serving/batcher.h"
+#include "workload/traffic.h"
+
+namespace pw::serving {
+
+struct TenantSpec {
+  workload::OpenLoopSpec arrivals;  // process, rate, horizon, arrival seed
+  int min_prefill_tokens = 16;
+  int max_prefill_tokens = 128;
+  int min_decode_tokens = 4;
+  int max_decode_tokens = 32;
+  std::uint64_t token_seed = 7;  // independent of the arrival seed
+};
+
+class ServingTenant {
+ public:
+  ServingTenant(int tenant_id, Batcher* batcher, sim::Simulator* sim,
+                TenantSpec spec);
+
+  ServingTenant(const ServingTenant&) = delete;
+  ServingTenant& operator=(const ServingTenant&) = delete;
+
+  // Schedules the first arrival; call once, then run the simulator.
+  void Start() { generator_.Start(); }
+
+  std::int64_t arrivals_generated() const {
+    return generator_.arrivals_generated();
+  }
+  int tenant_id() const { return tenant_id_; }
+
+ private:
+  void OnArrival();
+
+  int tenant_id_;
+  Batcher* batcher_;
+  sim::Simulator* sim_;
+  TenantSpec spec_;
+  Rng token_rng_;
+  std::int64_t next_request_ = 0;
+  workload::OpenLoopGenerator generator_;  // sink mode; declared last so the
+                                           // sink's captures are initialized
+};
+
+}  // namespace pw::serving

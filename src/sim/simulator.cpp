@@ -11,9 +11,68 @@ Simulator::~Simulator() {
     if (e.node->cb.engaged()) e.node->cb.Destroy();
   }
   for (std::size_t i = 0; i < fifo_count_; ++i) {
-    EventNode* node = fifo_[(fifo_head_ + i) & (fifo_.size() - 1)].node;
+    EventNode* node = fifo_[(fifo_head_ + i) & (fifo_.size() - 1)];
     if (node->cb.engaged()) node->cb.Destroy();
   }
+  for (const Bucket& b : wheel_) {
+    for (std::size_t i = b.head; i < b.items.size(); ++i) {
+      if (b.items[i]->cb.engaged()) b.items[i]->cb.Destroy();
+    }
+  }
+}
+
+void Simulator::WheelPush(std::int64_t at_ns, EventNode* node) {
+  const std::size_t idx = static_cast<std::size_t>(at_ns) & kWheelMask;
+  wheel_[idx].items.push_back(node);
+  wheel_bits_[idx >> 6] |= 1ULL << (idx & 63);
+  ++wheel_count_;
+}
+
+std::int64_t Simulator::WheelNextTime(std::size_t* idx) const {
+  // Cyclic scan of the occupancy bitmap starting at the bucket for `now`.
+  // wheel_count_ > 0 guarantees a set bit; the k == kWheelWords lap
+  // re-reads the first word unmasked, covering bits behind the start.
+  const std::size_t start = static_cast<std::size_t>(now_.nanos()) & kWheelMask;
+  const std::size_t w0 = start >> 6;
+  std::size_t found;
+  const std::uint64_t first = wheel_bits_[w0] & (~0ULL << (start & 63));
+  if (first != 0) {
+    found = (w0 << 6) | static_cast<std::size_t>(__builtin_ctzll(first));
+  } else {
+    for (std::size_t k = 1;; ++k) {
+      const std::size_t w = (w0 + k) & (kWheelWords - 1);
+      if (wheel_bits_[w] != 0) {
+        found = (w << 6) | static_cast<std::size_t>(__builtin_ctzll(wheel_bits_[w]));
+        break;
+      }
+    }
+  }
+  *idx = found;
+  // Cyclic distance from the start bucket == delay until the event; every
+  // pending wheel entry is within one span of now (see header).
+  const std::int64_t d =
+      static_cast<std::int64_t>((found - start) & kWheelMask);
+  return now_.nanos() + d;
+}
+
+bool Simulator::RunWheelBucket(std::size_t idx, std::int64_t at_ns) {
+  Bucket& b = wheel_[idx];
+  EventNode* node = b.items[b.head];
+  ++b.head;
+  if (b.head == b.items.size()) {
+    b.head = 0;
+    b.items.clear();  // keeps capacity for the bucket's next epoch
+    wheel_bits_[idx >> 6] &= ~(1ULL << (idx & 63));
+  }
+  --wheel_count_;
+  if (node->state == NodeState::kCancelled) {
+    // Wheel entries are one-shots, so Cancel() destroyed the callable.
+    RecycleNode(node);
+    return false;
+  }
+  now_ = TimePoint::FromNanos(at_ns);
+  RunOneShot(node);
+  return true;
 }
 
 internal::EventNode* Simulator::AllocNode() {
@@ -39,6 +98,15 @@ void Simulator::RecycleNode(EventNode* node) {
 }
 
 void Simulator::HeapPush(HeapEntry e) {
+  if (heap_hole_) {
+    // Steady-state fusion: the event being executed left a hole at the
+    // root; this push fills it directly, replacing a pop-then-push
+    // (sift-down of the old bottom entry + sift-up of the new one, plus
+    // the vector size churn) with a single sift-down of the new entry.
+    heap_hole_ = false;
+    SiftDownFromRoot(e);
+    return;
+  }
   heap_.push_back(e);
   std::size_t i = heap_.size() - 1;
   while (i > 0) {
@@ -50,29 +118,32 @@ void Simulator::HeapPush(HeapEntry e) {
   heap_[i] = e;
 }
 
-Simulator::HeapEntry Simulator::HeapPopTop() {
-  const HeapEntry top = heap_.front();
+void Simulator::SiftDownFromRoot(HeapEntry e) {
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (Before(heap_[c], heap_[best])) best = c;
+    }
+    if (!Before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::CloseHeapHole() {
+  if (!heap_hole_) return;
+  heap_hole_ = false;
+  // Nothing was pushed while the root was consumed: excise it the classic
+  // way, sifting the bottom entry down from the root.
   const HeapEntry last = heap_.back();
   heap_.pop_back();
-  if (!heap_.empty()) {
-    // Sift `last` down from the root of the 4-ary heap.
-    const std::size_t n = heap_.size();
-    std::size_t i = 0;
-    for (;;) {
-      const std::size_t first_child = 4 * i + 1;
-      if (first_child >= n) break;
-      std::size_t best = first_child;
-      const std::size_t end = std::min(first_child + 4, n);
-      for (std::size_t c = first_child + 1; c < end; ++c) {
-        if (Before(heap_[c], heap_[best])) best = c;
-      }
-      if (!Before(heap_[best], last)) break;
-      heap_[i] = heap_[best];
-      i = best;
-    }
-    heap_[i] = last;
-  }
-  return top;
+  if (!heap_.empty()) SiftDownFromRoot(last);
 }
 
 void Simulator::FifoPush(FifoEntry e) {
@@ -147,13 +218,21 @@ void Simulator::RunOneShot(EventNode* node) {
 }
 
 bool Simulator::RunHeapTop() {
-  const HeapEntry top = HeapPopTop();
+  // Consume the root but leave its slot as a hole: if the event's callback
+  // (or a periodic re-arm) pushes a new heap entry — the dominant
+  // steady-state pattern — HeapPush fills the hole with one sift-down and
+  // the excision below becomes a no-op. While the hole is open the root
+  // entry is stale; it is never read (Cancel/IsPending key off node state,
+  // and StepOne only inspects the heap between events).
+  const HeapEntry top = heap_.front();
+  heap_hole_ = true;
   EventNode* node = top.node;
   if (node->state == NodeState::kCancelled) {
     // Cancel() normally destroyed the callable already; a periodic
     // self-cancel deferred it to here.
     if (node->cb.engaged()) node->cb.Destroy();
     RecycleNode(node);
+    CloseHeapHole();
     return false;
   }
   now_ = TimePoint::FromNanos(top.at);
@@ -162,8 +241,9 @@ bool Simulator::RunHeapTop() {
     // Re-arm before running so the callback observes itself as pending and
     // may Cancel() its own timer. Same node, same generation, fresh seq:
     // FIFO order at the next fire time is "timer first, then anything the
-    // callback schedules for that instant".
-    HeapPush(HeapEntry{top.at + node->period_ns, next_seq_++, node});
+    // callback schedules for that instant". The re-arm fills the hole.
+    node->seq = next_seq_++;
+    HeapPush(HeapEntry{top.at + node->period_ns, node});
     node->executing = true;
     node->cb.Invoke();
     node->executing = false;
@@ -173,22 +253,34 @@ bool Simulator::RunHeapTop() {
   --live_events_;
   node->cb.InvokeAndDestroy();
   RecycleNode(node);
+  CloseHeapHole();
   return true;
 }
 
 bool Simulator::StepOne() {
-  // Merge the now-ring with the heap by (time, seq). Fifo entries are
-  // always at now_ <= heap top, so the heap wins only when its top is also
-  // at now_ with an older seq (and may then be a periodic fire, which
-  // RunHeapTop handles).
+  // Merge the now-ring, the wheel and the heap by (time, seq). Fifo
+  // entries are always at now_ <= any wheel or heap entry, so those win
+  // only when their earliest entry is also at now_ with an older seq (for
+  // the heap that may be a periodic fire, which RunHeapTop handles).
+  const std::int64_t now_ns = now_.nanos();
   if (fifo_count_ != 0) {
     const FifoEntry front = fifo_[fifo_head_ & (fifo_.size() - 1)];
-    if (!heap_.empty() && heap_.front().at == now_.nanos() &&
-        heap_.front().seq < front.seq) {
+    const std::size_t b = static_cast<std::size_t>(now_ns) & kWheelMask;
+    if ((wheel_bits_[b >> 6] >> (b & 63)) & 1) {
+      // A non-empty bucket for now's slot holds events at exactly now
+      // (single-timestamp-per-bucket invariant), necessarily scheduled
+      // before the clock got here, i.e. with older seqs.
+      const Bucket& bk = wheel_[b];
+      if (bk.items[bk.head]->seq < front->seq) {
+        return RunWheelBucket(b, now_ns);
+      }
+    }
+    if (!heap_.empty() && heap_.front().at == now_ns &&
+        heap_.front().node->seq < front->seq) {
       return RunHeapTop();
     }
     (void)FifoPop();
-    EventNode* node = front.node;
+    EventNode* node = front;
     if (node->state == NodeState::kCancelled) {
       // Fifo entries are one-shots, so Cancel() always destroyed eagerly.
       RecycleNode(node);
@@ -199,6 +291,19 @@ bool Simulator::StepOne() {
     // ever enter the heap.
     RunOneShot(node);
     return true;
+  }
+  if (wheel_count_ != 0) {
+    std::size_t idx;
+    const std::int64_t w_at = WheelNextTime(&idx);
+    if (!heap_.empty()) {
+      const HeapEntry& top = heap_.front();
+      if (top.at < w_at ||
+          (top.at == w_at &&
+           top.node->seq < wheel_[idx].items[wheel_[idx].head]->seq)) {
+        return RunHeapTop();
+      }
+    }
+    return RunWheelBucket(idx, w_at);
   }
   return RunHeapTop();
 }

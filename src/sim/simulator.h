@@ -12,13 +12,23 @@
 //     the steady-state schedule/fire cycle performs no heap allocation.
 //   * The priority queue is a 4-ary heap of 24-byte plain-data entries
 //     {time, seq, node*}; sifting copies trivial entries only, never the
-//     callbacks, and nodes never move once constructed.
+//     callbacks, and nodes never move once constructed. Popping leaves a
+//     hole at the root that a push from inside the event's own callback —
+//     the steady-state churn pattern — fills with a single sift-down,
+//     fusing the pop/push pair into one heap operation.
 //   * Zero-delay events — the dominant pattern: every future Then(),
 //     WhenAll() completion and device wakeup fires "now" — skip the heap
 //     entirely and go through an O(1) FIFO ring holding events whose
 //     timestamp equals the current clock. The ring and the heap merge by
 //     (time, seq), so the global FIFO-at-equal-timestamp order is exactly
 //     that of a single queue.
+//   * Near-horizon one-shots (0 < at - now < kWheelSpanNs) bypass the heap
+//     through a timing wheel of 1ns buckets — O(1) push/pop instead of an
+//     O(log n) sift, the winning structure for steady-state churn (device
+//     hops, wire latencies, backoffs all land within a microsecond). All
+//     pending wheel events live inside one span-wide window, so a bucket
+//     holds exactly one timestamp and its append order IS seq order; the
+//     wheel, ring and heap merge by (time, seq) like a single queue.
 //
 // The simulator deliberately knows nothing about the entities it drives.
 // Higher layers register "blocked entity" probes so that quiescence with
@@ -54,6 +64,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <new>
 #include <string>
@@ -171,6 +182,10 @@ enum class NodeState : std::uint8_t {
 struct EventNode {
   PooledCallback cb;
   std::int64_t period_ns = 0;  // > 0 for periodic timers
+  // FIFO tie-break among equal timestamps. Kept in the node (not the queue
+  // entries) so heap entries stay 16 bytes; a node has at most one queue
+  // entry at a time, so the value is unambiguous.
+  std::uint64_t seq = 0;
   EventNode* next_free = nullptr;
   std::uint32_t generation = 0;
   NodeState state = NodeState::kFree;
@@ -287,22 +302,20 @@ class Simulator {
   using EventNode = internal::EventNode;
   using NodeState = internal::NodeState;
 
-  // 24-byte trivially copyable heap element; (at, seq) is the priority,
-  // seq gives the FIFO tie-break among equal timestamps.
+  // 16-byte trivially copyable heap element; (at, node->seq) is the
+  // priority. Timestamps are compared first and are almost never equal, so
+  // the node deref for the FIFO tie-break stays off the sift fast path.
   struct HeapEntry {
     std::int64_t at;
-    std::uint64_t seq;
     EventNode* node;
   };
   static bool Before(const HeapEntry& a, const HeapEntry& b) {
-    return a.at < b.at || (a.at == b.at && a.seq < b.seq);
+    return a.at < b.at || (a.at == b.at && a.node->seq < b.node->seq);
   }
 
-  // Ring element for events at exactly now(): `at` is implicit.
-  struct FifoEntry {
-    std::uint64_t seq;
-    EventNode* node;
-  };
+  // Ring element for events at exactly now(): `at` is implicit, seq lives
+  // in the node.
+  using FifoEntry = EventNode*;
 
   static constexpr std::uint32_t kChunkSize = 256;  // nodes per chunk
   struct Chunk {
@@ -318,11 +331,16 @@ class Simulator {
     // store.
     if (period_ns > 0) node->period_ns = period_ns;
     node->state = NodeState::kArmed;
-    const std::uint64_t seq = next_seq_++;
-    if (at_ns == now_.nanos()) {
-      FifoPush(FifoEntry{seq, node});  // zero-delay fast path: no heap sift
+    node->seq = next_seq_++;
+    const std::int64_t delta = at_ns - now_.nanos();
+    if (delta == 0) {
+      FifoPush(node);  // zero-delay fast path: no heap sift
+    } else if (delta < kWheelSpanNs && period_ns == 0) {
+      WheelPush(at_ns, node);  // near-horizon fast path: O(1) bucket append
     } else {
-      HeapPush(HeapEntry{at_ns, seq, node});
+      // Far events and periodic timers (whose re-arm path lives in
+      // RunHeapTop) take the general-purpose heap.
+      HeapPush(HeapEntry{at_ns, node});
     }
     ++live_events_;
     return EventHandle(node, node->generation);
@@ -331,8 +349,37 @@ class Simulator {
   EventNode* AllocNode();
   void RecycleNode(EventNode* node);
 
+  // Heap pop/push are fused for the steady-state schedule-from-callback
+  // pattern: RunHeapTop consumes the root and leaves a hole (heap_hole_);
+  // the next HeapPush fills it with a single sift-down, and CloseHeapHole
+  // excises it if nothing was pushed by the time the event finished.
   void HeapPush(HeapEntry e);
-  HeapEntry HeapPopTop();
+  void SiftDownFromRoot(HeapEntry e);
+  void CloseHeapHole();
+
+  // --- Timing wheel (near-horizon one-shots) ---
+  //
+  // One bucket per nanosecond over a kWheelSpanNs window. Every pending
+  // wheel event satisfies now <= at < sched_now + span <= now + span, so
+  // two events in the same bucket would have to differ by a multiple of
+  // the span yet both lie inside one span-wide window: impossible. Hence a
+  // non-empty bucket holds exactly one timestamp, and because seq numbers
+  // are handed out in execution order, bucket append order is seq order —
+  // draining front-to-back preserves the global FIFO tie-break.
+  static constexpr std::int64_t kWheelSpanNs = 1024;
+  static constexpr std::size_t kWheelMask = kWheelSpanNs - 1;
+  static constexpr std::size_t kWheelWords = kWheelSpanNs / 64;
+  struct Bucket {
+    std::vector<EventNode*> items;
+    std::size_t head = 0;  // drain cursor; capacity is kept across reuse
+  };
+  void WheelPush(std::int64_t at_ns, EventNode* node);
+  // Timestamp and bucket index of the earliest wheel event.
+  // Precondition: wheel_count_ > 0.
+  std::int64_t WheelNextTime(std::size_t* idx) const;
+  // Pops the front of bucket `idx` (whose timestamp is at_ns) and runs it
+  // unless it is a cancelled tombstone. Returns true iff an event ran.
+  bool RunWheelBucket(std::size_t idx, std::int64_t at_ns);
 
   void FifoPush(FifoEntry e);
   void FifoGrow();
@@ -351,11 +398,21 @@ class Simulator {
   // Pops and processes the heap top (cancelled / periodic / one-shot).
   bool RunHeapTop();
 
-  bool QueuesEmpty() const { return fifo_count_ == 0 && heap_.empty(); }
+  bool QueuesEmpty() const {
+    return fifo_count_ == 0 && wheel_count_ == 0 && heap_.empty();
+  }
   // Earliest queued timestamp; precondition: !QueuesEmpty(). Fifo entries
-  // are always at now_, which is <= any heap entry.
+  // are always at now_, which is <= any wheel or heap entry.
   std::int64_t NextEventTime() const {
-    return fifo_count_ != 0 ? now_.nanos() : heap_.front().at;
+    if (fifo_count_ != 0) return now_.nanos();
+    std::int64_t t = heap_.empty() ? std::numeric_limits<std::int64_t>::max()
+                                   : heap_.front().at;
+    if (wheel_count_ != 0) {
+      std::size_t idx;
+      const std::int64_t w = WheelNextTime(&idx);
+      if (w < t) t = w;
+    }
+    return t;
   }
 
   void RunOneShot(EventNode* node);
@@ -366,6 +423,14 @@ class Simulator {
   std::size_t live_events_ = 0;
 
   std::vector<HeapEntry> heap_;
+  // True while the root entry has been consumed by RunHeapTop but not yet
+  // replaced (see HeapPush) or excised (see CloseHeapHole). Always false
+  // between events.
+  bool heap_hole_ = false;
+
+  std::vector<Bucket> wheel_{static_cast<std::size_t>(kWheelSpanNs)};
+  std::uint64_t wheel_bits_[kWheelWords] = {};  // bucket-occupancy bitmap
+  std::size_t wheel_count_ = 0;  // pending wheel entries incl. tombstones
   // Power-of-two ring of events at exactly now().
   std::vector<FifoEntry> fifo_;
   std::size_t fifo_head_ = 0;

@@ -23,6 +23,17 @@ sim::Simulator* SimOf(pathways::Client* client) {
 }
 }  // namespace
 
+namespace {
+void CheckSpec(const OpenLoopSpec& spec) {
+  PW_CHECK_GT(spec.rate_per_sec, 0.0);
+  PW_CHECK_GT(spec.horizon.nanos(), 0);
+  if (spec.process == ArrivalProcess::kBurst) {
+    PW_CHECK_GT(spec.burst_size, 0);
+    PW_CHECK_GE(spec.burst_gap.nanos(), 0);
+  }
+}
+}  // namespace
+
 OpenLoopGenerator::OpenLoopGenerator(pathways::Client* client,
                                      const pathways::PathwaysProgram* program,
                                      OpenLoopSpec spec,
@@ -31,13 +42,17 @@ OpenLoopGenerator::OpenLoopGenerator(pathways::Client* client,
       spec_(spec),
       rng_(spec.seed),
       recorder_(admission.capacity),
-      queue_(client, program, admission, &recorder_) {
-  PW_CHECK_GT(spec_.rate_per_sec, 0.0);
-  PW_CHECK_GT(spec_.horizon.nanos(), 0);
-  if (spec_.process == ArrivalProcess::kBurst) {
-    PW_CHECK_GT(spec_.burst_size, 0);
-    PW_CHECK_GE(spec_.burst_gap.nanos(), 0);
-  }
+      queue_(std::make_unique<AdmissionQueue>(client, program, admission,
+                                              &recorder_)) {
+  CheckSpec(spec_);
+}
+
+OpenLoopGenerator::OpenLoopGenerator(sim::Simulator* sim, OpenLoopSpec spec,
+                                     std::function<void()> on_arrival)
+    : sim_(sim), spec_(spec), rng_(spec.seed), on_arrival_(std::move(on_arrival)) {
+  PW_CHECK(sim_ != nullptr);
+  PW_CHECK(on_arrival_ != nullptr);
+  CheckSpec(spec_);
 }
 
 void OpenLoopGenerator::Start() {
@@ -82,7 +97,11 @@ void OpenLoopGenerator::ScheduleNext() {
   if (at >= stop_at_) return;  // open loop ends; in-flight work drains
   sim_->ScheduleAt(at, [this] {
     ++generated_;
-    queue_.Offer();
+    if (queue_ != nullptr) {
+      queue_->Offer();
+    } else {
+      on_arrival_();
+    }
     ScheduleNext();
   });
 }

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 #include "common/rng.h"
 #include "common/units.h"
@@ -53,6 +55,14 @@ class OpenLoopGenerator {
                     const pathways::PathwaysProgram* program,
                     OpenLoopSpec spec, AdmissionOptions admission = {});
 
+  // Sink mode: each arrival invokes `on_arrival` (at the arrival's sim
+  // time) instead of offering to an internal AdmissionQueue. This is how
+  // the serving layer reuses the arrival processes — a ServingTenant draws
+  // per-request token counts in its sink and offers to a Batcher, whose
+  // admission happens at iteration boundaries rather than per program.
+  OpenLoopGenerator(sim::Simulator* sim, OpenLoopSpec spec,
+                    std::function<void()> on_arrival);
+
   OpenLoopGenerator(const OpenLoopGenerator&) = delete;
   OpenLoopGenerator& operator=(const OpenLoopGenerator&) = delete;
 
@@ -60,7 +70,11 @@ class OpenLoopGenerator {
   void Start();
 
   LatencyRecorder& recorder() { return recorder_; }
-  const AdmissionQueue& queue() const { return queue_; }
+  // Queue-mode only; sink-mode generators have no admission queue.
+  const AdmissionQueue& queue() const {
+    PW_CHECK(queue_ != nullptr) << "sink-mode generator has no queue";
+    return *queue_;
+  }
   std::int64_t arrivals_generated() const { return generated_; }
 
  private:
@@ -71,7 +85,8 @@ class OpenLoopGenerator {
   OpenLoopSpec spec_;
   Rng rng_;
   LatencyRecorder recorder_;
-  AdmissionQueue queue_;
+  std::unique_ptr<AdmissionQueue> queue_;  // null in sink mode
+  std::function<void()> on_arrival_;       // null in queue mode
   TimePoint stop_at_;
   int burst_left_ = 0;
   std::int64_t generated_ = 0;
