@@ -30,8 +30,11 @@ namespace pw::bench {
 //   --quick       reduced-size run (CI smoke jobs; same code path, smaller
 //                 grids)
 //   --out <dir>   directory for BENCH_*.json (default $PWSIM_BENCH_DIR or .)
+//   --disagg      bench_serving only: disaggregated prefill/decode mode
+//                 (ratio x KV-transfer-bandwidth sweep, docs/SERVING.md)
 struct Args {
   bool quick = false;
+  bool disagg = false;
   std::string out_dir;
 
   static Args Parse(int argc, char** argv) {
@@ -39,6 +42,8 @@ struct Args {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--quick") == 0) {
         args.quick = true;
+      } else if (std::strcmp(argv[i], "--disagg") == 0) {
+        args.disagg = true;
       } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
         args.out_dir = argv[++i];
       }

@@ -57,6 +57,18 @@ struct TransformerConfig {
   // Activation bytes flowing between consecutive layers for `tokens` tokens.
   Bytes ActivationBytes(std::int64_t tokens) const { return 2 * tokens * d_model; }
 
+  // --- Inference accounting (serving regime, docs/SERVING.md) ---
+  // Forward-pass FLOPs to process one token (prefill or decode): 2 per
+  // parameter, the forward third of the 6N training rule.
+  double InferenceFlopsPerToken() const {
+    return 2.0 * static_cast<double>(TotalParams());
+  }
+  // bf16 K and V rows appended to the cache per token, summed over layers.
+  Bytes KvBytesPerToken() const { return 2 * 2 * num_layers * d_attn; }
+  // bf16 weights; a decode iteration streams them once from HBM regardless
+  // of batch size, which is what makes decode memory-bound.
+  Bytes WeightBytes() const { return 2 * TotalParams(); }
+
   // --- Table 1: T5 configurations (Raffel et al. 2019) ---
   static TransformerConfig T5Base();
   static TransformerConfig T5Large();

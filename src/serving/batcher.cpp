@@ -18,10 +18,20 @@ const char* ToString(BatchPolicy policy) {
   return "unknown";
 }
 
+const char* ToString(BatcherRole role) {
+  switch (role) {
+    case BatcherRole::kColocated: return "colocated";
+    case BatcherRole::kPrefill: return "prefill";
+    case BatcherRole::kDecode: return "decode";
+  }
+  return "unknown";
+}
+
 const char* ToString(RequestState state) {
   switch (state) {
     case RequestState::kQueued: return "queued";
     case RequestState::kPrefill: return "prefill";
+    case RequestState::kTransferKv: return "transfer_kv";
     case RequestState::kDecoding: return "decoding";
     case RequestState::kFinished: return "finished";
     case RequestState::kShed: return "shed";
@@ -43,6 +53,12 @@ Batcher::Batcher(pathways::Client* client, pathways::VirtualSlice slice,
   PW_CHECK_GT(config_.max_batch, 0);
   PW_CHECK_GT(config_.token_budget, 0);
   PW_CHECK_GE(config_.kv_budget_per_device, 0);
+  // Disaggregated islands only make sense with iteration-boundary
+  // admission; the static drain-then-refill baseline stays colocated.
+  if (config_.role != BatcherRole::kColocated) {
+    PW_CHECK(config_.policy == BatchPolicy::kContinuous)
+        << "disaggregated batchers require kContinuous";
+  }
   // Physical floor for the fresh-prompt admission bound (see header):
   // freshly admitted KV is not yet content-ready, hence not spillable, and
   // must fit in HBM beside the iteration's own staging.
@@ -67,6 +83,8 @@ void Batcher::Trace(const char* kind, std::int64_t request,
 }
 
 bool Batcher::Offer(Request req) {
+  PW_CHECK(config_.role != BatcherRole::kDecode)
+      << "decode islands admit via EnqueueResident only";
   metrics_->OnArrival();
   Trace("arrive", req.id, req.prefill_tokens);
   // A request whose projected full KV alone exceeds the budget — or whose
@@ -89,6 +107,37 @@ bool Batcher::Offer(Request req) {
   return true;
 }
 
+void Batcher::EnqueueResident(Request req) {
+  PW_CHECK(config_.role == BatcherRole::kDecode);
+  PW_CHECK(kv_.Contains(req.id)) << "KV must be resident before enqueue";
+  // Charge the projected *full* KV from enqueue (not admission): queued
+  // sequences are resident here and will grow to max_kv_tokens, so the
+  // router's budget throttle sees every byte this island is committed to.
+  batch_projected_per_shard_ += ProjectedPerShard(req);
+  req.state = RequestState::kQueued;
+  Trace("enqueue", req.id, req.attempts);
+  queue_.push_back(std::move(req));
+  MaybeStartIteration();
+}
+
+void Batcher::Requeue(Request req) {
+  PW_CHECK(config_.role != BatcherRole::kDecode);
+  req.state = RequestState::kQueued;
+  req.tokens_decoded = 0;
+  queue_.push_front(std::move(req));
+  MaybeStartIteration();
+}
+
+void Batcher::ReleaseHandoff(std::int64_t seq) {
+  PW_CHECK(config_.role == BatcherRole::kPrefill);
+  if (!kv_.Contains(seq)) return;  // crash already released it (HandleAbort)
+  batch_projected_per_shard_ -= kv_.BytesForTokens(kv_.tokens_of(seq));
+  kv_.Release(seq);
+  // The freed projection may unblock queued admissions the fresh-prompt
+  // floor was holding back while this KV awaited its transfer.
+  MaybeStartIteration();
+}
+
 void Batcher::MaybeStartIteration() {
   if (iteration_inflight_) return;
   if (running_.empty() && queue_.empty()) return;
@@ -96,6 +145,26 @@ void Batcher::MaybeStartIteration() {
 }
 
 void Batcher::AdmitFromQueue() {
+  if (config_.role == BatcherRole::kDecode) {
+    // Decode island: every queued request's KV is already resident and
+    // content-ready here (router-gated), so admission costs one token per
+    // sequence and the KV budget was enforced by the router before the
+    // bytes ever crossed the DCN.
+    int budget_used = static_cast<int>(running_.size());
+    while (!queue_.empty() &&
+           static_cast<int>(running_.size()) < config_.max_batch &&
+           budget_used + 1 <= config_.token_budget) {
+      Request req = std::move(queue_.front());
+      queue_.pop_front();
+      PW_CHECK(kv_.Contains(req.id));
+      req.state = RequestState::kDecoding;  // projection charged at enqueue
+      Trace("admit", req.id, req.prefill_tokens);
+      const std::int64_t id = req.id;
+      running_.emplace(id, std::move(req));
+      ++budget_used;
+    }
+    return;
+  }
   // Continuous batching admits at every iteration boundary; the static
   // baseline only refills once the previous batch fully drained.
   if (config_.policy == BatchPolicy::kStatic && !running_.empty()) return;
@@ -208,18 +277,45 @@ void Batcher::OnIterationDone(const pathways::ExecutionResult& result) {
   }
   consecutive_aborts_ = 0;
   const TimePoint now = sim_->now();
+  int finished_this_iteration = 0;
+  std::vector<Request> handed_off;
   std::vector<std::int64_t> to_grow;
   for (auto it = running_.begin(); it != running_.end();) {
     Request& req = it->second;
     if (req.state == RequestState::kPrefill) {
-      // The prefill pass wrote the prompt's KV and emitted the first token.
+      // The prefill pass wrote the prompt's KV. Colocated it also emitted
+      // the first output token; on a prefill island it emits none — the
+      // sequence leaves the batch for the router's cross-island transfer,
+      // with its KV (and projection charge) staying on this island until
+      // the router calls ReleaseHandoff.
       kv_.MarkReady(req.id);
+      req.prefill_done_at = now;
+      if (config_.role == BatcherRole::kPrefill) {
+        req.state = RequestState::kTransferKv;
+        metrics_->OnPrefillDone(now - req.arrival);
+        Trace("prefill", req.id, req.prefill_tokens);
+        ++handoffs_;
+        handed_off.push_back(std::move(req));
+        it = running_.erase(it);
+        continue;
+      }
       req.state = RequestState::kDecoding;
       req.tokens_decoded = 1;
       req.first_token_at = now;
       req.last_token_at = now;
       metrics_->OnFirstToken(now - req.arrival);
       Trace("prefill", req.id, req.prefill_tokens);
+    } else if (config_.role == BatcherRole::kDecode &&
+               req.tokens_decoded == 0) {
+      // First decode step after the KV handoff: the prefill island emitted
+      // no token, so THIS is the request's first output token — TTFT spans
+      // arrival → here, with the DCN transfer and decode queueing included
+      // (regression-tested against conflation with prefill completion).
+      req.tokens_decoded = 1;
+      req.first_token_at = now;
+      req.last_token_at = now;
+      metrics_->OnFirstToken(now - req.arrival);
+      Trace("first_token", req.id, req.attempts);
     } else {
       ++req.tokens_decoded;
       metrics_->OnToken(now - req.last_token_at);
@@ -234,12 +330,23 @@ void Batcher::OnIterationDone(const pathways::ExecutionResult& result) {
       batch_projected_per_shard_ -= ProjectedPerShard(req);
       kv_.Release(req.id);
       ++finished_;
+      ++finished_this_iteration;
       it = running_.erase(it);
     } else {
       to_grow.push_back(req.id);
       ++it;
     }
   }
+  // Hand finished prefills to the router after the batch walk (the callback
+  // may synchronously start decode-island work; it never re-enters this
+  // batcher's running_ set).
+  for (Request& req : handed_off) {
+    PW_CHECK(handoff_ != nullptr) << "kPrefill batcher needs set_handoff";
+    handoff_(std::move(req));
+  }
+  // Finished sequences released KV and projection charge: tell the router
+  // so transfers throttled on this island's budget can proceed.
+  if (finished_this_iteration > 0 && on_capacity_) on_capacity_();
   // One KV token appended per surviving sequence; the next iteration gates
   // on the grants. Appends are chained sequentially: GrowShard self-pins
   // its sequence while the reservation waits, so with one grow in flight
@@ -269,11 +376,44 @@ void Batcher::HandleAbort() {
   ++consecutive_aborts_;
   metrics_->OnAbortedIteration();
   Trace("abort", -1, static_cast<std::int64_t>(running_.size()));
+  if (config_.role == BatcherRole::kDecode) {
+    // Decode-island crash: the KV of every sequence here — running AND
+    // queued, all resident on this slice — is gone. Hand the requests back
+    // to the router (ascending id order) for a fresh prefill on the
+    // prefill island; nothing re-enters this queue directly.
+    PW_CHECK(abort_return_ != nullptr) << "kDecode batcher needs set_abort_return";
+    std::vector<Request> back;
+    back.reserve(running_.size() + queue_.size());
+    for (auto& [id, req] : running_) back.push_back(std::move(req));
+    running_.clear();
+    for (Request& req : queue_) back.push_back(std::move(req));
+    queue_.clear();
+    // Both running and queued requests were charged at enqueue.
+    for (const Request& req : back) {
+      batch_projected_per_shard_ -= ProjectedPerShard(req);
+    }
+    for (Request& req : back) {
+      if (kv_.Contains(req.id)) kv_.Release(req.id);
+      req.state = RequestState::kQueued;
+      req.tokens_decoded = 0;
+      ++req.attempts;
+      Trace("requeue", req.id, req.attempts);
+      abort_return_(std::move(req));
+    }
+    sim_->Schedule(config_.retry.BackoffFor(consecutive_aborts_), [this] {
+      iteration_inflight_ = false;
+      MaybeStartIteration();
+    });
+    return;
+  }
   // Every running sequence's KV spans the crashed device: release it all
   // and requeue at the head (reverse order preserves id order up front) for
-  // a fresh prefill against the post-remap mapping.
+  // a fresh prefill against the post-remap mapping. On a prefill island,
+  // sequences already handed off stay charged — the router's completion
+  // check detects the crash epoch and releases both islands' copies.
   for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
     Request& req = it->second;
+    batch_projected_per_shard_ -= ProjectedPerShard(req);
     if (kv_.Contains(req.id)) kv_.Release(req.id);
     req.state = RequestState::kQueued;
     req.tokens_decoded = 0;
@@ -282,7 +422,6 @@ void Batcher::HandleAbort() {
     queue_.push_front(std::move(req));
   }
   running_.clear();
-  batch_projected_per_shard_ = 0;
   // Hold the dispatch loop through a capped exponential backoff so repeated
   // aborts inside one crash window don't spin.
   sim_->Schedule(config_.retry.BackoffFor(consecutive_aborts_), [this] {

@@ -43,6 +43,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -58,8 +59,27 @@ enum class BatchPolicy { kContinuous, kStatic };
 
 const char* ToString(BatchPolicy policy);
 
+// Which half of the serving pipeline this batcher runs (docs/SERVING.md).
+//
+//   * kColocated — PR-6 behavior: prefill and decode share the slice; the
+//     prefill pass emits the first token.
+//   * kPrefill — disaggregated prefill island: the prefill pass writes the
+//     KV and emits NO token; the finished request is handed to the
+//     DisaggRouter (set_handoff) for the cross-island KV transfer, and its
+//     KV + projection accounting stay charged to this island until the
+//     router calls ReleaseHandoff.
+//   * kDecode — disaggregated decode island: requests enter via
+//     EnqueueResident only after their KV landed (router-gated), so the
+//     queue never holds a sequence whose KV is not resident here. The
+//     first decode step emits the request's first output token — that is
+//     where TTFT is stamped.
+enum class BatcherRole { kColocated, kPrefill, kDecode };
+
+const char* ToString(BatcherRole role);
+
 struct BatcherConfig {
   BatchPolicy policy = BatchPolicy::kContinuous;
+  BatcherRole role = BatcherRole::kColocated;
   int max_batch = 8;        // sequences running concurrently
   int token_budget = 512;   // per-iteration: decoders (1 each) + prompts
   // Cap on the running batch's projected full KV per device shard;
@@ -92,13 +112,42 @@ class Batcher {
   Batcher& operator=(const Batcher&) = delete;
 
   // One request arriving now. Returns false iff it was shed on the spot
-  // (queue overflow, or its projected KV alone exceeds the budget).
+  // (queue overflow, or its projected KV alone exceeds the budget). Not
+  // valid on a kDecode batcher — decode entry is EnqueueResident.
   bool Offer(Request req);
+
+  // --- Disaggregation surface (used by DisaggRouter, serving/disagg.h) ---
+  // kPrefill: receives each request the moment its prefill pass completed;
+  // the request's KV stays live (and charged) here until ReleaseHandoff.
+  void set_handoff(std::function<void(Request)> fn) { handoff_ = std::move(fn); }
+  // kDecode: receives every running/queued request after an execution
+  // abort — their KV on this island is gone; the router re-prefills them.
+  void set_abort_return(std::function<void(Request)> fn) {
+    abort_return_ = std::move(fn);
+  }
+  // kDecode: fires whenever finished sequences release KV budget, so the
+  // router can unthrottle pending cross-island transfers.
+  void set_on_capacity(std::function<void()> fn) {
+    on_capacity_ = std::move(fn);
+  }
+  // kDecode: admit a request whose KV the router already created AND marked
+  // content-ready in this batcher's kv(). Never sheds: the router bounds
+  // what it transfers by this island's KV budget, and resident KV must not
+  // be dropped silently.
+  void EnqueueResident(Request req);
+  // kColocated/kPrefill: put a router-returned request back at the queue
+  // head for a fresh prefill (crash-mid-transfer / decode-island abort).
+  void Requeue(Request req);
+  // kPrefill: the router took ownership of the handed-off sequence's bytes
+  // (KV landed on the decode island, or the transfer failed) — release the
+  // prefill-island copy and its projection charge.
+  void ReleaseHandoff(std::int64_t seq);
 
   // --- Introspection ---
   std::int64_t iterations() const { return iterations_; }
   std::int64_t finished() const { return finished_; }
   std::int64_t shed() const { return shed_; }
+  std::int64_t handoffs() const { return handoffs_; }
   std::int64_t aborted_iterations() const { return aborted_iterations_; }
   int running() const { return static_cast<int>(running_.size()); }
   std::size_t queue_depth() const { return queue_.size(); }
@@ -108,6 +157,19 @@ class Batcher {
   KvCache& kv() { return kv_; }
   const KvCache& kv() const { return kv_; }
   const BatcherConfig& config() const { return config_; }
+  const pathways::VirtualSlice& slice() const { return slice_; }
+  pathways::Client* client() const { return client_; }
+  // Projected full KV per shard of everything charged to this island:
+  // running batch (+ not-yet-released handoffs on kPrefill; + resident
+  // queue on kDecode).
+  Bytes projected_per_shard() const { return batch_projected_per_shard_; }
+  // Smallest device HBM across the slice: the physical bound on KV that is
+  // not yet content-ready (fresh prompts here; in-flight transfers on a
+  // decode island — the router throttles against this).
+  Bytes hbm_floor() const { return hbm_floor_; }
+  // HBM the iteration itself reserves per device (activation staging +
+  // output); unspillable KV must fit beside it.
+  Bytes StagingPerShard() const;
 
  private:
   void MaybeStartIteration();
@@ -115,12 +177,14 @@ class Batcher {
   void AdmitFromQueue();
   void OnIterationDone(const pathways::ExecutionResult& result);
   void HandleAbort();
+  // Per-shard KV this request charges against kv_budget_per_device while it
+  // is admitted: its projected *full* KV, except on a prefill island where
+  // the KV never grows past the prompt.
   Bytes ProjectedPerShard(const Request& req) const {
-    return kv_.BytesForTokens(req.max_kv_tokens());
+    return kv_.BytesForTokens(config_.role == BatcherRole::kPrefill
+                                  ? req.prefill_tokens
+                                  : req.max_kv_tokens());
   }
-  // HBM the iteration itself reserves per device (activation staging +
-  // output); fresh prompt KV must fit beside it (see AdmitFromQueue).
-  Bytes StagingPerShard() const;
   void Trace(const char* kind, std::int64_t request, std::int64_t detail = 0);
 
   pathways::Client* client_;
@@ -147,7 +211,11 @@ class Batcher {
   std::int64_t iterations_ = 0;
   std::int64_t finished_ = 0;
   std::int64_t shed_ = 0;
+  std::int64_t handoffs_ = 0;
   std::int64_t aborted_iterations_ = 0;
+  std::function<void(Request)> handoff_;
+  std::function<void(Request)> abort_return_;
+  std::function<void()> on_capacity_;
 };
 
 }  // namespace pw::serving

@@ -50,6 +50,15 @@ class ServingMetrics {
     ++prefills_;
     ttft_us_.Add(ttft.ToSeconds() * 1e6);
   }
+  // Disaggregated only: arrival → prefill completion on the prefill island.
+  // Deliberately a *separate* sampler from TTFT — the first output token is
+  // emitted by the decode island after the KV crossed the DCN, so stamping
+  // TTFT at prefill completion would hide the whole transfer + decode-queue
+  // delay (regression-tested in tests/disagg_test.cpp).
+  void OnPrefillDone(Duration latency) {
+    ++handoffs_;
+    prefill_done_us_.Add(latency.ToSeconds() * 1e6);
+  }
   void OnToken(Duration since_last) {
     ++tokens_;
     token_latency_us_.Add(since_last.ToSeconds() * 1e6);
@@ -65,12 +74,14 @@ class ServingMetrics {
   std::int64_t prefills() const { return prefills_; }
   std::int64_t tokens() const { return tokens_; }
   std::int64_t finished() const { return finished_; }  // goodput
+  std::int64_t handoffs() const { return handoffs_; }
   std::int64_t aborted_iterations() const { return aborted_iterations_; }
 
   // Percentiles in microseconds, p in [0,100]; 0 when empty.
   double TtftUs(double p) { return ttft_us_.Percentile(p); }
   double TokenLatencyUs(double p) { return token_latency_us_.Percentile(p); }
   double E2eUs(double p) { return e2e_us_.Percentile(p); }
+  double PrefillDoneUs(double p) { return prefill_done_us_.Percentile(p); }
 
   void Merge(const ServingMetrics& other) {
     arrivals_ += other.arrivals_;
@@ -78,21 +89,25 @@ class ServingMetrics {
     prefills_ += other.prefills_;
     tokens_ += other.tokens_;
     finished_ += other.finished_;
+    handoffs_ += other.handoffs_;
     aborted_iterations_ += other.aborted_iterations_;
     ttft_us_.Merge(other.ttft_us_);
     token_latency_us_.Merge(other.token_latency_us_);
     e2e_us_.Merge(other.e2e_us_);
+    prefill_done_us_.Merge(other.prefill_done_us_);
   }
 
  private:
   PercentileSampler ttft_us_;
   PercentileSampler token_latency_us_;
   PercentileSampler e2e_us_;
+  PercentileSampler prefill_done_us_;
   std::int64_t arrivals_ = 0;
   std::int64_t sheds_ = 0;
   std::int64_t prefills_ = 0;
   std::int64_t tokens_ = 0;
   std::int64_t finished_ = 0;
+  std::int64_t handoffs_ = 0;
   std::int64_t aborted_iterations_ = 0;
 };
 

@@ -1,0 +1,44 @@
+#include "serving/model_costs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pw::serving {
+
+ModelServingCosts ModelServingCosts::Derive(
+    const models::TransformerConfig& model, const hw::SystemParams& params,
+    int num_shards) {
+  PW_CHECK_GT(num_shards, 0);
+  PW_CHECK(!model.encoder_decoder)
+      << "serving costs model decoder-only transformers";
+  ModelServingCosts costs;
+  const double shard_flops = params.device_flops * model.effective_mfu;
+  // Compute time to push one token through the forward pass, all shards
+  // working in parallel on their slice of every layer.
+  const double token_compute_s =
+      model.InferenceFlopsPerToken() / (shard_flops * num_shards);
+  costs.prefill_per_token = Duration::Seconds(token_compute_s);
+  // A decode iteration reads the weight shard from HBM once however many
+  // sequences are batched — the classic batching economics: the read
+  // amortizes across the batch, so the iteration floor is memory-bound.
+  const double weight_read_s =
+      (static_cast<double>(model.WeightBytes()) / num_shards) /
+      params.hbm_bandwidth;
+  costs.iteration_base =
+      Duration::Seconds(weight_read_s) + params.kernel_launch_overhead;
+  // Each decoding sequence contributes its own token's FLOPs; its KV-cache
+  // reads are charged by the memory hierarchy via the argument dataflow.
+  costs.decode_per_token = Duration::Seconds(token_compute_s);
+  costs.kv_bytes_per_token_per_shard =
+      std::max<Bytes>(1, model.KvBytesPerToken() / num_shards);
+  return costs;
+}
+
+void ModelServingCosts::Apply(BatcherConfig* config) const {
+  config->iteration_base = iteration_base;
+  config->prefill_per_token = prefill_per_token;
+  config->decode_per_token = decode_per_token;
+}
+
+}  // namespace pw::serving

@@ -1,0 +1,49 @@
+// Model-derived iteration costs for the serving regime (docs/SERVING.md).
+//
+// PR 6 shipped the batcher with analytic per-token constants; this derives
+// the same BatcherConfig cost fields from a `src/models/` decoder-only
+// transformer and the simulated hardware instead, so serving latencies and
+// KV byte counts follow the model that is nominally being served:
+//
+//   * prefill is compute-bound: forward FLOPs per prompt token (2 per
+//     parameter), split across the slice's tensor-parallel shards at the
+//     model's calibrated MFU;
+//   * decode is memory-bound: each iteration streams the full weight shard
+//     from HBM exactly once regardless of batch size — that read is the
+//     iteration floor — while each decoding sequence adds its own token's
+//     FLOPs on top;
+//   * the KV cache grows by the model's bf16 K+V rows per token, split
+//     across shards, which is what the cross-island handoff actually moves
+//     over the DCN in the disaggregated mode (serving/disagg.h).
+//
+// KV *paging* costs (spill, read-through, restore) are deliberately not
+// modeled here: KV buffers ride the iteration's argument dataflow, so the
+// memory hierarchy already charges them (docs/MEMORY.md).
+#pragma once
+
+#include "common/units.h"
+#include "hw/system_params.h"
+#include "models/transformer.h"
+#include "serving/batcher.h"
+#include "serving/kv_cache.h"
+
+namespace pw::serving {
+
+struct ModelServingCosts {
+  Duration iteration_base;
+  Duration prefill_per_token;
+  Duration decode_per_token;
+  Bytes kv_bytes_per_token_per_shard = 0;
+
+  // `num_shards` is the tensor-parallel width (the batcher slice's device
+  // count); weights, per-token FLOPs, and KV rows all split across it.
+  static ModelServingCosts Derive(const models::TransformerConfig& model,
+                                  const hw::SystemParams& params,
+                                  int num_shards);
+
+  // Overwrites the analytic cost fields; policy/budget knobs are untouched.
+  void Apply(BatcherConfig* config) const;
+  KvCacheConfig KvConfig() const { return {kv_bytes_per_token_per_shard}; }
+};
+
+}  // namespace pw::serving

@@ -14,11 +14,12 @@
 namespace pw::serving {
 
 enum class RequestState {
-  kQueued,    // waiting for admission into the running batch
-  kPrefill,   // admitted; its prefill iteration is in flight
-  kDecoding,  // emitting one token per decode iteration
-  kFinished,  // all output tokens emitted
-  kShed,      // dropped at offer time (queue overflow or oversized KV)
+  kQueued,      // waiting for admission into the running batch
+  kPrefill,     // admitted; its prefill iteration is in flight
+  kTransferKv,  // disaggregated only: prefill done, KV in flight over DCN
+  kDecoding,    // emitting one token per decode iteration
+  kFinished,    // all output tokens emitted
+  kShed,        // dropped at offer time (queue overflow or oversized KV)
 };
 
 const char* ToString(RequestState state);
@@ -35,6 +36,10 @@ struct Request {
   int tokens_decoded = 0;
   // 1 + the number of crash-induced re-prefills this request survived.
   int attempts = 1;
+  // When the (latest) prefill pass completed. Colocated, the first output
+  // token is emitted here too; disaggregated, TTFT is stamped strictly
+  // later, at the first *decode* token on the decode island.
+  TimePoint prefill_done_at;
   TimePoint first_token_at;
   TimePoint last_token_at;
   TimePoint finished_at;

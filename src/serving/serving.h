@@ -1,10 +1,14 @@
 // Umbrella header for the serving regime (docs/SERVING.md): request model,
 // per-sequence KV cache over the ObjectStore, iteration-level batching
-// (continuous + static baseline), tenant traffic, and serving metrics.
+// (continuous + static baseline), disaggregated prefill/decode islands with
+// KV handoff over DCN, model-derived iteration costs, tenant traffic, and
+// serving metrics.
 #pragma once
 
-#include "serving/batcher.h"    // IWYU pragma: export
-#include "serving/kv_cache.h"   // IWYU pragma: export
-#include "serving/metrics.h"    // IWYU pragma: export
-#include "serving/request.h"    // IWYU pragma: export
-#include "serving/tenant.h"     // IWYU pragma: export
+#include "serving/batcher.h"      // IWYU pragma: export
+#include "serving/disagg.h"       // IWYU pragma: export
+#include "serving/kv_cache.h"     // IWYU pragma: export
+#include "serving/metrics.h"      // IWYU pragma: export
+#include "serving/model_costs.h"  // IWYU pragma: export
+#include "serving/request.h"      // IWYU pragma: export
+#include "serving/tenant.h"       // IWYU pragma: export

@@ -4,19 +4,28 @@
 
 namespace pw::serving {
 
-ServingTenant::ServingTenant(int tenant_id, Batcher* batcher,
+ServingTenant::ServingTenant(int tenant_id, OfferSink sink,
                              sim::Simulator* sim, TenantSpec spec)
     : tenant_id_(tenant_id),
-      batcher_(batcher),
+      sink_(std::move(sink)),
       sim_(sim),
       spec_(spec),
       token_rng_(spec.token_seed),
       generator_(sim, spec.arrivals, [this] { OnArrival(); }) {
-  PW_CHECK(batcher_ != nullptr);
+  PW_CHECK(sink_ != nullptr);
   PW_CHECK_GE(spec_.min_prefill_tokens, 1);
   PW_CHECK_GE(spec_.max_prefill_tokens, spec_.min_prefill_tokens);
   PW_CHECK_GE(spec_.min_decode_tokens, 1);
   PW_CHECK_GE(spec_.max_decode_tokens, spec_.min_decode_tokens);
+}
+
+ServingTenant::ServingTenant(int tenant_id, Batcher* batcher,
+                             sim::Simulator* sim, TenantSpec spec)
+    : ServingTenant(
+          tenant_id,
+          [batcher](Request req) { return batcher->Offer(std::move(req)); },
+          sim, spec) {
+  PW_CHECK(batcher != nullptr);
 }
 
 void ServingTenant::OnArrival() {
@@ -34,7 +43,7 @@ void ServingTenant::OnArrival() {
       static_cast<int>(token_rng_.NextBounded(static_cast<std::uint64_t>(
           spec_.max_decode_tokens - spec_.min_decode_tokens + 1)));
   req.arrival = sim_->now();
-  batcher_->Offer(std::move(req));
+  sink_(std::move(req));
 }
 
 }  // namespace pw::serving

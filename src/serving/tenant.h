@@ -4,11 +4,13 @@
 // Poisson/uniform/burst, per-tenant seed — and draws each request's prompt
 // and output lengths from its own seeded Rng, so a tenant's stream is
 // bit-reproducible from (spec, seeds) alone and independent of every other
-// tenant and of how the batcher keeps up. Requests are offered to the
-// shared Batcher, where admission happens at iteration boundaries.
+// tenant and of how the batcher keeps up. Requests are offered to a
+// Batcher (colocated) or any other offer sink — e.g. a DisaggRouter.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "common/rng.h"
 #include "serving/batcher.h"
@@ -27,6 +29,11 @@ struct TenantSpec {
 
 class ServingTenant {
  public:
+  // Accepts or sheds one generated request (Batcher::Offer-compatible).
+  using OfferSink = std::function<bool(Request)>;
+
+  ServingTenant(int tenant_id, OfferSink sink, sim::Simulator* sim,
+                TenantSpec spec);
   ServingTenant(int tenant_id, Batcher* batcher, sim::Simulator* sim,
                 TenantSpec spec);
 
@@ -45,7 +52,7 @@ class ServingTenant {
   void OnArrival();
 
   int tenant_id_;
-  Batcher* batcher_;
+  OfferSink sink_;
   sim::Simulator* sim_;
   TenantSpec spec_;
   Rng token_rng_;
