@@ -6,6 +6,7 @@
 // for 136B) is decomposed into intra-island reduce-scatter + cross-island
 // DCN exchange + intra-island all-gather, overlapped with the backward
 // pass.
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -21,12 +22,13 @@ struct Result {
 };
 
 Result MeasureDataParallel(const pw::models::TransformerConfig& config,
-                           int islands, int cores_per_island) {
+                           int islands, int cores_per_island,
+                           const pw::hw::SystemParams& params) {
   using namespace pw;
   using namespace pw::pathways;
   sim::Simulator sim;
-  auto cluster = std::make_unique<hw::Cluster>(
-      &sim, hw::SystemParams::TpuDefault(), islands, cores_per_island / 8, 8);
+  auto cluster = std::make_unique<hw::Cluster>(&sim, params, islands,
+                                               cores_per_island / 8, 8);
   PathwaysOptions options;
   options.max_inflight_gangs = 64;
   PathwaysRuntime runtime(cluster.get(), options);
@@ -60,10 +62,15 @@ Result MeasureDataParallel(const pw::models::TransformerConfig& config,
   return r;
 }
 
-void RunModel(const pw::models::TransformerConfig& config, int cores_per_island,
-              double paper_reduction_gb, pw::bench::Reporter* report) {
-  const Result two = MeasureDataParallel(config, 2, cores_per_island);
-  const Result one = MeasureDataParallel(config, 1, 2 * cores_per_island);
+// Returns the two-island result so main can validate it against the
+// flow-level fabric.
+Result RunModel(const pw::models::TransformerConfig& config,
+                int cores_per_island, double paper_reduction_gb,
+                pw::bench::Reporter* report) {
+  const pw::hw::SystemParams params = pw::hw::SystemParams::TpuDefault();
+  const Result two = MeasureDataParallel(config, 2, cores_per_island, params);
+  const Result one =
+      MeasureDataParallel(config, 1, 2 * cores_per_island, params);
   const double efficiency = two.tokens_per_sec / one.tokens_per_sec;
   std::printf("%-9s 2x%-5d cores: %9.1fk tok/s | 1x%-5d cores: %9.1fk tok/s"
               " | efficiency %.1f%% (paper ~97%%)\n",
@@ -81,6 +88,39 @@ void RunModel(const pw::models::TransformerConfig& config, int cores_per_island,
        {"efficiency", efficiency},
        {"dcn_gb_per_step", two.dcn_gb_per_step}});
   report->Summary("efficiency_" + config.name, efficiency);
+  return two;
+}
+
+// Re-runs the two-island point on the flow-level Clos DCN and gates the
+// result against the abstract (analytic) fabric. A single spine at R=1 is
+// a non-blocking fat pipe, so the pairwise cross-island gradient exchange
+// is uncontended and the flow engine must land on the same throughput —
+// this pins the tentpole's "uncontended flow == analytic" claim at full
+// system scale, not just in unit tests (contention is bench_network's job).
+bool ValidateFlowFabric(const pw::models::TransformerConfig& config,
+                        int cores_per_island, const Result& analytic,
+                        pw::bench::Reporter* report) {
+  using namespace pw;
+  hw::SystemParams params = hw::SystemParams::TpuDefault();
+  params.dcn.clos.enabled = true;
+  params.dcn.clos.hosts_per_leaf = 8;
+  params.dcn.clos.num_spines = 1;
+  params.dcn.clos.oversubscription = 1.0;
+  const Result flow = MeasureDataParallel(config, 2, cores_per_island, params);
+  const double ratio = flow.tokens_per_sec / analytic.tokens_per_sec;
+  const bool ok = std::abs(ratio - 1.0) <= 0.05;
+  std::printf("flow-level DCN (non-blocking Clos): %9.1fk tok/s, "
+              "%.2f%% of analytic [%s]\n",
+              flow.tokens_per_sec / 1e3, 100.0 * ratio, ok ? "ok" : "FAIL");
+  report->Summary("flow_vs_analytic_ratio", ratio);
+  report->Summary("flow_gate_ok", ok ? 1.0 : 0.0);
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: flow-level two-island throughput off analytic by "
+                 "%.2f%% (tolerance 5%%)\n",
+                 100.0 * std::abs(ratio - 1.0));
+  }
+  return ok;
 }
 
 }  // namespace
@@ -92,10 +132,13 @@ int main(int argc, char** argv) {
       "Figure 12 / §5.3: 64B and 136B LMs data-parallel over two islands",
       "two islands over DCN reach ~97% of one island with 2x devices");
   bench::Reporter report("fig12_twoisland", args);
-  RunModel(models::TransformerConfig::Decoder64B(), 512, 457, &report);
+  const Result two64 =
+      RunModel(models::TransformerConfig::Decoder64B(), 512, 457, &report);
+  const bool flow_ok = ValidateFlowFabric(models::TransformerConfig::Decoder64B(),
+                                          512, two64, &report);
   if (!args.quick) {
     RunModel(models::TransformerConfig::Decoder136B(), 1024, 1030, &report);
   }
   report.Write();
-  return 0;
+  return flow_ok ? 0 : 1;
 }

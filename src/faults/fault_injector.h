@@ -10,9 +10,15 @@
 //     the device and resource-manager state; remapped virtual devices stay
 //     on their spares.
 //   * kStraggler — Device::set_compute_multiplier(severity) for the window.
-//   * kLinkDegrade — DcnFabric::SetNicBandwidthScale(host, severity).
+//   * kLinkDegrade — DcnFabric::SetNicBandwidthScale(host, severity). On
+//     the abstract fabric this throttles the host's NIC link; in flow mode
+//     (DcnClosParams::enabled) it scales that host's Clos access links and
+//     re-solves the max-min rates of every in-flight flow crossing them,
+//     so the degrade bites shared paths, not a scalar (docs/NETWORK.md).
 //   * kPartition — DcnFabric::SetPartitioned(host): messages touching the
-//     host are held and replayed at heal time.
+//     host are held and replayed at heal time in original submission
+//     order (per-(src,dst) FIFO holds even when both endpoints partition
+//     and heal at different times).
 //
 // Determinism contract: an injector armed with an *empty* plan schedules no
 // events and perturbs nothing — the run is bit-identical to one without an

@@ -3,7 +3,10 @@
 namespace pw::hw {
 
 Island::Island(sim::Simulator* sim, IslandId id, const SystemParams& params)
-    : sim_(sim), id_(id), params_(params), collective_model_(params.ici) {}
+    : sim_(sim),
+      id_(id),
+      params_(params),
+      collective_model_(std::make_unique<net::CollectiveModel>(params.ici)) {}
 
 void Island::AddDevice(Device* d) {
   devices_.push_back(d);
@@ -12,26 +15,55 @@ void Island::AddDevice(Device* d) {
       params_.ici_ptp_bandwidth));
 }
 
+void Island::Finalize() {
+  if (!params_.ici_flow.enabled) return;
+  // Devices arrive one by one after construction, so the torus (whose shape
+  // is the device count) can only be built here. Balanced 2D/3D dims; a
+  // degenerate 1 x n "torus" (prime counts) is just a ring.
+  const int n = static_cast<int>(devices_.size());
+  const double bw = params_.ici_flow.link_bandwidth > 0
+                        ? params_.ici_flow.link_bandwidth
+                        : params_.ici.link_bandwidth;
+  ici_topo_ = std::make_unique<net::Topology>();
+  ici_torus_ = std::make_unique<net::TorusTopology>(
+      ici_topo_.get(),
+      net::TorusTopology::BalancedDims(n, params_.ici_flow.dims), bw,
+      "ici" + std::to_string(id_.value()));
+  ici_flows_ = std::make_unique<net::FlowNetwork>(sim_, ici_topo_.get());
+  collective_model_ = std::make_unique<net::FlowCollectiveModel>(
+      params_.ici, ici_topo_.get(), ici_torus_.get());
+}
+
 sim::SimFuture<sim::Unit> Island::Transfer(DeviceId src, DeviceId dst, Bytes bytes) {
   // Locate the source device's egress link within this island.
+  int src_index = -1;
   net::Link* link = nullptr;
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     if (devices_[i]->id() == src) {
+      src_index = static_cast<int>(i);
       link = egress_[i].get();
       break;
     }
   }
   PW_CHECK(link != nullptr) << "device " << src << " not in island " << id_;
-  bool dst_found = false;
-  for (const Device* d : devices_) {
-    if (d->id() == dst) {
-      dst_found = true;
+  int dst_index = -1;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i]->id() == dst) {
+      dst_index = static_cast<int>(i);
       break;
     }
   }
-  PW_CHECK(dst_found) << "device " << dst << " not in island " << id_
-                      << " (cross-island transfers must use the DCN)";
+  PW_CHECK_GE(dst_index, 0) << "device " << dst << " not in island " << id_
+                            << " (cross-island transfers must use the DCN)";
   ici_bytes_ += bytes;
+  if (ici_flows_ && src_index != dst_index) {
+    // Flow-level torus: contend on the dimension-ordered route.
+    sim::SimPromise<sim::Unit> p(sim_);
+    ici_flows_->StartFlow(ici_torus_->Path(src_index, dst_index), bytes,
+                          params_.ici_ptp_latency,
+                          [p]() mutable { p.Set(sim::Unit{}); });
+    return p.future();
+  }
   return link->TransferAsync(bytes);
 }
 
@@ -60,6 +92,7 @@ Cluster::Cluster(sim::Simulator* sim, const SystemParams& params, int islands,
       }
       hosts_.push_back(std::move(host));
     }
+    island->Finalize();  // builds the flow-level ICI once devices exist
     islands_.push_back(std::move(island));
   }
 }

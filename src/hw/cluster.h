@@ -28,7 +28,9 @@
 #include "hw/system_params.h"
 #include "net/collective_model.h"
 #include "net/dcn.h"
+#include "net/flow.h"
 #include "net/link.h"
+#include "net/topology.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -37,6 +39,14 @@ namespace pw::hw {
 // An island: a set of devices joined by a private high-bandwidth
 // interconnect over which collectives and point-to-point transfers run
 // without touching host memory or the DCN.
+//
+// Two ICI fidelity levels (SystemParams::ici_flow, docs/NETWORK.md):
+//   * Abstract (default): per-device egress Links for point-to-point,
+//     analytic CollectiveModel for collectives.
+//   * Flow-level torus: devices form a 2D/3D torus; transfers become flows
+//     on dimension-ordered routes with max-min fair link sharing, and
+//     collectives are priced by FlowCollectiveModel over the same links
+//     (ring vs tree all-reduce chosen by size).
 class Island {
  public:
   Island(sim::Simulator* sim, IslandId id, const SystemParams& params);
@@ -44,27 +54,41 @@ class Island {
   IslandId id() const { return id_; }
   const std::vector<Device*>& devices() const { return devices_; }
   const std::vector<Host*>& hosts() const { return hosts_; }
-  const net::CollectiveModel& collectives() const { return collective_model_; }
+  const net::CollectiveModel& collectives() const { return *collective_model_; }
 
-  // Device-to-device transfer over ICI (serializes on the source device's
-  // egress link). Completion future fires when the data lands in the
-  // destination buffers.
+  // Device-to-device transfer over ICI. Abstract mode serializes on the
+  // source device's egress link; flow mode contends on the torus route.
+  // Completion future fires when the data lands in the destination buffers.
   sim::SimFuture<sim::Unit> Transfer(DeviceId src, DeviceId dst, Bytes bytes);
 
   Bytes ici_bytes_transferred() const { return ici_bytes_; }
+
+  // Flow-level ICI introspection and fault surface (null in abstract mode).
+  // To degrade one torus edge, SetLinkScale on ici_topology() and then call
+  // ici_flow_network()->OnCapacityChanged(); the collective model reprices
+  // itself via the topology generation.
+  net::Topology* ici_topology() { return ici_topo_.get(); }
+  const net::TorusTopology* ici_torus() const { return ici_torus_.get(); }
+  net::FlowNetwork* ici_flow_network() { return ici_flows_.get(); }
 
  private:
   friend class Cluster;
   void AddDevice(Device* d);
   void AddHost(Host* h) { hosts_.push_back(h); }
+  // Called by Cluster once all devices exist: builds the torus + flow
+  // engine and swaps in the FlowCollectiveModel when ici_flow.enabled.
+  void Finalize();
 
   sim::Simulator* sim_;
   IslandId id_;
   const SystemParams& params_;
-  net::CollectiveModel collective_model_;
+  std::unique_ptr<net::CollectiveModel> collective_model_;
   std::vector<Device*> devices_;
   std::vector<Host*> hosts_;
   std::vector<std::unique_ptr<net::Link>> egress_;  // parallel to devices_
+  std::unique_ptr<net::Topology> ici_topo_;
+  std::unique_ptr<net::TorusTopology> ici_torus_;
+  std::unique_ptr<net::FlowNetwork> ici_flows_;
   Bytes ici_bytes_ = 0;
 };
 

@@ -5,7 +5,10 @@
 // participants arrive (paper §2: "the system will deadlock if communicating
 // computations are not enqueued in a consistent order"). The group completes
 // max(arrival times) + CollectiveModel time; every participant's future
-// fires then.
+// fires then. CollectiveModel::Time is virtual: in flow-level ICI mode the
+// island substitutes a net::FlowCollectiveModel that prices the same call
+// from link-level ring/tree flows over the torus (docs/NETWORK.md), so
+// every xlasim/pathways call site is topology-aware without changes here.
 #pragma once
 
 #include <cstdint>

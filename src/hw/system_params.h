@@ -14,6 +14,7 @@
 #include "common/units.h"
 #include "net/collective_model.h"
 #include "net/dcn.h"
+#include "net/topology.h"
 
 namespace pw::hw {
 
@@ -26,8 +27,15 @@ struct SystemParams {
   net::CollectiveParams ici;  // defaults: 1us hop, 100 GB/s, 2us launch
   Duration ici_ptp_latency = Duration::Micros(1.5);
   double ici_ptp_bandwidth = 100e9;
+  // Opt-in flow-level ICI: each island's devices form a 2D/3D torus and
+  // both collectives and point-to-point transfers are priced on its links
+  // (docs/NETWORK.md). Off by default — the analytic model above applies
+  // and runs are bit-identical to earlier builds.
+  net::IciFlowParams ici_flow;
 
   // --- DCN (host <-> host, cross-island) ---
+  // Flow-level Clos mode lives in dcn.clos (net::DcnClosParams), same
+  // defaults-off contract as ici_flow.
   net::DcnParams dcn;  // defaults: 20us latency, 12.5 GB/s NIC
 
   // --- Host-side CPU costs ---

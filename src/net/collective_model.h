@@ -43,11 +43,16 @@ class CollectiveModel {
     PW_CHECK_GT(params_.link_bandwidth, 0.0);
   }
   CollectiveModel() : CollectiveModel(CollectiveParams{}) {}
+  virtual ~CollectiveModel() = default;
 
   const CollectiveParams& params() const { return params_; }
 
-  // Time for `kind` over `bytes` payload per participant among n participants.
-  Duration Time(CollectiveKind kind, Bytes bytes, int n) const {
+  // Time for `kind` over `bytes` payload per participant among n
+  // participants. Virtual so a topology-aware model (FlowCollectiveModel,
+  // net/flow.h) can reprice collectives from link-level flows while every
+  // call site keeps this interface; the base implementation is the analytic
+  // formula above.
+  virtual Duration Time(CollectiveKind kind, Bytes bytes, int n) const {
     PW_CHECK_GE(n, 1);
     PW_CHECK_GE(bytes, 0);
     if (n == 1) return params_.launch_overhead;  // degenerate: local only

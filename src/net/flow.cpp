@@ -1,0 +1,293 @@
+#include "net/flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace pw::net {
+
+namespace {
+
+// A flow counts as drained once less than this many bytes remain: absorbs
+// float rounding from rate*dt progress accounting without ever letting a
+// real byte linger.
+constexpr double kRipeBytes = 1e-3;
+
+}  // namespace
+
+std::vector<double> MaxMinFairRates(
+    const Topology& topo,
+    const std::vector<const std::vector<LinkIndex>*>& paths) {
+  const std::size_t n = paths.size();
+  std::vector<double> rates(n, 0.0);
+  if (n == 0) return rates;
+
+  // Per-link remaining capacity and unfixed-flow crossing count, over just
+  // the links these paths touch. A path may cross a link more than once
+  // (not the case for torus/Clos routes, but the solver stays general).
+  std::map<LinkIndex, double> remaining;
+  std::map<LinkIndex, int> count;
+  for (const auto* path : paths) {
+    PW_CHECK(!path->empty()) << "flow with empty path";
+    for (LinkIndex l : *path) {
+      remaining.try_emplace(l, topo.EffectiveBandwidth(l));
+      ++count[l];
+    }
+  }
+
+  std::vector<bool> fixed(n, false);
+  std::size_t unfixed = n;
+  while (unfixed > 0) {
+    // Bottleneck: smallest fair share; ties to the lowest link index (the
+    // map iterates in index order, so `<` keeps the first).
+    LinkIndex bottleneck = -1;
+    double share = std::numeric_limits<double>::infinity();
+    for (const auto& [l, cap] : remaining) {
+      const int c = count[l];
+      if (c == 0) continue;
+      const double s = std::max(cap, 0.0) / c;
+      if (s < share) {
+        share = s;
+        bottleneck = l;
+      }
+    }
+    PW_CHECK_GE(bottleneck, 0) << "unfixed flows but no loaded link";
+    for (std::size_t f = 0; f < n; ++f) {
+      if (fixed[f]) continue;
+      const auto& path = *paths[f];
+      if (std::find(path.begin(), path.end(), bottleneck) == path.end()) {
+        continue;
+      }
+      rates[f] = share;
+      fixed[f] = true;
+      --unfixed;
+      for (LinkIndex l : path) {
+        remaining[l] -= share;
+        --count[l];
+      }
+    }
+  }
+  return rates;
+}
+
+// ---------------------------------------------------------------------------
+// FlowNetwork
+
+FlowNetwork::FlowId FlowNetwork::StartFlow(std::vector<LinkIndex> path,
+                                           Bytes bytes, Duration delivery_latency,
+                                           std::function<void()> on_delivered) {
+  PW_CHECK(!path.empty()) << "flow needs a non-empty path";
+  PW_CHECK_GE(bytes, 0);
+  const FlowId id = next_id_++;
+  Flow& flow = flows_[id];
+  flow.path = std::move(path);
+  // A zero-byte message still occupies the wire for one quantum rather than
+  // completing instantaneously at infinite rate.
+  flow.remaining = std::max<double>(static_cast<double>(bytes), 1.0);
+  flow.latency = delivery_latency;
+  flow.on_delivered = std::move(on_delivered);
+  ++flows_started_;
+  Recompute();
+  return id;
+}
+
+void FlowNetwork::OnCapacityChanged() {
+  if (!flows_.empty()) Recompute();
+}
+
+double FlowNetwork::Rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void FlowNetwork::Recompute() {
+  const TimePoint now = sim_->now();
+
+  // 1. Advance progress at the rates that held since the last event.
+  const double dt = (now - last_update_).ToSeconds();
+  if (dt > 0) {
+    for (auto& [id, flow] : flows_) {
+      flow.remaining = std::max(flow.remaining - flow.rate * dt, 0.0);
+    }
+  }
+  last_update_ = now;
+
+  // 2. Deliver drained flows (in flow-id == start order; ties in delivery
+  // time then resolve by schedule order, i.e. FIFO).
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& flow = it->second;
+    if (flow.remaining < kRipeBytes) {
+      ++flows_completed_;
+      sim_->ScheduleAt(now + flow.latency, std::move(flow.on_delivered));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (flows_.empty()) {
+    if (next_completion_.valid()) sim_->Cancel(next_completion_);
+    next_completion_ = sim::EventHandle();
+    return;
+  }
+
+  // 3. Re-solve the fair shares for the survivors.
+  std::vector<const std::vector<LinkIndex>*> paths;
+  paths.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) paths.push_back(&flow.path);
+  const std::vector<double> rates = MaxMinFairRates(*topo_, paths);
+  std::size_t i = 0;
+  std::int64_t next_ns = std::numeric_limits<std::int64_t>::max();
+  for (auto& [id, flow] : flows_) {
+    flow.rate = rates[i++];
+    PW_CHECK_GT(flow.rate, 0.0) << "flow starved by the fair-share solver";
+    // Ceil to integer nanoseconds: the flow is never delivered early, and
+    // the residual (< 1ns of progress) is absorbed by kRipeBytes.
+    const double dt_ns = flow.remaining / flow.rate * 1e9;
+    const std::int64_t at =
+        now.nanos() + std::max<std::int64_t>(
+                          static_cast<std::int64_t>(std::ceil(dt_ns)), 1);
+    next_ns = std::min(next_ns, at);
+  }
+
+  // 4. One timer at the earliest predicted completion; re-armed wholesale
+  // on every recompute (cheaper than tracking which prediction moved).
+  if (next_completion_.valid()) sim_->Cancel(next_completion_);
+  next_completion_ =
+      sim_->ScheduleAt(TimePoint::FromNanos(next_ns), [this] { Recompute(); });
+}
+
+// ---------------------------------------------------------------------------
+// FlowCollectiveModel
+
+void FlowCollectiveModel::MaybeInvalidate() const {
+  if (cache_generation_ != topo_->generation()) {
+    ring_cache_.clear();
+    tree_cache_.clear();
+    cache_generation_ = topo_->generation();
+  }
+}
+
+const FlowCollectiveModel::StepCost& FlowCollectiveModel::RingStep(int n) const {
+  MaybeInvalidate();
+  auto it = ring_cache_.find(n);
+  if (it != ring_cache_.end()) return it->second;
+
+  // One ring step: node order[i] sends its chunk to order[(i+1) % n], all n
+  // transfers concurrently. On the snake embedding all but the closing edge
+  // are single hops on disjoint links; the closing edge (and any gang
+  // smaller than the full torus) routes dimension-ordered and may share
+  // links, which the max-min solve prices in.
+  const std::vector<int>& order = torus_->ring_order();
+  std::vector<std::vector<LinkIndex>> paths(static_cast<std::size_t>(n));
+  std::vector<const std::vector<LinkIndex>*> path_ptrs;
+  StepCost cost;
+  for (int i = 0; i < n; ++i) {
+    const int src = order[static_cast<std::size_t>(i)];
+    const int dst = order[static_cast<std::size_t>((i + 1) % n)];
+    paths[static_cast<std::size_t>(i)] = torus_->Path(src, dst);
+    cost.max_hops = std::max(
+        cost.max_hops, static_cast<int>(paths[static_cast<std::size_t>(i)].size()));
+    path_ptrs.push_back(&paths[static_cast<std::size_t>(i)]);
+  }
+  const std::vector<double> rates = MaxMinFairRates(*topo_, path_ptrs);
+  cost.min_rate = *std::min_element(rates.begin(), rates.end());
+  return ring_cache_.emplace(n, cost).first->second;
+}
+
+const std::vector<FlowCollectiveModel::StepCost>& FlowCollectiveModel::TreeRounds(
+    int n) const {
+  MaybeInvalidate();
+  auto it = tree_cache_.find(n);
+  if (it != tree_cache_.end()) return it->second;
+
+  // Binomial-tree reduce over the same snake-ordered node set: in round r,
+  // every node at odd multiple of 2^r sends its full payload to the partner
+  // 2^r below it. (The mirror broadcast uses the reverse paths; we charge
+  // the same per-round costs.)
+  const std::vector<int>& order = torus_->ring_order();
+  std::vector<StepCost> rounds;
+  for (int stride = 1; stride < n; stride *= 2) {
+    std::vector<std::vector<LinkIndex>> paths;
+    for (int i = stride; i < n; i += 2 * stride) {
+      paths.push_back(torus_->Path(order[static_cast<std::size_t>(i)],
+                                   order[static_cast<std::size_t>(i - stride)]));
+    }
+    StepCost cost;
+    std::vector<const std::vector<LinkIndex>*> path_ptrs;
+    for (const auto& p : paths) {
+      cost.max_hops = std::max(cost.max_hops, static_cast<int>(p.size()));
+      path_ptrs.push_back(&p);
+    }
+    const std::vector<double> rates = MaxMinFairRates(*topo_, path_ptrs);
+    cost.min_rate = *std::min_element(rates.begin(), rates.end());
+    rounds.push_back(cost);
+  }
+  return tree_cache_.emplace(n, std::move(rounds)).first->second;
+}
+
+Duration FlowCollectiveModel::RingTime(CollectiveKind kind, Bytes bytes,
+                                       int n) const {
+  const StepCost& step = RingStep(n);
+  const double chunk = static_cast<double>(bytes) / n;
+  int steps = 0;
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      steps = 2 * (n - 1);  // reduce-scatter + all-gather
+      break;
+    case CollectiveKind::kAllGather:
+    case CollectiveKind::kReduceScatter:
+      steps = n - 1;
+      break;
+    case CollectiveKind::kBroadcast:
+      steps = n - 1;  // pipelined ring broadcast, chunked like all-gather
+      break;
+  }
+  const double seconds =
+      steps * (params().hop_latency.ToSeconds() * step.max_hops +
+               chunk / step.min_rate);
+  return Duration::Seconds(seconds);
+}
+
+Duration FlowCollectiveModel::TreeTime(CollectiveKind kind, Bytes bytes,
+                                       int n) const {
+  const std::vector<StepCost>& rounds = TreeRounds(n);
+  double one_way = 0;  // reduce (or broadcast) direction
+  for (const StepCost& round : rounds) {
+    one_way += params().hop_latency.ToSeconds() * round.max_hops +
+               static_cast<double>(bytes) / round.min_rate;
+  }
+  // AllReduce = reduce + mirror broadcast; gather/scatter and broadcast pay
+  // one direction.
+  const double seconds =
+      (kind == CollectiveKind::kAllReduce) ? 2 * one_way : one_way;
+  return Duration::Seconds(seconds);
+}
+
+Duration FlowCollectiveModel::Time(CollectiveKind kind, Bytes bytes,
+                                   int n) const {
+  PW_CHECK_GE(n, 1);
+  PW_CHECK_GE(bytes, 0);
+  if (n == 1) return params().launch_overhead;
+  PW_CHECK_LE(n, torus_->num_nodes())
+      << "gang larger than the torus it runs on";
+
+  Duration phases;
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      // Size-based algorithm choice: whichever schedule finishes first.
+      phases = std::min(RingTime(kind, bytes, n), TreeTime(kind, bytes, n));
+      break;
+    case CollectiveKind::kAllGather:
+    case CollectiveKind::kReduceScatter:
+      phases = RingTime(kind, bytes, n);
+      break;
+    case CollectiveKind::kBroadcast:
+      phases = std::min(RingTime(kind, bytes, n), TreeTime(kind, bytes, n));
+      break;
+  }
+  return params().launch_overhead + phases;
+}
+
+}  // namespace pw::net

@@ -1,0 +1,142 @@
+// Flow-level network engine over an explicit Topology (docs/NETWORK.md).
+//
+// Active transfers are modeled as fluid flows that share every link on
+// their path max-min fairly. The allocation is recomputed at each flow
+// start, flow finish, and link-capacity change — the standard fluid
+// approximation used by flow-level simulators — so a transfer's rate rises
+// and falls as competitors come and go, and effects the scalar fabric
+// cannot express (incast at a destination NIC, Clos oversubscription,
+// one degraded edge slowing exactly the paths that cross it) fall out of
+// the link graph.
+//
+// Determinism: every recomputation runs inside a simulator event, ordered
+// by (time, seq) like everything else; flows are iterated in start order
+// (flow ids are handed out sequentially); the water-filling bottleneck
+// tie-break is the lowest link index; and predicted completion times are
+// ceilinged to integer nanoseconds. Two runs of the same scenario schedule
+// byte-identical event sequences.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "net/collective_model.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace pw::net {
+
+// Max-min fair (water-filling) rates, in bytes/sec, for `paths` over the
+// effective link bandwidths of `topo`. Repeatedly finds the bottleneck link
+// — the one whose remaining capacity divided by its unfixed-flow count is
+// smallest, ties to the lowest link index — and fixes every flow crossing
+// it at that fair share. Runs in O(iterations · total path length); exact
+// order of operations is deterministic, so results are bit-stable.
+std::vector<double> MaxMinFairRates(
+    const Topology& topo, const std::vector<const std::vector<LinkIndex>*>& paths);
+
+class FlowNetwork {
+ public:
+  using FlowId = std::int64_t;
+
+  FlowNetwork(sim::Simulator* sim, Topology* topo) : sim_(sim), topo_(topo) {
+    PW_CHECK(sim_ != nullptr);
+    PW_CHECK(topo_ != nullptr);
+  }
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  // Starts a flow of `bytes` over `path` (non-empty). When the last byte
+  // drains, `on_delivered` is scheduled `delivery_latency` later
+  // (serialization finish + propagation, the flow-level analogue of
+  // Link::Transfer's store-and-forward accounting).
+  FlowId StartFlow(std::vector<LinkIndex> path, Bytes bytes,
+                   Duration delivery_latency, std::function<void()> on_delivered);
+
+  // Call after Topology::SetLinkScale so active flows re-share the new
+  // capacities from now() onward (bytes already moved stay moved).
+  void OnCapacityChanged();
+
+  int active_flows() const { return static_cast<int>(flows_.size()); }
+  std::int64_t flows_started() const { return flows_started_; }
+  std::int64_t flows_completed() const { return flows_completed_; }
+  Bytes bytes_delivered() const { return bytes_delivered_; }
+
+  // Current fair-share rate of an active flow (bytes/sec); 0 if finished.
+  double Rate(FlowId id) const;
+
+ private:
+  struct Flow {
+    std::vector<LinkIndex> path;
+    double remaining = 0;  // bytes left to drain
+    double rate = 0;       // current fair share, bytes/sec
+    Duration latency;
+    std::function<void()> on_delivered;
+  };
+
+  // Advances progress to now(), delivers ripe flows, re-solves the fair
+  // shares for the survivors, and re-arms the next-completion timer.
+  void Recompute();
+
+  sim::Simulator* sim_;
+  Topology* topo_;
+  std::map<FlowId, Flow> flows_;  // id order == start order
+  FlowId next_id_ = 0;
+  TimePoint last_update_;
+  sim::EventHandle next_completion_;
+  std::int64_t flows_started_ = 0;
+  std::int64_t flows_completed_ = 0;
+  Bytes bytes_delivered_ = 0;
+};
+
+// CollectiveModel backed by the flow solver over a torus: phases are
+// decomposed into per-link flows and charged their max-min rates, instead
+// of the single-bottleneck analytic formula.
+//
+//   ring: over the snake ring of the first n nodes; all-reduce is 2(n-1)
+//         steps of B/n-byte chunk exchanges (reduce-scatter + all-gather),
+//         each step paying its worst path latency plus chunk/min-rate.
+//   tree: ceil(log2 n) rounds of pairwise halving/doubling over the same
+//         node set, full-B payloads, per-round max-min rates.
+//
+// All-reduce takes min(ring, tree) — the size-based algorithm choice: the
+// tree wins for small payloads (fewer latency hops), the ring for large
+// (bandwidth-optimal). Per-(n) schedules are cached and invalidated by the
+// topology generation, so a degraded ICI link reprices collectives.
+class FlowCollectiveModel : public CollectiveModel {
+ public:
+  FlowCollectiveModel(CollectiveParams params, const Topology* topo,
+                      const TorusTopology* torus)
+      : CollectiveModel(params), topo_(topo), torus_(torus) {
+    PW_CHECK(topo_ != nullptr);
+    PW_CHECK(torus_ != nullptr);
+  }
+
+  Duration Time(CollectiveKind kind, Bytes bytes, int n) const override;
+
+  // Exposed for tests and the ring-vs-tree crossover analysis.
+  Duration RingTime(CollectiveKind kind, Bytes bytes, int n) const;
+  Duration TreeTime(CollectiveKind kind, Bytes bytes, int n) const;
+
+ private:
+  struct StepCost {
+    double min_rate = 0;  // slowest flow's max-min rate in the step/round
+    int max_hops = 1;     // longest path in the step/round
+  };
+
+  const StepCost& RingStep(int n) const;
+  const std::vector<StepCost>& TreeRounds(int n) const;
+  void MaybeInvalidate() const;
+
+  const Topology* topo_;
+  const TorusTopology* torus_;
+  mutable std::uint64_t cache_generation_ = ~std::uint64_t{0};
+  mutable std::map<int, StepCost> ring_cache_;
+  mutable std::map<int, std::vector<StepCost>> tree_cache_;
+};
+
+}  // namespace pw::net

@@ -1,0 +1,218 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace pw::net {
+
+namespace {
+
+// Deterministic ECMP: integer hash of (src, dst), stable across platforms.
+std::uint64_t MixPair(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ULL + b;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TorusTopology
+
+TorusTopology::TorusTopology(Topology* topo, std::vector<int> dims,
+                             double link_bandwidth,
+                             const std::string& name_prefix)
+    : topo_(topo), dims_(std::move(dims)) {
+  PW_CHECK(topo_ != nullptr);
+  PW_CHECK(dims_.size() == 2 || dims_.size() == 3)
+      << "torus must be 2D or 3D, got " << dims_.size() << "D";
+  num_nodes_ = 1;
+  for (int d : dims_) {
+    PW_CHECK_GE(d, 1);
+    num_nodes_ *= d;
+  }
+  const int ndims = static_cast<int>(dims_.size());
+  links_.resize(static_cast<std::size_t>(num_nodes_) * ndims * 2);
+  for (int node = 0; node < num_nodes_; ++node) {
+    for (int dim = 0; dim < ndims; ++dim) {
+      for (int dir = 0; dir < 2; ++dir) {
+        const std::string name = name_prefix + ":n" + std::to_string(node) +
+                                 ":d" + std::to_string(dim) +
+                                 (dir == 0 ? "+" : "-");
+        links_[static_cast<std::size_t>(node) * ndims * 2 + dim * 2 + dir] =
+            topo_->AddLink(name, link_bandwidth);
+      }
+    }
+  }
+
+  // Snake order: walk dimension 0 outermost; within each slab, traverse the
+  // remaining dimensions forward or reversed alternately so consecutive
+  // entries always differ by one coordinate step.
+  ring_order_.reserve(static_cast<std::size_t>(num_nodes_));
+  std::vector<int> sub;  // snake order of one (ndims-1)-dim slab
+  if (ndims == 2) {
+    sub.resize(static_cast<std::size_t>(dims_[1]));
+    for (int i = 0; i < dims_[1]; ++i) sub[static_cast<std::size_t>(i)] = i;
+  } else {
+    sub.reserve(static_cast<std::size_t>(dims_[1] * dims_[2]));
+    for (int j = 0; j < dims_[1]; ++j) {
+      for (int k = 0; k < dims_[2]; ++k) {
+        sub.push_back(j * dims_[2] + (j % 2 == 0 ? k : dims_[2] - 1 - k));
+      }
+    }
+  }
+  const int slab = num_nodes_ / dims_[0];
+  for (int i = 0; i < dims_[0]; ++i) {
+    for (int s = 0; s < slab; ++s) {
+      const int within =
+          sub[static_cast<std::size_t>(i % 2 == 0 ? s : slab - 1 - s)];
+      ring_order_.push_back(i * slab + within);
+    }
+  }
+}
+
+std::vector<int> TorusTopology::BalancedDims(int nodes, int ndims) {
+  PW_CHECK_GE(nodes, 1);
+  PW_CHECK(ndims == 2 || ndims == 3);
+  if (ndims == 2) {
+    int a = static_cast<int>(std::sqrt(static_cast<double>(nodes)));
+    while (a > 1 && nodes % a != 0) --a;
+    return {a, nodes / a};
+  }
+  int a = static_cast<int>(std::cbrt(static_cast<double>(nodes)));
+  while (a > 1 && nodes % a != 0) --a;
+  std::vector<int> rest = BalancedDims(nodes / a, 2);
+  return {a, rest[0], rest[1]};
+}
+
+LinkIndex TorusTopology::LinkFrom(int node, int dim, bool positive) const {
+  const int ndims = static_cast<int>(dims_.size());
+  return links_[static_cast<std::size_t>(node) * ndims * 2 + dim * 2 +
+                (positive ? 0 : 1)];
+}
+
+std::vector<int> TorusTopology::Coords(int node) const {
+  std::vector<int> c(dims_.size());
+  for (int dim = static_cast<int>(dims_.size()) - 1; dim >= 0; --dim) {
+    c[static_cast<std::size_t>(dim)] = node % dims_[static_cast<std::size_t>(dim)];
+    node /= dims_[static_cast<std::size_t>(dim)];
+  }
+  return c;
+}
+
+int TorusTopology::NodeAt(const std::vector<int>& coords) const {
+  int node = 0;
+  for (std::size_t dim = 0; dim < dims_.size(); ++dim) {
+    node = node * dims_[dim] + coords[dim];
+  }
+  return node;
+}
+
+std::vector<LinkIndex> TorusTopology::Path(int src, int dst) const {
+  PW_CHECK(src >= 0 && src < num_nodes_);
+  PW_CHECK(dst >= 0 && dst < num_nodes_);
+  std::vector<LinkIndex> path;
+  if (src == dst) return path;
+  std::vector<int> cur = Coords(src);
+  const std::vector<int> goal = Coords(dst);
+  for (std::size_t dim = 0; dim < dims_.size(); ++dim) {
+    const int size = dims_[dim];
+    const int fwd = ((goal[dim] - cur[dim]) % size + size) % size;
+    const int bwd = size - fwd;
+    // Minimal route along this dimension; ties go positive.
+    const bool positive = fwd != 0 && fwd <= bwd;
+    const int hops = std::min(fwd, bwd);
+    for (int h = 0; h < hops; ++h) {
+      path.push_back(LinkFrom(NodeAt(cur), static_cast<int>(dim), positive));
+      cur[dim] = ((cur[dim] + (positive ? 1 : -1)) % size + size) % size;
+    }
+  }
+  return path;
+}
+
+int TorusTopology::Distance(int src, int dst) const {
+  return static_cast<int>(Path(src, dst).size());
+}
+
+// ---------------------------------------------------------------------------
+// ClosTopology
+
+ClosTopology::ClosTopology(Topology* topo, Params params)
+    : topo_(topo), params_(params) {
+  PW_CHECK(topo_ != nullptr);
+  PW_CHECK_GE(params_.hosts_per_leaf, 1);
+  PW_CHECK_GE(params_.num_spines, 1);
+  PW_CHECK_GT(params_.host_bandwidth, 0.0);
+  if (params_.spine_bandwidth > 0) {
+    spine_bandwidth_ = params_.spine_bandwidth;
+  } else {
+    PW_CHECK_GT(params_.oversubscription, 0.0);
+    spine_bandwidth_ = params_.hosts_per_leaf * params_.host_bandwidth /
+                       (params_.num_spines * params_.oversubscription);
+  }
+}
+
+double ClosTopology::oversubscription() const {
+  return params_.hosts_per_leaf * params_.host_bandwidth /
+         (params_.num_spines * spine_bandwidth_);
+}
+
+int ClosTopology::AddHost() {
+  const int host = num_hosts_++;
+  const int leaf = LeafOf(host);
+  if (leaf >= static_cast<int>(leaves_.size())) {
+    Leaf l;
+    for (int s = 0; s < params_.num_spines; ++s) {
+      l.up.push_back(topo_->AddLink(
+          "dcn:l" + std::to_string(leaf) + ">s" + std::to_string(s),
+          spine_bandwidth_));
+      l.down.push_back(topo_->AddLink(
+          "dcn:s" + std::to_string(s) + ">l" + std::to_string(leaf),
+          spine_bandwidth_));
+    }
+    leaves_.push_back(std::move(l));
+  }
+  host_up_.push_back(topo_->AddLink("dcn:h" + std::to_string(host) + ">l",
+                                    params_.host_bandwidth));
+  host_down_.push_back(topo_->AddLink("dcn:l>h" + std::to_string(host),
+                                      params_.host_bandwidth));
+  return host;
+}
+
+LinkIndex ClosTopology::host_up(int host) const {
+  PW_CHECK(host >= 0 && host < num_hosts_);
+  return host_up_[static_cast<std::size_t>(host)];
+}
+
+LinkIndex ClosTopology::host_down(int host) const {
+  PW_CHECK(host >= 0 && host < num_hosts_);
+  return host_down_[static_cast<std::size_t>(host)];
+}
+
+std::vector<LinkIndex> ClosTopology::Path(int src_host, int dst_host) const {
+  PW_CHECK(src_host >= 0 && src_host < num_hosts_);
+  PW_CHECK(dst_host >= 0 && dst_host < num_hosts_);
+  std::vector<LinkIndex> path;
+  path.push_back(host_up(src_host));
+  const int src_leaf = LeafOf(src_host);
+  const int dst_leaf = LeafOf(dst_host);
+  if (src_leaf != dst_leaf) {
+    const int spine = static_cast<int>(
+        MixPair(static_cast<std::uint64_t>(src_host),
+                static_cast<std::uint64_t>(dst_host)) %
+        static_cast<std::uint64_t>(params_.num_spines));
+    path.push_back(
+        leaves_[static_cast<std::size_t>(src_leaf)].up[static_cast<std::size_t>(spine)]);
+    path.push_back(
+        leaves_[static_cast<std::size_t>(dst_leaf)].down[static_cast<std::size_t>(spine)]);
+  }
+  path.push_back(host_down(dst_host));
+  return path;
+}
+
+}  // namespace pw::net

@@ -1,0 +1,177 @@
+// Explicit network topologies for flow-level modeling (docs/NETWORK.md).
+//
+// A Topology is a table of directed links, each with a nominal bandwidth
+// and a fault-injection scale; concrete builders append their links to one
+// and hand out routes as ordered link-index lists:
+//
+//   * TorusTopology — a 2D/3D torus (TPU-style ICI). Routing is
+//     dimension-ordered and minimal, with ties broken toward the positive
+//     direction, so every (src, dst) pair has exactly one deterministic
+//     path. ring_order() enumerates nodes in snake (boustrophedon) order:
+//     consecutive nodes are torus neighbors, which is how ring collectives
+//     embed with near-disjoint links.
+//   * ClosTopology — a two-tier leaf/spine Clos (the DCN). Every host owns
+//     an up and a down access link to its leaf (the NIC, where incast
+//     bites); leaves connect to every spine with links whose bandwidth
+//     encodes the oversubscription ratio. Cross-leaf routes pick a spine by
+//     a deterministic ECMP hash of (src, dst).
+//
+// The same Topology instance backs both the dynamic FlowNetwork
+// (net/flow.h) and the static FlowCollectiveModel phase solver, so a
+// degraded link slows every consumer consistently. SetLinkScale bumps a
+// generation counter that lets solvers cache per-topology results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pw::net {
+
+using LinkIndex = std::int32_t;
+
+struct TopoLink {
+  std::string name;
+  double bandwidth = 0;  // bytes/sec, per direction
+  double scale = 1.0;    // fault knob; effective bandwidth = bandwidth*scale
+};
+
+class Topology {
+ public:
+  Topology() = default;
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  LinkIndex AddLink(std::string name, double bandwidth) {
+    PW_CHECK_GT(bandwidth, 0.0) << "link " << name;
+    links_.push_back(TopoLink{std::move(name), bandwidth, 1.0});
+    return static_cast<LinkIndex>(links_.size() - 1);
+  }
+
+  std::size_t num_links() const { return links_.size(); }
+  const TopoLink& link(LinkIndex i) const {
+    return links_[static_cast<std::size_t>(i)];
+  }
+  double EffectiveBandwidth(LinkIndex i) const {
+    const TopoLink& l = links_[static_cast<std::size_t>(i)];
+    // Exact-bypass at 1.0, same idiom as Link::EffectiveBandwidth: unfaulted
+    // runs are bit-identical to builds without the knob.
+    return l.scale == 1.0 ? l.bandwidth : l.bandwidth * l.scale;
+  }
+
+  // Fault-injection knob (0 < scale; < 1 degrades one edge). Bumps the
+  // generation so cached solver results invalidate.
+  void SetLinkScale(LinkIndex i, double scale) {
+    PW_CHECK_GT(scale, 0.0);
+    links_[static_cast<std::size_t>(i)].scale = scale;
+    ++generation_;
+  }
+  double link_scale(LinkIndex i) const {
+    return links_[static_cast<std::size_t>(i)].scale;
+  }
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  std::vector<TopoLink> links_;
+  std::uint64_t generation_ = 0;
+};
+
+// Opt-in flow-level ICI (hw::SystemParams::ici_flow). Defaults off: the
+// analytic CollectiveModel stays in effect and runs are bit-identical to
+// builds without the flow engine.
+struct IciFlowParams {
+  bool enabled = false;
+  int dims = 2;               // 2 => 2D torus, 3 => 3D torus
+  double link_bandwidth = 0;  // per direction; 0 => CollectiveParams value
+};
+
+class TorusTopology {
+ public:
+  // Appends 2*dims directed links per node to `topo` (one per direction per
+  // dimension; a size-1 or size-2 dimension still gets both wrap links).
+  TorusTopology(Topology* topo, std::vector<int> dims, double link_bandwidth,
+                const std::string& name_prefix = "ici");
+
+  // Factors `nodes` into `ndims` balanced dimensions (largest divisor pair /
+  // triple); a prime count degenerates to a 1 x n ring, which is still a
+  // valid torus.
+  static std::vector<int> BalancedDims(int nodes, int ndims);
+
+  int num_nodes() const { return num_nodes_; }
+  const std::vector<int>& dims() const { return dims_; }
+
+  // The directed link leaving `node` along `dim`, toward the neighbor with
+  // the next-higher (positive) or next-lower coordinate, wrapping.
+  LinkIndex LinkFrom(int node, int dim, bool positive) const;
+
+  // Dimension-ordered minimal route; empty for src == dst.
+  std::vector<LinkIndex> Path(int src, int dst) const;
+  int Distance(int src, int dst) const;
+
+  // Snake enumeration of all nodes: consecutive entries are torus
+  // neighbors. Ring collectives run over the first n entries.
+  const std::vector<int>& ring_order() const { return ring_order_; }
+
+ private:
+  std::vector<int> Coords(int node) const;
+  int NodeAt(const std::vector<int>& coords) const;
+
+  Topology* topo_;
+  std::vector<int> dims_;
+  int num_nodes_;
+  std::vector<LinkIndex> links_;  // [node][dim][dir]
+  std::vector<int> ring_order_;
+};
+
+class ClosTopology {
+ public:
+  struct Params {
+    int hosts_per_leaf = 8;
+    int num_spines = 4;
+    double host_bandwidth = 12.5e9;  // host<->leaf access links (the NIC)
+    // Per leaf<->spine link; 0 derives it from `oversubscription` so that
+    // (hosts_per_leaf*host_bandwidth) / (num_spines*spine_bandwidth) equals
+    // the requested ratio.
+    double spine_bandwidth = 0;
+    double oversubscription = 1.0;
+  };
+
+  ClosTopology(Topology* topo, Params params);
+
+  // Registers the next host (dense indices, in call order); creates its
+  // access links and, when it starts a new leaf, that leaf's spine links.
+  int AddHost();
+
+  int num_hosts() const { return num_hosts_; }
+  int num_leaves() const { return static_cast<int>(leaves_.size()); }
+  int num_spines() const { return params_.num_spines; }
+  int LeafOf(int host) const { return host / params_.hosts_per_leaf; }
+  double spine_bandwidth() const { return spine_bandwidth_; }
+  // Actual ratio implied by the link bandwidths.
+  double oversubscription() const;
+
+  LinkIndex host_up(int host) const;    // host -> leaf (egress NIC)
+  LinkIndex host_down(int host) const;  // leaf -> host (ingress NIC; incast)
+
+  // host_up(src), [leaf->spine, spine->leaf when leaves differ],
+  // host_down(dst). Spine picked by a deterministic ECMP hash.
+  std::vector<LinkIndex> Path(int src_host, int dst_host) const;
+
+ private:
+  struct Leaf {
+    std::vector<LinkIndex> up;    // leaf -> spine, per spine
+    std::vector<LinkIndex> down;  // spine -> leaf, per spine
+  };
+
+  Topology* topo_;
+  Params params_;
+  double spine_bandwidth_;
+  int num_hosts_ = 0;
+  std::vector<LinkIndex> host_up_;
+  std::vector<LinkIndex> host_down_;
+  std::vector<Leaf> leaves_;
+};
+
+}  // namespace pw::net

@@ -5,6 +5,12 @@
 // over the existing sharded-buffer dataflow — host PCIe hops plus
 // `DcnFabric` host-to-host messages — so PR-3 NIC degradation and
 // partitions bite on real KV bytes, and PR-5 spilling applies on both ends.
+// With the flow-level Clos DCN enabled (DcnClosParams::enabled,
+// docs/NETWORK.md) the KV streams additionally contend on real paths:
+// many prefill shards landing on one decode host incast on that host's
+// downlink, and cross-leaf transfers share oversubscribed uplinks — the
+// router needs no changes, since completion is callback-driven and the
+// fabric keeps per-(src,dst) FIFO across partitions either way.
 //
 // The router owns the request lifecycle around the two Batcher roles:
 //

@@ -5,8 +5,10 @@
 //   time = max(flops / (peak_flops * mfu), bytes / hbm_bw) + per_op_overhead
 // where `mfu` (model flops utilization) captures everything a real compiler
 // and kernel library would decide. Collectives are *not* charged here —
-// they become rendezvous operations on the device (hw::CollectiveGroup), so
-// their cost depends on runtime arrival times, exactly as on real hardware.
+// they become rendezvous operations on the device (hw::CollectiveGroup)
+// priced by the island's CollectiveModel (analytic by default, link-level
+// torus flows in flow-level ICI mode — docs/NETWORK.md), so their cost
+// depends on runtime arrival times, exactly as on real hardware.
 #pragma once
 
 #include <cstdint>

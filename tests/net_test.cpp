@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
 #include "net/collective_model.h"
 #include "net/dcn.h"
 #include "net/link.h"
@@ -279,6 +284,151 @@ TEST(DcnFabricTest, ReplayThroughSecondPartitionStaysCountedOnce) {
   EXPECT_EQ(delivered, 1);
   EXPECT_EQ(dcn.messages_sent(), 1);
   EXPECT_EQ(dcn.bytes_sent(), 256);
+}
+
+TEST(DcnFabricTest, DualPartitionReplayPreservesSendOrder) {
+  // Regression for the dual-partition FIFO bug: message A (src1 -> dst, both
+  // endpoints down) waits on src1's queue; message B (src2 -> dst, only dst
+  // down) waits on dst's queue. Healing src1 re-routes A, which is re-held
+  // on dst's queue — and must sort *ahead* of the later-submitted B, not be
+  // appended behind it. Pre-fix, A was pushed to the back and delivered
+  // after B, violating the documented "replayed in original send order"
+  // contract.
+  sim::Simulator sim;
+  DcnParams params;
+  params.per_message_header = 0;
+  DcnFabric dcn(&sim, params);
+  for (int h = 0; h < 3; ++h) dcn.AddHost(HostId(h));
+  const HostId src1(0), src2(1), dst(2);
+
+  dcn.SetPartitioned(src1, true);
+  dcn.SetPartitioned(dst, true);
+  std::vector<char> deliveries;
+  // t0: A, blocked on both endpoints (held on src1's queue).
+  dcn.Send(src1, dst, 1000, [&] { deliveries.push_back('A'); });
+  // t1: B, blocked on dst only. Equal size, so NIC timing can't mask an
+  // ordering violation.
+  sim.RunFor(Duration::Micros(10));
+  dcn.Send(src2, dst, 1000, [&] { deliveries.push_back('B'); });
+
+  // Heal src1 first: A moves to dst's hold queue, where B already waits.
+  dcn.SetPartitioned(src1, false);
+  EXPECT_EQ(dcn.messages_held(), 2u);
+  dcn.SetPartitioned(dst, false);
+  sim.Run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 'A') << "older message must replay first";
+  EXPECT_EQ(deliveries[1], 'B');
+}
+
+TEST(DcnFabricTest, HeldSendReturnsSentinel) {
+  // Send()'s TimePoint is meaningless for a partition-held message — there
+  // is no delivery estimate until the heal — so the held path returns
+  // kHeldSentinel, which no caller can accidentally schedule on (ScheduleAt
+  // would die on the far-future check). The audit of in-tree callers found
+  // all of them callback-driven; this pins the contract for future ones.
+  sim::Simulator sim;
+  DcnFabric dcn(&sim, DcnParams{});
+  dcn.AddHost(HostId(0));
+  dcn.AddHost(HostId(1));
+  const TimePoint unheld = dcn.Send(HostId(0), HostId(1), 100, [] {});
+  EXPECT_LT(unheld, DcnFabric::kHeldSentinel);
+  dcn.SetPartitioned(HostId(1), true);
+  const TimePoint held = dcn.Send(HostId(0), HostId(1), 100, [] {});
+  EXPECT_EQ(held, DcnFabric::kHeldSentinel);
+  EXPECT_EQ(held, TimePoint::Max());
+  dcn.SetPartitioned(HostId(1), false);
+  sim.Run();
+}
+
+// ------------------------------------------------- Partition/degrade fuzz --
+
+// Property: under any schedule of partitions and NIC degrades, every
+// (src, dst) pair's messages deliver exactly once, in submission order.
+// Runs against both the abstract per-NIC fabric and the flow-level Clos;
+// messages share one size so fair-share completion ties cannot mask an
+// ordering violation (a flow fabric may legitimately reorder different-size
+// messages of one pair — smaller flows drain first — but never equal ones).
+void RunPartitionDegradeFuzz(std::uint64_t seed, bool clos_mode) {
+  SCOPED_TRACE(::testing::Message() << "seed=" << seed << " clos=" << clos_mode);
+  sim::Simulator sim;
+  DcnParams params;
+  params.nic_bandwidth = 1e9;
+  if (clos_mode) {
+    params.clos.enabled = true;
+    params.clos.hosts_per_leaf = 2;  // 4 hosts => 2 leaves, cross-leaf paths
+    params.clos.num_spines = 2;
+    params.clos.oversubscription = 2.0;
+  }
+  DcnFabric dcn(&sim, params);
+  constexpr int kHosts = 4;
+  for (int h = 0; h < kHosts; ++h) dcn.AddHost(HostId(h));
+
+  Rng rng(seed);
+  std::map<std::pair<int, int>, int> submitted;  // per-pair next sequence
+  std::map<std::pair<int, int>, std::vector<int>> delivered;
+  int total_sent = 0;
+  constexpr std::int64_t kHorizonNs = 5'000'000;
+  for (int op = 0; op < 120; ++op) {
+    const auto at = TimePoint::FromNanos(
+        static_cast<std::int64_t>(rng.NextBounded(kHorizonNs)));
+    const int kind = static_cast<int>(rng.NextBounded(4));
+    const int a = static_cast<int>(rng.NextBounded(kHosts));
+    const int b = static_cast<int>(rng.NextBounded(kHosts));
+    if (kind <= 1) {
+      sim.ScheduleAt(at, [&, a, b] {
+        const int seq = submitted[{a, b}]++;
+        ++total_sent;
+        dcn.Send(HostId(a), HostId(b), 1000,
+                 [&, a, b, seq] { delivered[{a, b}].push_back(seq); });
+      });
+    } else if (kind == 2) {
+      const bool on = rng.NextBounded(2) == 0;
+      sim.ScheduleAt(at, [&, a, on] { dcn.SetPartitioned(HostId(a), on); });
+    } else {
+      const double scale = 0.25 + 0.25 * static_cast<double>(rng.NextBounded(4));
+      sim.ScheduleAt(at, [&, a, scale] {
+        dcn.SetNicBandwidthScale(HostId(a), scale);
+      });
+    }
+  }
+  // Heal everything after the horizon so every held message gets delivered.
+  sim.ScheduleAt(TimePoint::FromNanos(kHorizonNs + 1), [&] {
+    for (int h = 0; h < kHosts; ++h) {
+      dcn.SetPartitioned(HostId(h), false);
+      dcn.SetNicBandwidthScale(HostId(h), 1.0);
+    }
+  });
+  sim.Run();
+
+  EXPECT_EQ(dcn.messages_held(), 0u);
+  int total_delivered = 0;
+  for (const auto& [pair, seqs] : delivered) {
+    total_delivered += static_cast<int>(seqs.size());
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      EXPECT_EQ(seqs[i], static_cast<int>(i))
+          << "pair (" << pair.first << "," << pair.second
+          << ") delivered out of submission order";
+    }
+    auto it = submitted.find(pair);
+    ASSERT_NE(it, submitted.end());
+    EXPECT_EQ(static_cast<int>(seqs.size()), it->second)
+        << "lost or duplicated messages for pair (" << pair.first << ","
+        << pair.second << ")";
+  }
+  EXPECT_EQ(total_delivered, total_sent);
+}
+
+TEST(DcnFabricFuzzTest, OrderedExactlyOnceUnderPartitionsAbstract) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RunPartitionDegradeFuzz(seed, /*clos_mode=*/false);
+  }
+}
+
+TEST(DcnFabricFuzzTest, OrderedExactlyOnceUnderPartitionsClos) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RunPartitionDegradeFuzz(seed, /*clos_mode=*/true);
+  }
 }
 
 TEST(DcnBatcherTest, DistinctDestinationsDoNotCoalesce) {
