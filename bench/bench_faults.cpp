@@ -1,186 +1,56 @@
 // Fault sweep: goodput and recovery latency under injected device crashes,
-// across a fault-rate x island-size grid (no paper figure — this is the
-// resilience extension of ROADMAP's "as many scenarios as you can imagine";
-// see docs/FAULTS.md).
+// across a fault-rate x island-size grid (the resilience extension of
+// ROADMAP's "as many scenarios as you can imagine"; see docs/FAULTS.md).
+// Each grid point runs its own fault-free baseline, so rows report absolute
+// goodput, goodput relative to fault-free, and the injector's
+// recovery-latency stats.
 //
-// Workload per grid point: one client trains a gang-scheduled AllReduce
-// step over half the island through Client::RunWithRetry while a seeded
-// FaultPlan crashes devices (all recovering), slows stragglers, and
-// degrades one NIC. Each point also runs its own fault-free baseline, so
-// rows report absolute goodput, goodput relative to fault-free, and the
-// injector's recovery-latency stats. Points fan out through SweepRunner;
-// every point builds a private single-threaded simulator, so the table is
-// byte-identical across thread counts and runs.
-#include <cstdint>
-#include <string>
-#include <vector>
+// Thin wrapper: the measurement harness lives in the "faults" family
+// (src/scenario/family_faults.cpp) and the grid/workload knobs in
+// scenarios/faults.json (override with --scenario <file>). This main only
+// prints the table and enforces the graceful-degradation gate.
+#include <cstdio>
+#include <variant>
 
 #include "bench_common.h"
-#include "faults/fault_injector.h"
-#include "faults/fault_plan.h"
-#include "pathways/pathways.h"
-
-namespace {
-
-using namespace pw;
-using pathways::Client;
-using pathways::PathwaysProgram;
-using pathways::PathwaysRuntime;
-using pathways::ProgramBuilder;
-
-struct PointResult {
-  double steps_ok = 0;
-  double horizon_sec = 0;
-  double recovery_mean_us = 0;
-  double recovery_max_us = 0;
-  double recovery_samples = 0;
-  double aborted = 0;
-  double retries = 0;
-
-  double goodput() const { return steps_ok / horizon_sec; }
-};
-
-// Runs the training loop on an island of `island_devices` with `crashes`
-// injected crashes (0 = fault-free baseline) over `horizon`.
-PointResult RunPoint(int island_devices, int crashes, Duration horizon,
-                     std::uint64_t seed) {
-  sim::Simulator sim;
-  hw::SystemParams params = hw::SystemParams::TpuDefault();
-  const int hosts = std::max(1, island_devices / 4);
-  const int devs_per_host = island_devices / hosts;
-  auto cluster = std::make_unique<hw::Cluster>(&sim, params, /*islands=*/1,
-                                               hosts, devs_per_host);
-  PathwaysRuntime runtime(cluster.get(), pathways::PathwaysOptions{});
-
-  faults::FaultPlan plan;
-  if (crashes > 0) {
-    faults::FaultPlan::RandomSpec spec;
-    spec.device_crashes = crashes;
-    spec.stragglers = crashes / 2;
-    spec.link_degrades = 1;
-    spec.partitions = 0;
-    spec.horizon = horizon;
-    spec.min_window = Duration::Millis(1);
-    spec.max_window = Duration::Millis(5);
-    spec.always_recover = true;
-    plan = faults::FaultPlan::Random(
-        seed, faults::ClusterShape{cluster->num_devices(), cluster->num_hosts()},
-        spec);
-  }
-  faults::FaultInjector injector(cluster.get(), &runtime, plan);
-  injector.Arm();
-
-  Client* client = runtime.CreateClient();
-  auto slice = client->AllocateSlice(island_devices / 2).value();
-  auto fn = xlasim::CompiledFunction::Synthetic(
-      "step", island_devices / 2, Duration::Micros(300),
-      net::CollectiveKind::kAllReduce, KiB(64));
-  ProgramBuilder pb("train");
-  pb.Call(fn, slice, {});
-  PathwaysProgram prog = std::move(pb).Build();
-
-  pathways::RetryPolicy policy;
-  policy.max_attempts = 6;
-  policy.initial_backoff = Duration::Micros(250);
-
-  PointResult out;
-  const TimePoint end = TimePoint() + horizon;
-  while (sim.now() < end) {
-    auto r = client->RunWithRetry(&prog, {}, policy);
-    const bool resolved = sim.RunUntilPredicate([&r] { return r.ready(); });
-    if (!resolved) break;  // would only happen on a liveness bug
-    if (!r.value().failed) out.steps_ok += 1;
-  }
-  sim.Run();  // drain outstanding recoveries
-  out.horizon_sec = horizon.ToSeconds();
-  out.recovery_mean_us = injector.stats().recovery_latency_us.mean();
-  out.recovery_max_us = injector.stats().recovery_latency_us.max();
-  out.recovery_samples =
-      static_cast<double>(injector.stats().recovery_latency_us.count());
-  out.aborted = static_cast<double>(runtime.executions_aborted());
-  out.retries = static_cast<double>(client->retries());
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  const bench::Args args = bench::Args::Parse(argc, argv);
-  bench::Header(
+  const pw::bench::Args args =
+      pw::bench::Args::Parse(argc, argv, pw::bench::kScenarioFlag);
+  pw::bench::Header(
       "faults: goodput & recovery latency vs fault rate x island size",
       "resilience extension (no paper figure); goodput degrades gracefully "
       "with fault rate, recovery latency ~ backoff + remap + resubmit");
 
-  const Duration horizon =
-      args.quick ? Duration::Millis(50) : Duration::Millis(200);
-  const std::vector<std::int64_t> island_sizes{4, 8, 16};
-  const std::vector<std::int64_t> fault_rates{25, 50, 100};  // crashes/sec
+  const pw::scenario::Scenario s =
+      pw::bench::LoadBenchScenario(args, "faults", "faults");
+  const pw::scenario::RunResult result = pw::bench::RunBenchScenario(s, args);
 
-  sweep::ParamGrid grid;
-  grid.AxisInts("island_devices", island_sizes)
-      .AxisInts("faults_per_sec", fault_rates);
-
-  sweep::SweepRunner runner;
-  sweep::ResultTable table = runner.Run(
-      grid, [&horizon](const sweep::ParamPoint& p) -> sweep::Metrics {
-        const int devices = static_cast<int>(p.GetInt("island_devices"));
-        const int rate = static_cast<int>(p.GetInt("faults_per_sec"));
-        const int crashes = std::max(
-            1, static_cast<int>(rate * horizon.ToSeconds()));
-        // Seed varies per point so grid cells see different fault draws but
-        // every rerun of the bench sees the same ones.
-        const std::uint64_t seed = 0x5eed + p.index();
-        const PointResult faulted = RunPoint(devices, crashes, horizon, seed);
-        const PointResult baseline = RunPoint(devices, 0, horizon, seed);
-        return {{"goodput_steps_per_sec", faulted.goodput()},
-                {"baseline_steps_per_sec", baseline.goodput()},
-                {"goodput_ratio", faulted.goodput() / baseline.goodput()},
-                {"recovery_latency_mean_us", faulted.recovery_mean_us},
-                {"recovery_latency_max_us", faulted.recovery_max_us},
-                {"recovery_samples", faulted.recovery_samples},
-                {"executions_aborted", faulted.aborted},
-                {"client_retries", faulted.retries}};
-      });
-
-  bench::Reporter report("faults", args);
   std::printf("%8s %10s %12s %12s %10s %14s %12s\n", "devices", "faults/s",
               "goodput/s", "baseline/s", "ratio", "recovery(us)", "aborted");
-  double ratio_sum = 0, recovery_sum = 0;
-  int rows = 0;
-  for (const auto& row : table.rows()) {
-    auto metric = [&row](const char* name) {
-      for (const auto& [k, v] : row.metrics) {
-        if (k == name) return v;
-      }
-      return 0.0;
-    };
+  for (const auto& row : result.table.rows()) {
     std::printf("%8lld %10lld %12.0f %12.0f %9.2f%% %14.1f %12.0f\n",
                 static_cast<long long>(
                     std::get<std::int64_t>(row.params[0].second)),
                 static_cast<long long>(
                     std::get<std::int64_t>(row.params[1].second)),
-                metric("goodput_steps_per_sec"),
-                metric("baseline_steps_per_sec"),
-                100.0 * metric("goodput_ratio"),
-                metric("recovery_latency_mean_us"),
-                metric("executions_aborted"));
-    report.AddRow(row.params, row.metrics);
-    ratio_sum += metric("goodput_ratio");
-    recovery_sum += metric("recovery_latency_mean_us");
-    ++rows;
+                pw::bench::MetricOf(row, "goodput_steps_per_sec"),
+                pw::bench::MetricOf(row, "baseline_steps_per_sec"),
+                100.0 * pw::bench::MetricOf(row, "goodput_ratio"),
+                pw::bench::MetricOf(row, "recovery_latency_mean_us"),
+                pw::bench::MetricOf(row, "executions_aborted"));
   }
-  report.Summary("mean_goodput_ratio", ratio_sum / rows);
-  report.Summary("mean_recovery_latency_us", recovery_sum / rows);
-  report.Write();
 
   // Shape gate: goodput must degrade gracefully, not collapse — under the
   // heaviest injected fault rate the system should still complete a
   // meaningful fraction of baseline steps.
-  if (ratio_sum / rows < 0.5) {
+  const double mean_ratio =
+      pw::bench::SummaryOf(result.summary, "mean_goodput_ratio");
+  if (mean_ratio < 0.5) {
     std::fprintf(stderr,
                  "FAIL: mean goodput ratio %.2f under faults — recovery path "
                  "is losing most of the cluster's useful work\n",
-                 ratio_sum / rows);
+                 mean_ratio);
     return 1;
   }
   return 0;

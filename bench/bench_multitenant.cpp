@@ -1,269 +1,57 @@
 // Multi-tenant serving under open-loop traffic: N weighted clients drive
 // Poisson arrivals through bounded admission queues into the weighted-stride
-// gang scheduler, swept over clients x arrival-rate x shed-policy via
-// SweepRunner. Reproduces the paper's Figure-9 proportional-share result in
-// the serving regime (offered load independent of completion rate) instead
-// of saturated closed loops, and regression-gates the stride pass-rebase
-// fix: under overload every client's achieved goodput share must stay
-// within tolerance of its weight fraction (5% full run, 10% --quick), or
-// the binary exits non-zero. The sweep is also run a second time on a
-// single thread and compared byte-for-byte against the multi-threaded
-// table (the SweepRunner determinism contract).
+// gang scheduler, swept over clients x arrival-rate x shed-policy.
+// Reproduces the paper's Figure-9 proportional-share result in the serving
+// regime, and regression-gates the stride pass-rebase fix: under overload
+// every client's achieved goodput share must stay within tolerance of its
+// weight fraction (5% full run, 10% --quick), or the binary exits non-zero.
+//
+// Thin wrapper: the measurement harness lives in the "multitenant" family
+// (src/scenario/family_multitenant.cpp) and the grid/workload knobs in
+// scenarios/multitenant.json (override with --scenario <file>). This main
+// only prints the table and enforces the gates.
+#include <algorithm>
 #include <cstdio>
-#include <memory>
-#include <sstream>
-#include <string>
-#include <vector>
 
 #include "bench_common.h"
-#include "pathways/pathways.h"
-#include "workload/workload.h"
-#include "xlasim/compiled_function.h"
-
-namespace {
-
-using namespace pw;
-
-// Nominal whole-pod service rate for the 330us/step 16-core scenario below;
-// arrival scales are relative to this. Only the overload classification
-// depends on it, and only loosely (scale 4 is far past saturation).
-constexpr double kNominalPodPerSec = 2500.0;
-
-constexpr int kMaxClients = 4;
-
-// Per-tenant admission-queue bound; also sizes every recorder's depth
-// histogram so the per-tenant recorders and the merged fleet view share a
-// bucket layout.
-constexpr std::size_t kQueueCapacity = 64;
-
-bool Overloaded(double scale, int clients, const std::vector<double>& w) {
-  // Proportional share only binds while every client is backlogged: the
-  // largest-weight client must be offered more than its weighted share of
-  // capacity. 1.25x margin keeps marginal points out of the gate.
-  double wsum = 0, wmax = 0;
-  for (double x : w) {
-    wsum += x;
-    wmax = std::max(wmax, x);
-  }
-  return scale >= 1.25 * static_cast<double>(clients) * wmax / wsum;
-}
-
-sweep::Metrics MeasurePoint(const sweep::ParamPoint& p, bool quick) {
-  using namespace pw::pathways;
-  using namespace pw::workload;
-  const int clients = static_cast<int>(p.GetInt("clients"));
-  const double scale = p.GetDouble("rate_scale");
-  const std::string& policy = p.GetString("policy");
-
-  sim::Simulator sim;
-  auto cluster = hw::Cluster::ConfigB(&sim, /*hosts=*/2);  // 16 cores
-  PathwaysOptions options;
-  options.policy = SchedulerPolicy::kWeightedStride;
-  options.max_inflight_gangs = 2;  // shallow window: the policy decides often
-  PathwaysRuntime runtime(cluster.get(), options);
-
-  const Duration warmup = Duration::Millis(quick ? 20 : 80);
-  const Duration horizon = Duration::Millis(quick ? 150 : 800);
-
-  std::vector<double> weights(static_cast<std::size_t>(clients));
-  double wsum = 0;
-  for (int i = 0; i < clients; ++i) {
-    weights[static_cast<std::size_t>(i)] = static_cast<double>(1 << i);
-    wsum += weights[static_cast<std::size_t>(i)];
-  }
-
-  const int shards = cluster->num_devices();
-  std::vector<std::unique_ptr<PathwaysProgram>> programs;
-  std::vector<std::unique_ptr<OpenLoopGenerator>> gens;
-  std::vector<Client*> tenants;
-  for (int i = 0; i < clients; ++i) {
-    Client* client = runtime.CreateClient(weights[static_cast<std::size_t>(i)]);
-    tenants.push_back(client);
-    auto slice = client->AllocateSlice(shards).value();
-    ProgramBuilder pb("serve" + std::to_string(i));
-    pb.Call(xlasim::CompiledFunction::Synthetic(
-                "infer", shards, Duration::Micros(330),
-                net::CollectiveKind::kAllReduce, 64),
-            slice, {});
-    programs.push_back(
-        std::make_unique<PathwaysProgram>(std::move(pb).Build()));
-
-    OpenLoopSpec spec;
-    spec.process = ArrivalProcess::kPoisson;
-    // Equal offered load per client: shares then reflect the scheduler's
-    // weights, not the arrival mix.
-    spec.rate_per_sec = scale * kNominalPodPerSec / clients;
-    spec.horizon = horizon;
-    spec.seed = 0xC0FFEE + 1000 * p.index() + static_cast<std::uint64_t>(i);
-    AdmissionOptions adm;
-    adm.capacity = kQueueCapacity;
-    // Larger than max_inflight_gangs so the stride scheduler — not each
-    // client's submit round-trip — is the bottleneck under overload.
-    adm.max_outstanding = 6;
-    adm.policy = policy == "reject-retry" ? ShedPolicy::kRejectWithRetry
-                                          : ShedPolicy::kDropTail;
-    adm.retry.max_attempts = 5;
-    adm.retry.initial_backoff = Duration::Micros(200);
-    adm.retry.max_backoff = Duration::Millis(5);
-    gens.push_back(std::make_unique<OpenLoopGenerator>(
-        client, programs.back().get(), spec, adm));
-    gens.back()->Start();
-  }
-
-  // Every reported metric covers the same steady-state window
-  // [warmup, horizon): at warmup the counters are snapshotted, the
-  // distribution state (latency samples, depth histograms) is reset, and
-  // the scheduler's cumulative per-client accounting is baselined.
-  std::vector<std::int64_t> base(static_cast<std::size_t>(clients), 0);
-  std::int64_t base_arrivals = 0, base_sheds = 0, base_gangs = 0;
-  double base_wait_us = 0;
-  sim.ScheduleAt(TimePoint() + warmup, [&] {
-    for (int i = 0; i < clients; ++i) {
-      LatencyRecorder& r = gens[static_cast<std::size_t>(i)]->recorder();
-      base[static_cast<std::size_t>(i)] = r.completions();
-      base_arrivals += r.arrivals();
-      base_sheds += r.sheds();
-      r.BeginMeasurementWindow();
-    }
-    for (Client* t : tenants) {
-      const auto stats = runtime.SchedStatsFor(t->id());
-      base_gangs += stats.gangs_dispatched;
-      base_wait_us += stats.queue_wait.ToMicros();
-    }
-  });
-  sim.RunUntil(TimePoint() + horizon);
-
-  const double window_s = (horizon - warmup).ToSeconds();
-  std::vector<double> goodput(static_cast<std::size_t>(clients));
-  double total = 0;
-  std::int64_t arrivals = 0, sheds = 0, gangs = 0;
-  double wait_us = 0;
-  for (int i = 0; i < clients; ++i) {
-    const LatencyRecorder& r = gens[static_cast<std::size_t>(i)]->recorder();
-    goodput[static_cast<std::size_t>(i)] = static_cast<double>(
-        r.completions() - base[static_cast<std::size_t>(i)]);
-    total += goodput[static_cast<std::size_t>(i)];
-    arrivals += r.arrivals();
-    sheds += r.sheds();
-  }
-  arrivals -= base_arrivals;
-  sheds -= base_sheds;
-  for (Client* t : tenants) {
-    const auto stats = runtime.SchedStatsFor(t->id());
-    gangs += stats.gangs_dispatched;
-    wait_us += stats.queue_wait.ToMicros();
-  }
-  gangs -= base_gangs;
-  wait_us -= base_wait_us;
-  const std::int64_t rebases = runtime.total_pass_rebases();
-
-  LatencyRecorder merged(kQueueCapacity);
-  for (const auto& g : gens) merged.Merge(g->recorder());
-
-  // Everything was sampled at the horizon; now drain the backlog (arrivals
-  // have stopped) so no in-flight execution is torn down mid-run.
-  sim.Run();
-
-  const bool overloaded = Overloaded(scale, clients, weights);
-  sweep::Metrics m;
-  double share_err_max = 0;
-  for (int i = 0; i < kMaxClients; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    const std::string suffix = "_c" + std::to_string(i);
-    if (i >= clients) continue;
-    const double share = total > 0 ? goodput[idx] / total : 0.0;
-    const double target = weights[idx] / wsum;
-    if (overloaded && target > 0) {
-      share_err_max = std::max(share_err_max,
-                               std::abs(share - target) / target);
-    }
-    m.emplace_back("share" + suffix, share);
-    m.emplace_back("target" + suffix, target);
-    m.emplace_back("goodput_per_s" + suffix, goodput[idx] / window_s);
-  }
-  m.emplace_back("goodput_total_per_s", total / window_s);
-  m.emplace_back("share_err_max", share_err_max);
-  m.emplace_back("overloaded", overloaded ? 1.0 : 0.0);
-  m.emplace_back("shed_frac",
-                 arrivals > 0 ? static_cast<double>(sheds) /
-                                    static_cast<double>(arrivals)
-                              : 0.0);
-  m.emplace_back("p50_us", merged.LatencyUs(50));
-  m.emplace_back("p95_us", merged.LatencyUs(95));
-  m.emplace_back("p99_us", merged.LatencyUs(99));
-  // Admission-queue depth a typical arrival found, and the slice of
-  // end-to-end latency spent waiting in the *scheduler's* queues (per
-  // dispatched gang) — together they locate where requests spend their
-  // time as overload grows.
-  m.emplace_back("qdepth_mean", merged.MeanQueueDepth());
-  m.emplace_back("sched_wait_us_per_gang",
-                 gangs > 0 ? wait_us / static_cast<double>(gangs) : 0.0);
-  m.emplace_back("pass_rebases", static_cast<double>(rebases));
-  return m;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  const pw::bench::Args args = pw::bench::Args::Parse(argc, argv);
+  const pw::bench::Args args =
+      pw::bench::Args::Parse(argc, argv, pw::bench::kScenarioFlag);
   pw::bench::Header(
       "Multi-tenant open-loop serving: proportional share under overload",
       "Fig. 9's weighted shares (1:2:4:8) hold under open-loop serving "
       "traffic, not just saturated closed loops");
 
-  pw::sweep::ParamGrid grid;
-  grid.AxisInts("clients", args.quick ? std::vector<std::int64_t>{4}
-                                      : std::vector<std::int64_t>{2, 4})
-      .AxisDoubles("rate_scale", args.quick ? std::vector<double>{0.5, 4.0}
-                                            : std::vector<double>{0.5, 1.5, 4.0})
-      .AxisStrings("policy", {"drop-tail", "reject-retry"});
-
-  auto point_fn = [&args](const pw::sweep::ParamPoint& p) {
-    return MeasurePoint(p, args.quick);
-  };
-  pw::sweep::SweepRunner runner;  // hardware_concurrency threads
-  pw::sweep::ResultTable table = runner.Run(grid, point_fn);
-
-  // Determinism gate: the identical sweep on one thread must serialize to
-  // the identical table.
-  pw::sweep::SweepRunner serial(pw::sweep::SweepRunner::Options{.threads = 1});
-  pw::sweep::ResultTable table1 = serial.Run(grid, point_fn);
-  std::ostringstream csv_mt, csv_1t;
-  table.WriteCsv(csv_mt);
-  table1.WriteCsv(csv_1t);
-  const bool deterministic = csv_mt.str() == csv_1t.str();
+  const pw::scenario::Scenario s =
+      pw::bench::LoadBenchScenario(args, "multitenant", "multitenant");
+  const pw::scenario::RunResult result = pw::bench::RunBenchScenario(s, args);
 
   std::printf("%8s %10s %13s %11s %9s %9s %10s %10s\n", "clients",
               "rate_scale", "policy", "share_err", "shed", "p50(us)",
               "p99(us)", "overload");
-  double gate_err = 0;
-  const auto points = grid.Points();
-  for (std::size_t i = 0; i < table.rows().size(); ++i) {
-    const auto& row = table.rows()[i];
-    const auto& p = points[i];
+  for (std::size_t i = 0; i < result.table.rows().size(); ++i) {
+    const auto& row = result.table.rows()[i];
+    const auto& p = result.points[i];
     const double err = pw::bench::MetricOf(row, "share_err_max");
     const bool overloaded = pw::bench::MetricOf(row, "overloaded") > 0.5;
-    if (overloaded) gate_err = std::max(gate_err, err);
     std::printf("%8lld %10.2f %13s %10.1f%% %8.1f%% %9.0f %10.0f %10s\n",
                 static_cast<long long>(p.GetInt("clients")),
                 p.GetDouble("rate_scale"), p.GetString("policy").c_str(),
                 100 * err, 100 * pw::bench::MetricOf(row, "shed_frac"),
-                pw::bench::MetricOf(row, "p50_us"), pw::bench::MetricOf(row, "p99_us"),
+                pw::bench::MetricOf(row, "p50_us"),
+                pw::bench::MetricOf(row, "p99_us"),
                 overloaded ? "yes" : "no");
   }
+  const bool deterministic =
+      pw::bench::SummaryOf(result.summary, "deterministic") > 0.5;
   std::printf("\ndeterminism across SweepRunner thread counts: %s\n",
               deterministic ? "byte-identical" : "MISMATCH");
 
-  pw::bench::Reporter report("multitenant", args);
-  for (std::size_t i = 0; i < table.rows().size(); ++i) {
-    report.AddRow(table.rows()[i].params, table.rows()[i].metrics);
-  }
-  const double tolerance = args.quick ? 0.10 : 0.05;
-  report.Summary("max_share_err_overloaded", gate_err);
-  report.Summary("share_tolerance", tolerance);
-  report.Summary("deterministic", deterministic ? 1.0 : 0.0);
-  report.Write();
-
+  const double gate_err =
+      pw::bench::SummaryOf(result.summary, "max_share_err_overloaded");
+  const double tolerance =
+      pw::bench::SummaryOf(result.summary, "share_tolerance");
   if (!deterministic) {
     std::fprintf(stderr,
                  "FAIL: sweep table differs between 1 and N threads\n");

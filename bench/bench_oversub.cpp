@@ -1,234 +1,76 @@
 // Oversubscribed multi-tenant serving through the §4.6 memory hierarchy:
 // T tenants each stage a resident "weights" buffer and serve a closed loop
-// of requests against it while the per-device HBM is scaled *below* the sum
-// of the tenants' working sets. Survival depends on the PR-5 machinery —
-// scheduler-consistent reservation ordering plus the host-DRAM spill path
-// (cold weights migrate out under stall pressure and are read through /
-// restored when their tenant's next request arrives).
+// of requests while per-device HBM is scaled *below* the sum of the
+// tenants' working sets. Survival depends on the PR-5 machinery —
+// scheduler-consistent reservation ordering plus the host-DRAM spill path.
 //
-// Swept over hbm-capacity-scale x request-queue-depth via SweepRunner.
-// Hard gates (non-zero exit):
-//   * forward progress: every submitted request completes, the simulator
-//     never goes quiescent with blocked entities, and the object store's
-//     wedge check passes — zero deadlocks at every point;
-//   * oversubscription is real: at the tightest capacity scale, >= 2x the
-//     per-device HBM worth of logical buffer bytes is live via spilling
-//     (metric `oversub_x` = peak logical bytes / HBM capacity);
+// Thin wrapper: the measurement harness lives in the "oversub" family
+// (src/scenario/family_oversub.cpp) and the grid/workload knobs in
+// scenarios/oversub.json (override with --scenario <file>). This main only
+// prints the table and enforces the hard gates:
+//   * zero deadlocks at every point (forward progress + wedge check);
+//   * oversubscription is real: >= 2x HBM worth of logical bytes live;
 //   * goodput under oversubscription stays above a floor of the
-//     uncontended (scale 1.0) baseline at equal depth — paging costs
-//     something, but the system must degrade, not collapse;
+//     uncontended (scale 1.0) baseline at equal depth;
 //   * the sweep table is byte-identical between 1 and N runner threads.
-#include <algorithm>
 #include <cstdio>
-#include <memory>
-#include <sstream>
-#include <string>
-#include <vector>
+#include <map>
 
 #include "bench_common.h"
-#include "pathways/pathways.h"
-#include "xlasim/compiled_function.h"
-
-namespace {
-
-using namespace pw;
-using pathways::Client;
-using pathways::ExecutionResult;
-using pathways::PathwaysProgram;
-using pathways::PathwaysRuntime;
-using pathways::ProgramBuilder;
-using pathways::ShardedBuffer;
-
-constexpr int kTenants = 4;
-constexpr Bytes kWeightsPerShard = MiB(6);
-constexpr Bytes kOutputPerShard = MiB(2);
-// Logical bytes per tenant per device (weights + one in-flight output).
-constexpr Bytes kTenantBytesPerDevice = kWeightsPerShard + kOutputPerShard;
-// Transient prep working set (input staging + in-flight outputs) the
-// scale-1.0 baseline must absorb without stalling, so "1.0" really means
-// un-oversubscribed: capacity = scale * (tenant bytes + this headroom).
-constexpr Bytes kWorkingHeadroom = MiB(64);
-
-sweep::Metrics MeasurePoint(const sweep::ParamPoint& p, bool quick) {
-  const double scale = p.GetDouble("hbm_scale");
-  const int depth = static_cast<int>(p.GetInt("depth"));
-  const int requests_per_tenant = quick ? 6 : 24;
-
-  sim::Simulator sim;
-  hw::SystemParams params;
-  params.hbm_capacity = static_cast<Bytes>(
-      scale * static_cast<double>(kTenants * kTenantBytesPerDevice +
-                                  kWorkingHeadroom));
-  auto cluster = std::make_unique<hw::Cluster>(&sim, params, /*islands=*/1,
-                                               /*hosts_per_island=*/1,
-                                               /*devices_per_host=*/2);
-  PathwaysRuntime runtime(cluster.get(), pathways::PathwaysOptions{});
-
-  // Per tenant: a client, a 2-device slice, staged weights, and a serving
-  // program that consumes the weights (input staging = weights bytes).
-  struct Tenant {
-    Client* client = nullptr;
-    pathways::VirtualSlice slice;
-    ShardedBuffer weights;
-    std::unique_ptr<PathwaysProgram> program;
-    int submitted = 0;
-    int completed = 0;
-  };
-  std::vector<Tenant> tenants(kTenants);
-  for (int t = 0; t < kTenants; ++t) {
-    Tenant& tn = tenants[static_cast<std::size_t>(t)];
-    tn.client = runtime.CreateClient();
-    tn.slice = tn.client->AllocateSlice(2).value();
-    xlasim::CompiledFunction fn;
-    fn.name = "serve" + std::to_string(t);
-    fn.num_shards = 2;
-    fn.pre_collective_time = Duration::Micros(300);
-    fn.input_bytes_per_shard = kWeightsPerShard;
-    fn.output_bytes_per_shard = kOutputPerShard;
-    ProgramBuilder pb("serve" + std::to_string(t));
-    pathways::ValueRef arg = pb.Argument();
-    pb.Result(pb.Call(fn, tn.slice, {arg}));
-    tn.program = std::make_unique<PathwaysProgram>(std::move(pb).Build());
-    // Staging the weights itself back-pressures (and spills) once the
-    // scaled HBM cannot hold every tenant.
-    tn.weights = tn.client->TransferToDevice(tn.slice, kWeightsPerShard);
-  }
-  sim.Run();  // land (or spill-shuffle) the weights
-
-  // Closed loop per tenant: `depth` requests in flight, each completion
-  // releases its outputs and issues the next.
-  std::function<void(int)> issue = [&](int t) {
-    Tenant& tn = tenants[static_cast<std::size_t>(t)];
-    if (tn.submitted >= requests_per_tenant) return;
-    ++tn.submitted;
-    tn.client->Run(tn.program.get(), {tn.weights})
-        .Then([&, t](const ExecutionResult& r) {
-          Tenant& tn2 = tenants[static_cast<std::size_t>(t)];
-          for (const auto& out : r.outputs) {
-            runtime.object_store().Release(out.id);
-          }
-          if (!r.failed) ++tn2.completed;
-          issue(t);
-        });
-  };
-  for (int t = 0; t < kTenants; ++t) {
-    for (int d = 0; d < depth; ++d) issue(t);
-  }
-  sim.Run();
-
-  // Forward-progress gates: a wedge here PW_CHECKs the whole binary down
-  // with the cycle named, and any shortfall shows up in `deadlocked`.
-  runtime.object_store().CheckNoReservationWedge();
-  int completed = 0;
-  for (const Tenant& tn : tenants) completed += tn.completed;
-  const bool all_done = completed == kTenants * requests_per_tenant;
-  const bool deadlocked = sim.Deadlocked() || !all_done;
-
-  pathways::ObjectStore& store = runtime.object_store();
-  double oversub_x = 0;
-  for (int d = 0; d < cluster->num_devices(); ++d) {
-    const double peak = static_cast<double>(
-        store.logical_peak_bytes(cluster->device(d).id()));
-    oversub_x = std::max(
-        oversub_x, peak / static_cast<double>(params.hbm_capacity));
-  }
-
-  sweep::Metrics m;
-  m.emplace_back("completed", static_cast<double>(completed));
-  m.emplace_back("deadlocked", deadlocked ? 1.0 : 0.0);
-  m.emplace_back("goodput_per_s",
-                 static_cast<double>(completed) / sim.now().ToSeconds());
-  m.emplace_back("oversub_x", oversub_x);
-  m.emplace_back("spills", static_cast<double>(store.spills_completed()));
-  m.emplace_back("fills", static_cast<double>(store.fills_completed()));
-  m.emplace_back("dram_reads", static_cast<double>(store.dram_reads()));
-  m.emplace_back("spilled_mib",
-                 static_cast<double>(store.spilled_bytes_total()) /
-                     static_cast<double>(MiB(1)));
-  m.emplace_back("dram_peak_mib",
-                 static_cast<double>(cluster->host(0).dram().peak_used()) /
-                     static_cast<double>(MiB(1)));
-  return m;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  const pw::bench::Args args = pw::bench::Args::Parse(argc, argv);
+  const pw::bench::Args args =
+      pw::bench::Args::Parse(argc, argv, pw::bench::kScenarioFlag);
   pw::bench::Header(
       "Oversubscribed serving: HBM back-pressure + host-DRAM spilling",
       "§4.6 back-pressure composes with a spill hierarchy: >= 2 tenants' "
       "working sets per device-HBM keep serving with zero deadlocks");
 
-  pw::sweep::ParamGrid grid;
-  grid.AxisDoubles("hbm_scale", args.quick
-                                    ? std::vector<double>{1.0, 0.125}
-                                    : std::vector<double>{1.0, 0.4, 0.125})
-      .AxisInts("depth", args.quick ? std::vector<std::int64_t>{2}
-                                    : std::vector<std::int64_t>{1, 3});
+  const pw::scenario::Scenario s =
+      pw::bench::LoadBenchScenario(args, "oversub", "oversub");
+  const pw::scenario::RunResult result = pw::bench::RunBenchScenario(s, args);
 
-  auto point_fn = [&args](const pw::sweep::ParamPoint& p) {
-    return MeasurePoint(p, args.quick);
-  };
-  pw::sweep::SweepRunner runner;  // hardware_concurrency threads
-  pw::sweep::ResultTable table = runner.Run(grid, point_fn);
-
-  // Determinism gate: the identical sweep on one thread must serialize to
-  // the identical table.
-  pw::sweep::SweepRunner serial(pw::sweep::SweepRunner::Options{.threads = 1});
-  pw::sweep::ResultTable table1 = serial.Run(grid, point_fn);
-  std::ostringstream csv_mt, csv_1t;
-  table.WriteCsv(csv_mt);
-  table1.WriteCsv(csv_1t);
-  const bool deterministic = csv_mt.str() == csv_1t.str();
-
-  // Per-depth goodput baselines at scale 1.0 for the degradation gate.
-  const auto points = grid.Points();
+  // Per-depth goodput baselines at scale 1.0, for the printed ratio column
+  // (the gate values themselves come from the family's summary).
   std::map<std::int64_t, double> baseline;
-  for (std::size_t i = 0; i < table.rows().size(); ++i) {
-    if (points[i].GetDouble("hbm_scale") == 1.0) {
-      baseline[points[i].GetInt("depth")] =
-          pw::bench::MetricOf(table.rows()[i], "goodput_per_s");
+  for (std::size_t i = 0; i < result.table.rows().size(); ++i) {
+    if (result.points[i].GetDouble("hbm_scale") == 1.0) {
+      baseline[result.points[i].GetInt("depth")] =
+          pw::bench::MetricOf(result.table.rows()[i], "goodput_per_s");
     }
   }
 
   std::printf("%9s %6s %10s %9s %9s %7s %7s %10s %10s %9s\n", "hbm_scale",
               "depth", "goodput/s", "ratio", "oversub_x", "spills", "fills",
               "dram_reads", "spilled_MiB", "deadlock");
-  bool any_deadlock = false;
-  double min_ratio = 1.0;
-  double max_oversub = 0.0;
-  for (std::size_t i = 0; i < table.rows().size(); ++i) {
-    const auto& row = table.rows()[i];
-    const double scale = points[i].GetDouble("hbm_scale");
-    const std::int64_t depth = points[i].GetInt("depth");
+  for (std::size_t i = 0; i < result.table.rows().size(); ++i) {
+    const auto& row = result.table.rows()[i];
+    const double scale = result.points[i].GetDouble("hbm_scale");
+    const std::int64_t depth = result.points[i].GetInt("depth");
     const double goodput = pw::bench::MetricOf(row, "goodput_per_s");
     const double base = baseline[depth];
     const double ratio = base > 0 ? goodput / base : 0.0;
     const bool deadlocked = pw::bench::MetricOf(row, "deadlocked") > 0.5;
-    any_deadlock |= deadlocked;
-    if (scale < 1.0) {
-      min_ratio = std::min(min_ratio, ratio);
-      max_oversub = std::max(max_oversub, pw::bench::MetricOf(row, "oversub_x"));
-    }
-    std::printf("%9.2f %6lld %10.0f %8.2fx %8.2fx %7.0f %7.0f %10.0f %10.1f %9s\n",
-                scale, static_cast<long long>(depth), goodput, ratio,
-                pw::bench::MetricOf(row, "oversub_x"), pw::bench::MetricOf(row, "spills"),
-                pw::bench::MetricOf(row, "fills"), pw::bench::MetricOf(row, "dram_reads"),
-                pw::bench::MetricOf(row, "spilled_mib"), deadlocked ? "YES" : "no");
+    std::printf(
+        "%9.2f %6lld %10.0f %8.2fx %8.2fx %7.0f %7.0f %10.0f %10.1f %9s\n",
+        scale, static_cast<long long>(depth), goodput, ratio,
+        pw::bench::MetricOf(row, "oversub_x"),
+        pw::bench::MetricOf(row, "spills"),
+        pw::bench::MetricOf(row, "fills"),
+        pw::bench::MetricOf(row, "dram_reads"),
+        pw::bench::MetricOf(row, "spilled_mib"), deadlocked ? "YES" : "no");
   }
+  const bool deterministic =
+      pw::bench::SummaryOf(result.summary, "deterministic") > 0.5;
   std::printf("\ndeterminism across SweepRunner thread counts: %s\n",
               deterministic ? "byte-identical" : "MISMATCH");
 
-  pw::bench::Reporter report("oversub", args);
-  for (std::size_t i = 0; i < table.rows().size(); ++i) {
-    report.AddRow(table.rows()[i].params, table.rows()[i].metrics);
-  }
-  report.Summary("deadlocks", any_deadlock ? 1.0 : 0.0);
-  report.Summary("min_goodput_ratio_oversub", min_ratio);
-  report.Summary("max_oversub_x", max_oversub);
-  report.Summary("deterministic", deterministic ? 1.0 : 0.0);
-  report.Write();
+  const bool any_deadlock =
+      pw::bench::SummaryOf(result.summary, "deadlocks") > 0.5;
+  const double min_ratio =
+      pw::bench::SummaryOf(result.summary, "min_goodput_ratio_oversub");
+  const double max_oversub =
+      pw::bench::SummaryOf(result.summary, "max_oversub_x");
 
   bool fail = false;
   if (any_deadlock) {

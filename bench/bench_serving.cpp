@@ -1,341 +1,23 @@
 // LLM serving regime (docs/SERVING.md): two open-loop tenants drive a
 // shared slice through the iteration-level batcher while per-sequence KV
-// caches live in the ObjectStore — grown one append per decode step,
-// paged to host DRAM under HBM pressure, read through / restored by the
-// next decode's argument transfer.
+// caches live in the ObjectStore — colocated continuous-vs-static batching
+// under KV budgets by default, disaggregated prefill/decode over the DCN
+// with --disagg.
 //
-// Swept over arrival-rate x batch-policy x KV-budget-scale via
-// SweepRunner. HBM is sized *below* half the aggregate projected KV
-// working set, so the 0.5x budget point runs with spilling active.
-// Hard gates (non-zero exit):
-//   * forward progress: every point quiesces with the batcher idle, every
-//     offered request finished or was shed, and the store's wedge check
-//     passes — zero deadlocks at every point;
-//   * continuous batching earns its keep: >= 1.5x the static baseline's
-//     goodput at the highest swept arrival rate;
-//   * memory pressure is real: the 0.5x-budget points actually spilled;
-//   * tail latency: p99 TTFT for the continuous batcher at the lowest
-//     swept rate stays under a pinned bound;
-//   * the sweep table is byte-identical between 1 and N runner threads.
+// Thin wrapper: the measurement harnesses live in the "serving" and
+// "serving_disagg" families (src/scenario/family_serving.cpp) and the
+// grid/workload knobs in scenarios/serving.json / serving_disagg.json
+// (override with --scenario <file>). This main only prints the tables and
+// enforces the hard gates (zero deadlocks/leaks, continuous >= 1.5x static
+// at the top rate, real spilling at the 0.5x budget, pinned p99 TTFT
+// bounds, byte-identical sweep tables across thread counts).
 #include <algorithm>
 #include <cstdio>
-#include <map>
-#include <memory>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "bench_common.h"
-#include "pathways/pathways.h"
-#include "serving/serving.h"
 
 namespace {
-
-using namespace pw;
-using pathways::PathwaysRuntime;
-using serving::BatcherConfig;
-using serving::BatchPolicy;
-using serving::KvCacheConfig;
-using serving::ServingMetrics;
-using serving::ServingTenant;
-using serving::ServingTrace;
-using serving::TenantSpec;
-
-constexpr Bytes kKvBytesPerToken = KiB(4);
-constexpr int kMaxBatch = 8;
-constexpr int kMinPrefill = 8, kMaxPrefill = 48;
-// Wide output-length spread: static batches straggle on the long tail,
-// which is exactly the regime continuous batching exists for.
-constexpr int kMinDecode = 2, kMaxDecode = 32;
-// Projected full KV of one worst-case sequence, per device shard.
-constexpr int kMaxKvTokens = kMaxPrefill + kMaxDecode - 1;
-// Aggregate projected KV working set of a full batch, per device shard.
-constexpr Bytes kWorkingSetPerShard =
-    static_cast<Bytes>(kMaxBatch) * kMaxKvTokens * kKvBytesPerToken;
-
-sweep::Metrics MeasurePoint(const sweep::ParamPoint& p, bool quick) {
-  const double rate = p.GetDouble("rate_per_s");  // total across tenants
-  const bool continuous = p.GetInt("policy_continuous") != 0;
-  const double kv_scale = p.GetDouble("kv_scale");
-  const Duration horizon = Duration::Millis(quick ? 2 : 8);
-
-  sim::Simulator sim;
-  hw::SystemParams params = hw::SystemParams::TpuDefault();
-  params.host_jitter_frac = 0;
-  BatcherConfig cfg;
-  cfg.policy = continuous ? BatchPolicy::kContinuous : BatchPolicy::kStatic;
-  cfg.max_batch = kMaxBatch;
-  cfg.token_budget = 256;
-  cfg.kv_budget_per_device =
-      static_cast<Bytes>(kv_scale * static_cast<double>(kWorkingSetPerShard));
-  // HBM far below the working set (plus fixed staging headroom): even the
-  // 0.5x-budget point must overflow KV into host DRAM to keep serving.
-  params.hbm_capacity =
-      static_cast<Bytes>(0.2 * static_cast<double>(kWorkingSetPerShard)) +
-      cfg.activation_bytes_per_shard + cfg.output_bytes_per_shard + KiB(128);
-  auto cluster = std::make_unique<hw::Cluster>(&sim, params, /*islands=*/1,
-                                               /*hosts_per_island=*/1,
-                                               /*devices_per_host=*/2);
-  PathwaysRuntime runtime(cluster.get(), pathways::PathwaysOptions{});
-  pathways::Client* client = runtime.CreateClient();
-  pathways::VirtualSlice slice = client->AllocateSlice(2).value();
-
-  ServingMetrics metrics;
-  ServingTrace trace;
-  serving::Batcher batcher(client, slice, KvCacheConfig{kKvBytesPerToken},
-                           cfg, &metrics, &trace);
-
-  auto tenant_spec = [&](int t) {
-    TenantSpec spec;
-    spec.arrivals.process = t == 0 ? workload::ArrivalProcess::kPoisson
-                                   : workload::ArrivalProcess::kUniform;
-    spec.arrivals.rate_per_sec = rate / 2;
-    spec.arrivals.horizon = horizon;
-    spec.arrivals.seed = 11 + static_cast<std::uint64_t>(t) * 17;
-    spec.min_prefill_tokens = kMinPrefill;
-    spec.max_prefill_tokens = kMaxPrefill;
-    spec.min_decode_tokens = kMinDecode;
-    spec.max_decode_tokens = kMaxDecode;
-    spec.token_seed = 101 + static_cast<std::uint64_t>(t);
-    return spec;
-  };
-  ServingTenant tenant0(0, &batcher, &sim, tenant_spec(0));
-  ServingTenant tenant1(1, &batcher, &sim, tenant_spec(1));
-  tenant0.Start();
-  tenant1.Start();
-  sim.Run();
-
-  runtime.object_store().CheckNoReservationWedge();
-  const bool all_accounted =
-      batcher.finished() + batcher.shed() == metrics.arrivals();
-  const bool deadlocked =
-      sim.Deadlocked() || !batcher.idle() || !all_accounted;
-  const pathways::ObjectStore& store = runtime.object_store();
-  const double seconds = sim.now().ToSeconds();
-
-  sweep::Metrics m;
-  m.emplace_back("arrivals", static_cast<double>(metrics.arrivals()));
-  m.emplace_back("finished", static_cast<double>(batcher.finished()));
-  m.emplace_back("shed", static_cast<double>(batcher.shed()));
-  m.emplace_back("iterations", static_cast<double>(batcher.iterations()));
-  m.emplace_back("goodput_per_s",
-                 static_cast<double>(batcher.finished()) / seconds);
-  m.emplace_back("tokens_per_s",
-                 static_cast<double>(metrics.prefills() + metrics.tokens()) /
-                     seconds);
-  m.emplace_back("ttft_p50_us", metrics.TtftUs(50));
-  m.emplace_back("ttft_p99_us", metrics.TtftUs(99));
-  m.emplace_back("token_p50_us", metrics.TokenLatencyUs(50));
-  m.emplace_back("token_p99_us", metrics.TokenLatencyUs(99));
-  m.emplace_back("spills", static_cast<double>(store.spills_completed()));
-  m.emplace_back("dram_reads", static_cast<double>(store.dram_reads()));
-  m.emplace_back("kv_grows", static_cast<double>(store.grows_completed()));
-  m.emplace_back("deadlocked", deadlocked ? 1.0 : 0.0);
-  m.emplace_back("leaked_buffers",
-                 static_cast<double>(store.live_buffers()));
-  // Trace checksum folded into doubles: any nondeterminism in event order
-  // shows up in the cross-thread-count CSV comparison.
-  m.emplace_back("trace_lo",
-                 static_cast<double>(trace.Checksum() & 0xffffffffULL));
-  m.emplace_back("trace_hi", static_cast<double>(trace.Checksum() >> 32));
-  return m;
-}
-
-// ---------------------------------------------------------------------------
-// Disaggregated mode (--disagg, docs/SERVING.md): prefill gangs on island 0
-// stream finished KV over the DCN to decode gangs on island 1, with the
-// colocated continuous batcher at EQUAL device count measured at every
-// point as the baseline. Costs come from a src/models/ decoder-only
-// transformer (Decoder3B) instead of the analytic constants, so the KV
-// bytes crossing the fabric are the model's real bf16 K+V rows. Swept over
-// prefill:decode device ratio x DCN bandwidth scale x arrival rate.
-// Decode-island HBM sits at ~0.5x its KV budget, so transfers land into an
-// island that is actively paging KV. Hard gates (non-zero exit):
-//   * zero deadlocks and zero leaked shards at every point — including
-//     transfers crossing the degraded (0.25x NIC) fabric into 0.5x-budget
-//     memory pressure;
-//   * disaggregation earns its keep: at the best device ratio, disagg p99
-//     per-token latency beats colocated at the top arrival rate on the
-//     healthy fabric (decode iterations never stall behind prompts);
-//   * p99 TTFT at that same point stays under a pinned bound (the handoff
-//     may cost a transfer, but not an unbounded one);
-//   * the sweep table is byte-identical between 1 and N runner threads.
-
-constexpr int kDisaggDevices = 4;  // per arm: P prefill + (4-P) decode
-
-// Decode-island KV working set per shard at the reference 2:2 split; HBM
-// is fixed across every point at half of it (plus staging headroom).
-Bytes DisaggHbm(const BatcherConfig& cfg) {
-  const models::TransformerConfig model = models::TransformerConfig::Decoder3B();
-  const Bytes kv_per_shard = model.KvBytesPerToken() / 2;
-  const Bytes working_set =
-      static_cast<Bytes>(kMaxBatch) * kMaxKvTokens * kv_per_shard;
-  return working_set / 2 + cfg.activation_bytes_per_shard +
-         cfg.output_bytes_per_shard + MiB(1);
-}
-
-sweep::Metrics MeasureDisaggPoint(const sweep::ParamPoint& p, bool quick) {
-  const double rate = p.GetDouble("rate_per_s");  // total across tenants
-  const int prefill_devices = p.GetInt("prefill_devices");
-  const int decode_devices = kDisaggDevices - prefill_devices;
-  const double dcn_scale = p.GetDouble("dcn_scale");
-  const Duration horizon = Duration::Millis(quick ? 1000 : 4000);
-  const models::TransformerConfig model = models::TransformerConfig::Decoder3B();
-
-  auto tenant_spec = [&](int t) {
-    TenantSpec spec;
-    spec.arrivals.process = t == 0 ? workload::ArrivalProcess::kPoisson
-                                   : workload::ArrivalProcess::kUniform;
-    spec.arrivals.rate_per_sec = rate / 2;
-    spec.arrivals.horizon = horizon;
-    spec.arrivals.seed = 11 + static_cast<std::uint64_t>(t) * 17;
-    spec.min_prefill_tokens = kMinPrefill;
-    spec.max_prefill_tokens = kMaxPrefill;
-    spec.min_decode_tokens = kMinDecode;
-    spec.max_decode_tokens = kMaxDecode;
-    spec.token_seed = 101 + static_cast<std::uint64_t>(t);
-    return spec;
-  };
-  auto base_cfg = [&] {
-    BatcherConfig cfg;
-    cfg.policy = BatchPolicy::kContinuous;
-    cfg.max_batch = kMaxBatch;
-    cfg.token_budget = 256;
-    return cfg;
-  };
-  // Projected-KV admission budget for a decode role with `shards` devices.
-  auto kv_budget = [&](int shards) {
-    return static_cast<Bytes>(kMaxBatch) * kMaxKvTokens *
-           (model.KvBytesPerToken() / shards);
-  };
-
-  sweep::Metrics m;
-  bool deadlocked = false;
-  double leaked = 0;
-
-  // --- Disaggregated arm: P prefill shards (island 0) + D decode (1) ---
-  {
-    sim::Simulator sim;
-    hw::SystemParams params = hw::SystemParams::TpuDefault();
-    params.host_jitter_frac = 0;
-    params.hbm_capacity = DisaggHbm(base_cfg());
-    auto cluster = std::make_unique<hw::Cluster>(
-        &sim, params, /*islands=*/2, /*hosts_per_island=*/1,
-        /*devices_per_host=*/kDisaggDevices);
-    cluster->dcn().SetNicBandwidthScale(net::HostId(0), dcn_scale);
-    cluster->dcn().SetNicBandwidthScale(net::HostId(1), dcn_scale);
-    PathwaysRuntime runtime(cluster.get(), pathways::PathwaysOptions{});
-    pathways::Client* client = runtime.CreateClient();
-
-    const auto prefill_costs =
-        serving::ModelServingCosts::Derive(model, params, prefill_devices);
-    const auto decode_costs =
-        serving::ModelServingCosts::Derive(model, params, decode_devices);
-    ServingMetrics metrics;
-    ServingTrace trace;
-    BatcherConfig pcfg = base_cfg();
-    pcfg.role = serving::BatcherRole::kPrefill;
-    prefill_costs.Apply(&pcfg);
-    serving::Batcher prefill(
-        client, client->AllocateSlice(prefill_devices, hw::IslandId(0)).value(),
-        prefill_costs.KvConfig(), pcfg, &metrics, &trace);
-    BatcherConfig dcfg = base_cfg();
-    dcfg.role = serving::BatcherRole::kDecode;
-    dcfg.kv_budget_per_device = kv_budget(decode_devices);
-    decode_costs.Apply(&dcfg);
-    serving::Batcher decode(
-        client, client->AllocateSlice(decode_devices, hw::IslandId(1)).value(),
-        decode_costs.KvConfig(), dcfg, &metrics, &trace);
-    serving::DisaggRouter router({&prefill}, {&decode}, &metrics, &trace);
-
-    auto sink = [&router](serving::Request req) {
-      return router.Offer(std::move(req));
-    };
-    ServingTenant tenant0(0, sink, &sim, tenant_spec(0));
-    ServingTenant tenant1(1, sink, &sim, tenant_spec(1));
-    tenant0.Start();
-    tenant1.Start();
-    sim.Run();
-
-    runtime.object_store().CheckNoReservationWedge();
-    const bool all_accounted =
-        metrics.finished() + metrics.sheds() == metrics.arrivals();
-    deadlocked |= sim.Deadlocked() || !router.idle() || !all_accounted;
-    leaked += static_cast<double>(runtime.object_store().live_buffers());
-    const double seconds = sim.now().ToSeconds();
-    m.emplace_back("arrivals", static_cast<double>(metrics.arrivals()));
-    m.emplace_back("d_finished", static_cast<double>(metrics.finished()));
-    m.emplace_back("d_shed", static_cast<double>(metrics.sheds()));
-    m.emplace_back("d_goodput_per_s",
-                   static_cast<double>(metrics.finished()) / seconds);
-    m.emplace_back("d_ttft_p50_us", metrics.TtftUs(50));
-    m.emplace_back("d_ttft_p99_us", metrics.TtftUs(99));
-    m.emplace_back("d_token_p50_us", metrics.TokenLatencyUs(50));
-    m.emplace_back("d_token_p99_us", metrics.TokenLatencyUs(99));
-    m.emplace_back("d_transfers",
-                   static_cast<double>(router.transfers_completed()));
-    m.emplace_back("d_reprefills", static_cast<double>(router.reprefills()));
-    m.emplace_back("d_kv_mib", static_cast<double>(router.bytes_transferred()) /
-                                   static_cast<double>(MiB(1)));
-    m.emplace_back("d_spills",
-                   static_cast<double>(runtime.object_store().spills_completed()));
-    m.emplace_back("d_trace_lo",
-                   static_cast<double>(trace.Checksum() & 0xffffffffULL));
-    m.emplace_back("d_trace_hi", static_cast<double>(trace.Checksum() >> 32));
-  }
-
-  // --- Colocated baseline: same model, same total device count (4) ---
-  {
-    sim::Simulator sim;
-    hw::SystemParams params = hw::SystemParams::TpuDefault();
-    params.host_jitter_frac = 0;
-    params.hbm_capacity = DisaggHbm(base_cfg());
-    auto cluster = std::make_unique<hw::Cluster>(
-        &sim, params, /*islands=*/2, /*hosts_per_island=*/1,
-        /*devices_per_host=*/kDisaggDevices);
-    PathwaysRuntime runtime(cluster.get(), pathways::PathwaysOptions{});
-    pathways::Client* client = runtime.CreateClient();
-
-    const auto costs =
-        serving::ModelServingCosts::Derive(model, params, kDisaggDevices);
-    ServingMetrics metrics;
-    ServingTrace trace;
-    BatcherConfig cfg = base_cfg();
-    cfg.kv_budget_per_device = kv_budget(kDisaggDevices);
-    costs.Apply(&cfg);
-    serving::Batcher batcher(
-        client, client->AllocateSlice(kDisaggDevices, hw::IslandId(0)).value(),
-        costs.KvConfig(), cfg, &metrics, &trace);
-
-    ServingTenant tenant0(0, &batcher, &sim, tenant_spec(0));
-    ServingTenant tenant1(1, &batcher, &sim, tenant_spec(1));
-    tenant0.Start();
-    tenant1.Start();
-    sim.Run();
-
-    runtime.object_store().CheckNoReservationWedge();
-    const bool all_accounted =
-        batcher.finished() + batcher.shed() == metrics.arrivals();
-    deadlocked |= sim.Deadlocked() || !batcher.idle() || !all_accounted;
-    leaked += static_cast<double>(runtime.object_store().live_buffers());
-    const double seconds = sim.now().ToSeconds();
-    m.emplace_back("c_finished", static_cast<double>(batcher.finished()));
-    m.emplace_back("c_shed", static_cast<double>(batcher.shed()));
-    m.emplace_back("c_goodput_per_s",
-                   static_cast<double>(batcher.finished()) / seconds);
-    m.emplace_back("c_ttft_p50_us", metrics.TtftUs(50));
-    m.emplace_back("c_ttft_p99_us", metrics.TtftUs(99));
-    m.emplace_back("c_token_p50_us", metrics.TokenLatencyUs(50));
-    m.emplace_back("c_token_p99_us", metrics.TokenLatencyUs(99));
-    m.emplace_back("c_trace_lo",
-                   static_cast<double>(trace.Checksum() & 0xffffffffULL));
-    m.emplace_back("c_trace_hi", static_cast<double>(trace.Checksum() >> 32));
-  }
-
-  m.emplace_back("deadlocked", deadlocked ? 1.0 : 0.0);
-  m.emplace_back("leaked_buffers", leaked);
-  return m;
-}
 
 int RunDisagg(const pw::bench::Args& args) {
   pw::bench::Header(
@@ -343,90 +25,62 @@ int RunDisagg(const pw::bench::Args& args) {
       "prefill islands stream finished KV to decode islands over the "
       "datacenter network; decode iterations never stall behind prompts");
 
-  pw::sweep::ParamGrid grid;
-  grid.AxisDoubles("rate_per_s", args.quick ? std::vector<double>{20, 60}
-                                            : std::vector<double>{20, 45, 70})
-      .AxisInts("prefill_devices", {1, 2, 3})
-      .AxisDoubles("dcn_scale", {1.0, 0.25});
+  const pw::scenario::Scenario s =
+      pw::bench::LoadBenchScenario(args, "serving_disagg", "serving_disagg");
+  const pw::scenario::RunResult result = pw::bench::RunBenchScenario(s, args);
+  const int arm_devices = s.cluster.devices_per_host;
 
-  auto point_fn = [&args](const pw::sweep::ParamPoint& p) {
-    return MeasureDisaggPoint(p, args.quick);
-  };
-  pw::sweep::SweepRunner runner;  // hardware_concurrency threads
-  pw::sweep::ResultTable table = runner.Run(grid, point_fn);
-  pw::sweep::SweepRunner serial(pw::sweep::SweepRunner::Options{.threads = 1});
-  pw::sweep::ResultTable table1 = serial.Run(grid, point_fn);
-  std::ostringstream csv_mt, csv_1t;
-  table.WriteCsv(csv_mt);
-  table1.WriteCsv(csv_1t);
-  const bool deterministic = csv_mt.str() == csv_1t.str();
-
-  const auto points = grid.Points();
   double max_rate = 0;
-  for (const auto& pt : points) {
+  for (const auto& pt : result.points) {
     max_rate = std::max(max_rate, pt.GetDouble("rate_per_s"));
   }
 
   std::printf("%7s %6s %5s %9s %9s %10s %10s %10s %10s %7s %8s\n", "rate/s",
-              "P:D", "dcn_x", "d_good/s", "c_good/s", "d_tok_p99", "c_tok_p99",
-              "d_ttft_p99", "kv_MiB", "spills", "deadlock");
-  bool any_deadlock = false;
+              "P:D", "dcn_x", "d_good/s", "c_good/s", "d_tok_p99",
+              "c_tok_p99", "d_ttft_p99", "kv_MiB", "spills", "deadlock");
   bool any_leak = false;
-  double total_transfers = 0;
-  double total_disagg_spills = 0;
-  // Best (lowest) disagg p99 token latency over ratios at the top rate on
-  // the healthy fabric, and colocated's p99 at the same rate.
-  double best_d_tok_p99 = 1e18, best_d_ttft_p99 = 0, top_c_tok_p99 = 0;
-  int best_ratio = 0;
-  for (std::size_t i = 0; i < table.rows().size(); ++i) {
-    const auto& row = table.rows()[i];
-    const double rate = points[i].GetDouble("rate_per_s");
-    const int pd = points[i].GetInt("prefill_devices");
-    const double dcn = points[i].GetDouble("dcn_scale");
+  for (std::size_t i = 0; i < result.table.rows().size(); ++i) {
+    const auto& row = result.table.rows()[i];
+    const int pd =
+        static_cast<int>(result.points[i].GetInt("prefill_devices"));
     const bool dead = pw::bench::MetricOf(row, "deadlocked") > 0.5;
-    any_deadlock |= dead;
     any_leak |= pw::bench::MetricOf(row, "leaked_buffers") > 0.5;
-    total_transfers += pw::bench::MetricOf(row, "d_transfers");
-    total_disagg_spills += pw::bench::MetricOf(row, "d_spills");
-    const double d_tok = pw::bench::MetricOf(row, "d_token_p99_us");
-    if (rate == max_rate && dcn == 1.0) {
-      top_c_tok_p99 = pw::bench::MetricOf(row, "c_token_p99_us");
-      if (d_tok < best_d_tok_p99) {
-        best_d_tok_p99 = d_tok;
-        best_d_ttft_p99 = pw::bench::MetricOf(row, "d_ttft_p99_us");
-        best_ratio = pd;
-      }
-    }
     std::printf("%7.0f %4d:%d %4.2fx %9.1f %9.1f %8.0fus %8.0fus %8.0fus "
                 "%7.0f %7.0f %8s\n",
-                rate, pd, kDisaggDevices - pd, dcn,
+                result.points[i].GetDouble("rate_per_s"), pd,
+                arm_devices - pd, result.points[i].GetDouble("dcn_scale"),
                 pw::bench::MetricOf(row, "d_goodput_per_s"),
-                pw::bench::MetricOf(row, "c_goodput_per_s"), d_tok,
+                pw::bench::MetricOf(row, "c_goodput_per_s"),
+                pw::bench::MetricOf(row, "d_token_p99_us"),
                 pw::bench::MetricOf(row, "c_token_p99_us"),
                 pw::bench::MetricOf(row, "d_ttft_p99_us"),
                 pw::bench::MetricOf(row, "d_kv_mib"),
                 pw::bench::MetricOf(row, "d_spills"), dead ? "YES" : "no");
   }
+
+  const bool any_deadlock =
+      pw::bench::SummaryOf(result.summary, "deadlocks") > 0.5;
+  const int best_ratio = static_cast<int>(
+      pw::bench::SummaryOf(result.summary, "best_ratio_prefill_devices"));
+  const double best_d_tok_p99 =
+      pw::bench::SummaryOf(result.summary, "best_d_token_p99_us");
+  const double top_c_tok_p99 =
+      pw::bench::SummaryOf(result.summary, "top_rate_c_token_p99_us");
+  const double best_d_ttft_p99 =
+      pw::bench::SummaryOf(result.summary, "best_d_ttft_p99_us");
+  const double total_transfers =
+      pw::bench::SummaryOf(result.summary, "transfers");
+  const double total_disagg_spills =
+      pw::bench::SummaryOf(result.summary, "disagg_spills");
+  const bool deterministic =
+      pw::bench::SummaryOf(result.summary, "deterministic") > 0.5;
+
   std::printf("\nbest ratio %d:%d at %.0f req/s: disagg p99 token %.0fus vs "
               "colocated %.0fus; disagg p99 TTFT %.0fus\n",
-              best_ratio, kDisaggDevices - best_ratio, max_rate,
-              best_d_tok_p99, top_c_tok_p99, best_d_ttft_p99);
+              best_ratio, arm_devices - best_ratio, max_rate, best_d_tok_p99,
+              top_c_tok_p99, best_d_ttft_p99);
   std::printf("determinism across SweepRunner thread counts: %s\n",
               deterministic ? "byte-identical" : "MISMATCH");
-
-  pw::bench::Reporter report("serving_disagg", args);
-  for (std::size_t i = 0; i < table.rows().size(); ++i) {
-    report.AddRow(table.rows()[i].params, table.rows()[i].metrics);
-  }
-  report.Summary("deadlocks", any_deadlock ? 1.0 : 0.0);
-  report.Summary("best_ratio_prefill_devices", best_ratio);
-  report.Summary("best_d_token_p99_us", best_d_tok_p99);
-  report.Summary("top_rate_c_token_p99_us", top_c_tok_p99);
-  report.Summary("best_d_ttft_p99_us", best_d_ttft_p99);
-  report.Summary("transfers", total_transfers);
-  report.Summary("disagg_spills", total_disagg_spills);
-  report.Summary("deterministic", deterministic ? 1.0 : 0.0);
-  report.Write();
 
   bool fail = false;
   if (any_deadlock) {
@@ -470,7 +124,7 @@ int RunDisagg(const pw::bench::Args& args) {
                 "disagg p99 token %.0fus < colocated %.0fus at %.0f req/s "
                 "(ratio %d:%d), p99 TTFT %.0fus <= %.0fus, deterministic\n",
                 best_d_tok_p99, top_c_tok_p99, max_rate, best_ratio,
-                kDisaggDevices - best_ratio, best_d_ttft_p99, ttft_bound_us);
+                arm_devices - best_ratio, best_d_ttft_p99, ttft_bound_us);
   }
   return fail ? 1 : 0;
 }
@@ -478,103 +132,61 @@ int RunDisagg(const pw::bench::Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const pw::bench::Args args = pw::bench::Args::Parse(argc, argv);
+  const pw::bench::Args args = pw::bench::Args::Parse(
+      argc, argv, pw::bench::kDisaggFlag | pw::bench::kScenarioFlag);
   if (args.disagg) return RunDisagg(args);
   pw::bench::Header(
       "LLM serving: continuous batching + KV cache under memory pressure",
       "iteration-level batching over gang-scheduled slices; per-sequence KV "
       "grows in the object store and pages to host DRAM under pressure");
 
-  pw::sweep::ParamGrid grid;
-  grid.AxisDoubles("rate_per_s",
-                   args.quick ? std::vector<double>{1500, 24000}
-                              : std::vector<double>{1500, 8000, 24000})
-      .AxisInts("policy_continuous", {1, 0})
-      .AxisDoubles("kv_scale", args.quick ? std::vector<double>{0.5}
-                                          : std::vector<double>{0.5, 1.0});
+  const pw::scenario::Scenario s =
+      pw::bench::LoadBenchScenario(args, "serving", "serving");
+  const pw::scenario::RunResult result = pw::bench::RunBenchScenario(s, args);
 
-  auto point_fn = [&args](const pw::sweep::ParamPoint& p) {
-    return MeasurePoint(p, args.quick);
-  };
-  pw::sweep::SweepRunner runner;  // hardware_concurrency threads
-  pw::sweep::ResultTable table = runner.Run(grid, point_fn);
-
-  // Determinism gate: byte-identical table from a single-threaded rerun.
-  pw::sweep::SweepRunner serial(pw::sweep::SweepRunner::Options{.threads = 1});
-  pw::sweep::ResultTable table1 = serial.Run(grid, point_fn);
-  std::ostringstream csv_mt, csv_1t;
-  table.WriteCsv(csv_mt);
-  table1.WriteCsv(csv_1t);
-  const bool deterministic = csv_mt.str() == csv_1t.str();
-
-  const auto points = grid.Points();
-  double max_rate = 0, min_rate = 1e18;
-  for (const auto& pt : points) {
+  double max_rate = 0;
+  for (const auto& pt : result.points) {
     max_rate = std::max(max_rate, pt.GetDouble("rate_per_s"));
-    min_rate = std::min(min_rate, pt.GetDouble("rate_per_s"));
   }
 
   std::printf("%10s %6s %8s %9s %6s %10s %9s %9s %9s %7s %8s\n", "rate/s",
               "policy", "kv_x", "goodput/s", "shed", "ttft_p50", "ttft_p99",
               "tok_p50", "tok_p99", "spills", "deadlock");
-  bool any_deadlock = false;
   bool any_leak = false;
-  double spills_at_half_budget = 0;
-  double p99_ttft_low_rate_cont = 0;
-  // goodput[policy][kv_scale] at the highest swept rate.
-  std::map<std::pair<int, double>, double> top_rate_goodput;
-  for (std::size_t i = 0; i < table.rows().size(); ++i) {
-    const auto& row = table.rows()[i];
-    const double rate = points[i].GetDouble("rate_per_s");
-    const bool cont = points[i].GetInt("policy_continuous") != 0;
-    const double scale = points[i].GetDouble("kv_scale");
-    const double goodput = pw::bench::MetricOf(row, "goodput_per_s");
+  for (std::size_t i = 0; i < result.table.rows().size(); ++i) {
+    const auto& row = result.table.rows()[i];
+    const bool cont = result.points[i].GetInt("policy_continuous") != 0;
     const bool deadlocked = pw::bench::MetricOf(row, "deadlocked") > 0.5;
-    any_deadlock |= deadlocked;
     any_leak |= pw::bench::MetricOf(row, "leaked_buffers") > 0.5;
-    if (scale == 0.5) {
-      spills_at_half_budget += pw::bench::MetricOf(row, "spills");
-    }
-    if (cont && rate == min_rate) {
-      p99_ttft_low_rate_cont = std::max(p99_ttft_low_rate_cont,
-                                        pw::bench::MetricOf(row, "ttft_p99_us"));
-    }
-    if (rate == max_rate) top_rate_goodput[{cont ? 1 : 0, scale}] = goodput;
-    std::printf("%10.0f %6s %7.2fx %9.0f %6.0f %9.0fus %8.0fus %8.0fus %8.0fus %7.0f %8s\n",
-                rate, cont ? "cont" : "static", scale, goodput,
-                pw::bench::MetricOf(row, "shed"),
-                pw::bench::MetricOf(row, "ttft_p50_us"),
-                pw::bench::MetricOf(row, "ttft_p99_us"),
-                pw::bench::MetricOf(row, "token_p50_us"),
-                pw::bench::MetricOf(row, "token_p99_us"),
-                pw::bench::MetricOf(row, "spills"),
-                deadlocked ? "YES" : "no");
+    std::printf(
+        "%10.0f %6s %7.2fx %9.0f %6.0f %9.0fus %8.0fus %8.0fus %8.0fus "
+        "%7.0f %8s\n",
+        result.points[i].GetDouble("rate_per_s"), cont ? "cont" : "static",
+        result.points[i].GetDouble("kv_scale"),
+        pw::bench::MetricOf(row, "goodput_per_s"),
+        pw::bench::MetricOf(row, "shed"),
+        pw::bench::MetricOf(row, "ttft_p50_us"),
+        pw::bench::MetricOf(row, "ttft_p99_us"),
+        pw::bench::MetricOf(row, "token_p50_us"),
+        pw::bench::MetricOf(row, "token_p99_us"),
+        pw::bench::MetricOf(row, "spills"), deadlocked ? "YES" : "no");
   }
 
-  // Continuous-vs-static goodput at the highest swept rate, worst case
-  // over KV budget scales.
-  double min_speedup = 1e18;
-  for (const auto& [key, goodput] : top_rate_goodput) {
-    if (key.first != 1) continue;
-    const auto st = top_rate_goodput.find({0, key.second});
-    if (st == top_rate_goodput.end() || st->second <= 0) continue;
-    min_speedup = std::min(min_speedup, goodput / st->second);
-  }
+  const bool any_deadlock =
+      pw::bench::SummaryOf(result.summary, "deadlocks") > 0.5;
+  const double min_speedup =
+      pw::bench::SummaryOf(result.summary, "continuous_goodput_x");
+  const double spills_at_half_budget =
+      pw::bench::SummaryOf(result.summary, "spills_at_half_budget");
+  const double p99_ttft_low_rate_cont =
+      pw::bench::SummaryOf(result.summary, "p99_ttft_low_rate_us");
+  const bool deterministic =
+      pw::bench::SummaryOf(result.summary, "deterministic") > 0.5;
+
   std::printf("\ncontinuous vs static goodput at %.0f req/s: %.2fx (worst "
               "KV scale)\n", max_rate, min_speedup);
   std::printf("determinism across SweepRunner thread counts: %s\n",
               deterministic ? "byte-identical" : "MISMATCH");
-
-  pw::bench::Reporter report("serving", args);
-  for (std::size_t i = 0; i < table.rows().size(); ++i) {
-    report.AddRow(table.rows()[i].params, table.rows()[i].metrics);
-  }
-  report.Summary("deadlocks", any_deadlock ? 1.0 : 0.0);
-  report.Summary("continuous_goodput_x", min_speedup);
-  report.Summary("spills_at_half_budget", spills_at_half_budget);
-  report.Summary("p99_ttft_low_rate_us", p99_ttft_low_rate_cont);
-  report.Summary("deterministic", deterministic ? 1.0 : 0.0);
-  report.Write();
 
   bool fail = false;
   if (any_deadlock) {

@@ -268,20 +268,20 @@ void RunGoogleBenchmarkSuite(int argc, char** argv);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::Args args = bench::Args::Parse(argc, argv);
+  const bench::Args args = bench::Args::Parse(argc, argv, bench::kSimcoreFlags);
   // --min-speedup <x>: the enforced acceptance bar (default 2.0). CI on
   // shared runners passes a lower value so noisy-neighbor slowdowns don't
   // flake the job while gross regressions still fail.
-  double min_speedup = 2.0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
-      min_speedup = std::atof(argv[++i]);
-    }
+  const double min_speedup = args.min_speedup;
+  if (args.gbench) {
 #ifdef PWSIM_HAVE_GBENCH
-    if (std::strcmp(argv[i], "--gbench") == 0) {
-      RunGoogleBenchmarkSuite(argc, argv);
-      return 0;
-    }
+    RunGoogleBenchmarkSuite(argc, argv);
+    return 0;
+#else
+    std::fprintf(stderr,
+                 "--gbench requested but Google Benchmark was not available "
+                 "at build time\n");
+    return 2;
 #endif
   }
   bench::Header(

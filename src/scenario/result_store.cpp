@@ -1,0 +1,182 @@
+#include "scenario/result_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/diagnostics.h"
+#include "scenario/json.h"
+
+namespace pw::scenario {
+namespace {
+
+// Shortest printf form that strtod-round-trips (the BENCH writer emits the
+// same form, so addresses match the file text: 1500, 0.5, 750.91745217).
+std::string FormatNumber(const Json& v) {
+  if (v.is_int()) return std::to_string(v.int_value());
+  const double d = v.number_value();
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  return buf;
+}
+
+std::string ValueToken(const Json& v) {
+  if (v.is_string()) return v.string_value();
+  if (v.is_bool()) return v.bool_value() ? "true" : "false";
+  return FormatNumber(v);
+}
+
+std::vector<std::string> SplitPath(const std::string& s) {
+  std::vector<std::string> out;
+  std::string seg;
+  for (char c : s) {
+    if (c == '/') {
+      out.push_back(seg);
+      seg.clear();
+    } else {
+      seg.push_back(c);
+    }
+  }
+  out.push_back(seg);
+  return out;
+}
+
+// `*` / `?` within one segment.
+bool SegmentMatch(const std::string& pat, const std::string& seg) {
+  std::size_t p = 0, s = 0, star = std::string::npos, mark = 0;
+  while (s < seg.size()) {
+    if (p < pat.size() && (pat[p] == '?' || pat[p] == seg[s])) {
+      ++p;
+      ++s;
+    } else if (p < pat.size() && pat[p] == '*') {
+      star = p++;
+      mark = s;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      s = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '*') ++p;
+  return p == pat.size();
+}
+
+bool MatchFrom(const std::vector<std::string>& pat,
+               const std::vector<std::string>& path, std::size_t pi,
+               std::size_t si) {
+  if (pi == pat.size()) return si == path.size();
+  if (pat[pi] == "**") {
+    // Zero segments, or consume one and stay on the `**`.
+    if (MatchFrom(pat, path, pi + 1, si)) return true;
+    return si < path.size() && MatchFrom(pat, path, pi, si + 1);
+  }
+  if (si == path.size()) return false;
+  return SegmentMatch(pat[pi], path[si]) && MatchFrom(pat, path, pi + 1, si + 1);
+}
+
+}  // namespace
+
+bool ResultStore::GlobMatch(const std::string& pattern,
+                            const std::string& path) {
+  return MatchFrom(SplitPath(pattern), SplitPath(path), 0, 0);
+}
+
+bool ResultStore::LoadBenchFile(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot open file";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  DiagnosticEngine diags(path, text);
+  Json root;
+  if (!ParseJson(text, &root, &diags)) {
+    if (error != nullptr && !diags.diagnostics().empty()) {
+      *error = diags.diagnostics().front().Header();
+    }
+    return false;
+  }
+  if (!root.is_object()) {
+    if (error != nullptr) *error = path + ": top-level value is not an object";
+    return false;
+  }
+  const Json* bench = root.Find("bench");
+  if (bench == nullptr || !bench->is_string()) {
+    if (error != nullptr) *error = path + ": missing string field 'bench'";
+    return false;
+  }
+  const std::string& prefix = bench->string_value();
+
+  if (const Json* summary = root.Find("summary");
+      summary != nullptr && summary->is_object()) {
+    for (const auto& m : summary->members()) {
+      if (!m.value.is_number()) continue;
+      entries_.push_back(
+          {prefix + "/summary/" + m.key, m.value.number_value()});
+    }
+  }
+  if (const Json* series = root.Find("series");
+      series != nullptr && series->is_array()) {
+    for (const Json& row : series->array()) {
+      if (!row.is_object()) continue;
+      std::string point = prefix;
+      if (const Json* params = row.Find("params");
+          params != nullptr && params->is_object()) {
+        for (const auto& m : params->members()) {
+          point += "/" + m.key + "=" + ValueToken(m.value);
+        }
+      }
+      if (const Json* metrics = row.Find("metrics");
+          metrics != nullptr && metrics->is_object()) {
+        for (const auto& m : metrics->members()) {
+          if (!m.value.is_number()) continue;
+          entries_.push_back({point + "/" + m.key, m.value.number_value()});
+        }
+      }
+    }
+  }
+  return true;
+}
+
+int ResultStore::LoadDir(const std::string& dir, std::string* error) {
+  std::error_code ec;
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    if (error != nullptr) *error = dir + ": " + ec.message();
+    return -1;
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& f : files) {
+    if (!LoadBenchFile(f, error)) return -1;
+  }
+  return static_cast<int>(files.size());
+}
+
+std::vector<ResultEntry> ResultStore::Select(const std::string& pattern) const {
+  std::vector<ResultEntry> out;
+  for (const ResultEntry& e : entries_) {
+    if (GlobMatch(pattern, e.path)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace pw::scenario

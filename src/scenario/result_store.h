@@ -1,0 +1,48 @@
+// Hierarchical, path-addressed view over BENCH_*.json result files
+// (sweep::WriteBenchJsonFile output). Every value gets a slash-separated
+// address:
+//
+//   <bench>/summary/<metric>                      one per summary entry
+//   <bench>/<axis>=<value>/.../<metric>           one per series row metric,
+//                                                 axes in declaration order
+//
+// e.g. "serving/rate_per_s=1500/policy_continuous=1/kv_scale=0.5/ttft_p99_us".
+// `pwsim query --select 'serving/**/p99_*'` resolves glob patterns over
+// these paths: `*` and `?` match within one segment, `**` spans segments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pw::scenario {
+
+struct ResultEntry {
+  std::string path;
+  double value = 0;
+};
+
+class ResultStore {
+ public:
+  // Loads one BENCH_<name>.json file, appending its entries. On schema or
+  // parse errors returns false and describes the problem in *error.
+  bool LoadBenchFile(const std::string& path, std::string* error);
+
+  // Loads every BENCH_*.json directly inside `dir` (sorted by filename so
+  // entry order is stable). Returns the number of files loaded, or -1 on
+  // the first error.
+  int LoadDir(const std::string& dir, std::string* error);
+
+  const std::vector<ResultEntry>& entries() const { return entries_; }
+
+  // Entries whose path matches the glob, in load order.
+  std::vector<ResultEntry> Select(const std::string& pattern) const;
+
+  // Slash-aware glob match: `*` / `?` never cross a '/', `**` matches any
+  // number of whole segments (including zero).
+  static bool GlobMatch(const std::string& pattern, const std::string& path);
+
+ private:
+  std::vector<ResultEntry> entries_;
+};
+
+}  // namespace pw::scenario

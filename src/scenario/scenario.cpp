@@ -1,0 +1,958 @@
+#include "scenario/scenario.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "scenario/json.h"
+#include "sweep/result_table.h"
+
+namespace pw::scenario {
+namespace {
+
+// The five known families double as the schema's section keys.
+const std::vector<std::string>& KnownFamilies() {
+  static const std::vector<std::string> kFamilies{
+      "multitenant", "faults", "oversub", "serving", "serving_disagg"};
+  return kFamilies;
+}
+
+const std::vector<std::string>& KnownPresets() {
+  static const std::vector<std::string> kPresets{"tpu_default", "gpu_vm",
+                                                "config_a", "config_b"};
+  return kPresets;
+}
+
+// ---------------------------------------------------------------------------
+// Typed field extraction with unknown-key detection.
+//
+// Every Read* function below funnels object members through one FieldReader;
+// Finish() then reports any member that was never registered, with a
+// "did you mean" suggestion over the registered keys. The same read function
+// serves the full section and its "quick" overlay (overlay=true skips the
+// nested "quick" registration and leaves absent fields at their incoming
+// values, which are the full-spec values).
+
+class FieldReader {
+ public:
+  FieldReader(const Json& obj, DiagnosticEngine* diags)
+      : obj_(obj), diags_(diags) {}
+
+  void Int(const char* key, int* out,
+           std::int64_t min = std::numeric_limits<std::int64_t>::min()) {
+    std::int64_t v = *out;
+    I64(key, &v, min);
+    if (v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max()) {
+      diags_->Error(obj_.KeyLoc(key),
+                    std::string("key '") + key + "' is out of int range");
+      return;
+    }
+    *out = static_cast<int>(v);
+  }
+
+  void I64(const char* key, std::int64_t* out,
+           std::int64_t min = std::numeric_limits<std::int64_t>::min()) {
+    const Json* v = Register(key);
+    if (v == nullptr) return;
+    if (!v->is_int()) {
+      TypeError(key, "int", *v);
+      return;
+    }
+    if (v->int_value() < min) {
+      diags_->Error(v->loc(), std::string("key '") + key + "' must be >= " +
+                                  std::to_string(min) + " (got " +
+                                  std::to_string(v->int_value()) + ")");
+      return;
+    }
+    *out = v->int_value();
+  }
+
+  void Double(const char* key, double* out,
+              double min = -std::numeric_limits<double>::infinity()) {
+    const Json* v = Register(key);
+    if (v == nullptr) return;
+    if (!v->is_number()) {
+      TypeError(key, "number", *v);
+      return;
+    }
+    if (v->number_value() < min) {
+      diags_->Error(v->loc(), std::string("key '") + key + "' must be >= " +
+                                  FormatNumber(min) + " (got " +
+                                  FormatNumber(v->number_value()) + ")");
+      return;
+    }
+    *out = v->number_value();
+  }
+
+  void OptDouble(const char* key, std::optional<double>* out, double min) {
+    double v = 0;
+    bool had = false;
+    {
+      const Json* j = Register(key);
+      if (j == nullptr) return;
+      if (!j->is_number()) {
+        TypeError(key, "number", *j);
+        return;
+      }
+      v = j->number_value();
+      had = true;
+      if (v < min) {
+        diags_->Error(j->loc(), std::string("key '") + key +
+                                    "' must be >= " + FormatNumber(min));
+        return;
+      }
+    }
+    if (had) *out = v;
+  }
+
+  void Bool(const char* key, bool* out) {
+    const Json* v = Register(key);
+    if (v == nullptr) return;
+    if (!v->is_bool()) {
+      TypeError(key, "bool", *v);
+      return;
+    }
+    *out = v->bool_value();
+  }
+
+  void String(const char* key, std::string* out, SourceLoc* loc = nullptr) {
+    const Json* v = Register(key);
+    if (v == nullptr) return;
+    if (!v->is_string()) {
+      TypeError(key, "string", *v);
+      return;
+    }
+    *out = v->string_value();
+    if (loc != nullptr) *loc = v->loc();
+  }
+
+  // Registers `key` and returns it when present and an object/array.
+  const Json* Object(const char* key) {
+    const Json* v = Register(key);
+    if (v == nullptr) return nullptr;
+    if (!v->is_object()) {
+      TypeError(key, "object", *v);
+      return nullptr;
+    }
+    return v;
+  }
+
+  const Json* Array(const char* key) {
+    const Json* v = Register(key);
+    if (v == nullptr) return nullptr;
+    if (!v->is_array()) {
+      TypeError(key, "array", *v);
+      return nullptr;
+    }
+    return v;
+  }
+
+  // Registers a key this reader handles elsewhere (e.g. "quick").
+  void Allow(const char* key) { keys_.emplace_back(key); }
+
+  bool Saw(const std::string& key) const {
+    return obj_.Find(key) != nullptr;
+  }
+
+  // Reports unknown keys with a suggestion over everything registered.
+  void Finish() {
+    for (const Json::Member& m : obj_.members()) {
+      bool known = false;
+      for (const std::string& k : keys_) {
+        if (k == m.key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        diags_->Error(m.key_loc, "unknown key '" + m.key + "'" +
+                                     DidYouMeanSuffix(m.key, keys_));
+      }
+    }
+  }
+
+ private:
+  const Json* Register(const char* key) {
+    keys_.emplace_back(key);
+    return obj_.Find(key);
+  }
+
+  void TypeError(const char* key, const char* want, const Json& got) {
+    diags_->Error(got.loc(), std::string("key '") + key + "' expects " +
+                                 want + ", got " + got.kind_name());
+  }
+
+  static std::string FormatNumber(double d) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", d);
+    return buf;
+  }
+
+  const Json& obj_;
+  DiagnosticEngine* diags_;
+  std::vector<std::string> keys_;
+};
+
+// ---------------------------------------------------------------------------
+// Section readers. One function per spec, shared by full and overlay parse.
+
+void ReadCluster(const Json& obj, ClusterSpec* s, DiagnosticEngine* diags) {
+  FieldReader r(obj, diags);
+  SourceLoc preset_loc = obj.loc();
+  r.String("preset", &s->preset, &preset_loc);
+  if (r.Saw("preset")) {
+    bool ok = false;
+    for (const std::string& p : KnownPresets()) ok |= p == s->preset;
+    if (!ok) {
+      diags->Error(preset_loc, "unknown cluster preset '" + s->preset + "'" +
+                                   DidYouMeanSuffix(s->preset, KnownPresets()));
+    }
+  }
+  r.Int("islands", &s->islands, 1);
+  r.Int("hosts_per_island", &s->hosts_per_island, 1);
+  r.Int("devices_per_host", &s->devices_per_host, 1);
+  r.OptDouble("host_jitter_frac", &s->host_jitter_frac, 0);
+  r.OptDouble("hbm_capacity_mib", &s->hbm_capacity_mib, 0);
+  r.OptDouble("host_dram_capacity_mib", &s->host_dram_capacity_mib, 0);
+  if (const Json* flow = r.Object("ici_flow")) {
+    FieldReader fr(*flow, diags);
+    fr.Bool("enabled", &s->ici_flow);
+    fr.Int("dims", &s->ici_flow_dims, 2);
+    if (s->ici_flow_dims > 3) {
+      diags->Error(flow->KeyLoc("dims"), "key 'dims' must be 2 or 3");
+    }
+    fr.Finish();
+  }
+  if (const Json* clos = r.Object("dcn_clos")) {
+    FieldReader cr(*clos, diags);
+    cr.Bool("enabled", &s->dcn_clos);
+    cr.Int("hosts_per_leaf", &s->clos_hosts_per_leaf, 1);
+    cr.Int("num_spines", &s->clos_num_spines, 1);
+    cr.Double("oversubscription", &s->clos_oversubscription, 0);
+    cr.Finish();
+  }
+  r.Finish();
+}
+
+void ReadMultitenant(const Json& obj, MultitenantSpec* s,
+                     DiagnosticEngine* diags, bool overlay) {
+  FieldReader r(obj, diags);
+  if (!overlay) r.Allow("quick");
+  r.Double("nominal_pod_per_sec", &s->nominal_pod_per_sec, 0);
+  r.Int("max_inflight_gangs", &s->max_inflight_gangs, 1);
+  r.Double("warmup_ms", &s->warmup_ms, 0);
+  r.Double("horizon_ms", &s->horizon_ms, 0);
+  r.Int("queue_capacity", &s->queue_capacity, 1);
+  r.Int("max_outstanding", &s->max_outstanding, 1);
+  r.Int("retry_max_attempts", &s->retry_max_attempts, 1);
+  r.Double("retry_initial_backoff_us", &s->retry_initial_backoff_us, 0);
+  r.Double("retry_max_backoff_ms", &s->retry_max_backoff_ms, 0);
+  r.Double("step_us", &s->step_us, 0);
+  r.I64("collective_bytes", &s->collective_bytes, 0);
+  r.I64("seed_base", &s->seed_base, 0);
+  r.Finish();
+}
+
+void ReadFaults(const Json& obj, FaultsSpec* s, DiagnosticEngine* diags,
+                bool overlay) {
+  FieldReader r(obj, diags);
+  if (!overlay) r.Allow("quick");
+  r.Double("horizon_ms", &s->horizon_ms, 0);
+  r.Double("min_window_ms", &s->min_window_ms, 0);
+  r.Double("max_window_ms", &s->max_window_ms, 0);
+  r.Int("link_degrades", &s->link_degrades, 0);
+  r.Bool("always_recover", &s->always_recover);
+  r.Int("retry_max_attempts", &s->retry_max_attempts, 1);
+  r.Double("retry_initial_backoff_us", &s->retry_initial_backoff_us, 0);
+  r.Double("step_us", &s->step_us, 0);
+  r.I64("collective_kib", &s->collective_kib, 0);
+  r.I64("seed_base", &s->seed_base, 0);
+  r.Finish();
+  if (s->max_window_ms < s->min_window_ms) {
+    diags->Error(obj.KeyLoc("max_window_ms"),
+                 "'max_window_ms' must be >= 'min_window_ms'");
+  }
+}
+
+void ReadOversub(const Json& obj, OversubSpec* s, DiagnosticEngine* diags,
+                 bool overlay) {
+  FieldReader r(obj, diags);
+  if (!overlay) r.Allow("quick");
+  r.Int("tenants", &s->tenants, 1);
+  r.Double("weights_per_shard_mib", &s->weights_per_shard_mib, 0);
+  r.Double("output_per_shard_mib", &s->output_per_shard_mib, 0);
+  r.Double("working_headroom_mib", &s->working_headroom_mib, 0);
+  r.Int("requests_per_tenant", &s->requests_per_tenant, 1);
+  r.Double("step_us", &s->step_us, 0);
+  r.Finish();
+}
+
+void ReadServing(const Json& obj, ServingSpec* s, DiagnosticEngine* diags,
+                 bool overlay) {
+  FieldReader r(obj, diags);
+  if (!overlay) r.Allow("quick");
+  r.I64("kv_bytes_per_token", &s->kv_bytes_per_token, 1);
+  r.Int("max_batch", &s->max_batch, 1);
+  r.Int("token_budget", &s->token_budget, 1);
+  r.Int("min_prefill_tokens", &s->min_prefill_tokens, 1);
+  r.Int("max_prefill_tokens", &s->max_prefill_tokens, 1);
+  r.Int("min_decode_tokens", &s->min_decode_tokens, 1);
+  r.Int("max_decode_tokens", &s->max_decode_tokens, 1);
+  r.Double("horizon_ms", &s->horizon_ms, 0);
+  r.Double("hbm_frac_of_working_set", &s->hbm_frac_of_working_set, 0);
+  r.Double("hbm_headroom_kib", &s->hbm_headroom_kib, 0);
+  r.I64("arrival_seed_base", &s->arrival_seed_base, 0);
+  r.I64("arrival_seed_stride", &s->arrival_seed_stride, 0);
+  r.I64("token_seed_base", &s->token_seed_base, 0);
+  r.Finish();
+  if (s->max_prefill_tokens < s->min_prefill_tokens) {
+    diags->Error(obj.KeyLoc("max_prefill_tokens"),
+                 "'max_prefill_tokens' must be >= 'min_prefill_tokens'");
+  }
+  if (s->max_decode_tokens < s->min_decode_tokens) {
+    diags->Error(obj.KeyLoc("max_decode_tokens"),
+                 "'max_decode_tokens' must be >= 'min_decode_tokens'");
+  }
+}
+
+void ReadDisagg(const Json& obj, DisaggSpec* s, DiagnosticEngine* diags,
+                bool overlay) {
+  FieldReader r(obj, diags);
+  if (!overlay) r.Allow("quick");
+  SourceLoc model_loc = obj.loc();
+  r.String("model", &s->model, &model_loc);
+  if (s->model != "decoder3b") {
+    diags->Error(model_loc,
+                 "unknown model '" + s->model + "'; known models: decoder3b");
+  }
+  r.Int("max_batch", &s->max_batch, 1);
+  r.Int("token_budget", &s->token_budget, 1);
+  r.Int("min_prefill_tokens", &s->min_prefill_tokens, 1);
+  r.Int("max_prefill_tokens", &s->max_prefill_tokens, 1);
+  r.Int("min_decode_tokens", &s->min_decode_tokens, 1);
+  r.Int("max_decode_tokens", &s->max_decode_tokens, 1);
+  r.Double("horizon_ms", &s->horizon_ms, 0);
+  r.Double("hbm_headroom_mib", &s->hbm_headroom_mib, 0);
+  r.I64("arrival_seed_base", &s->arrival_seed_base, 0);
+  r.I64("arrival_seed_stride", &s->arrival_seed_stride, 0);
+  r.I64("token_seed_base", &s->token_seed_base, 0);
+  r.Finish();
+}
+
+template <typename T, typename ReadFn>
+void ReadSection(const Json& obj, WithQuick<T>* out, DiagnosticEngine* diags,
+                 ReadFn read) {
+  out->present = true;
+  out->loc = obj.loc();
+  read(obj, &out->full, diags, /*overlay=*/false);
+  out->quick = out->full;
+  if (const Json* q = obj.Find("quick")) {
+    if (!q->is_object()) {
+      diags->Error(q->loc(), std::string("key 'quick' expects object, got ") +
+                                 q->kind_name());
+      return;
+    }
+    read(*q, &out->quick, diags, /*overlay=*/true);
+  }
+}
+
+// --- Sweep axes ------------------------------------------------------------
+
+enum class AxisType { kInt, kDouble, kString };
+
+const char* AxisTypeName(AxisType t) {
+  switch (t) {
+    case AxisType::kInt: return "int";
+    case AxisType::kDouble: return "double";
+    case AxisType::kString: return "string";
+  }
+  return "?";
+}
+
+// Reads one "values"/"quick_values" array into ParamValues. Numeric arrays
+// mixing ints and doubles promote everything to double; otherwise elements
+// must agree in type. Returns the element type via *type.
+bool ReadAxisValues(const Json& arr, const char* key,
+                    std::vector<sweep::ParamValue>* out, AxisType* type,
+                    DiagnosticEngine* diags) {
+  if (arr.array().empty()) {
+    diags->Error(arr.loc(), std::string("'") + key + "' must not be empty");
+    return false;
+  }
+  bool any_double = false, any_int = false, any_string = false;
+  for (const Json& v : arr.array()) {
+    if (v.is_int()) {
+      any_int = true;
+    } else if (v.is_double()) {
+      any_double = true;
+    } else if (v.is_string()) {
+      any_string = true;
+    } else {
+      diags->Error(v.loc(), std::string("'") + key +
+                                "' elements must be numbers or strings, got " +
+                                v.kind_name());
+      return false;
+    }
+  }
+  if (any_string && (any_int || any_double)) {
+    diags->Error(arr.loc(), std::string("'") + key +
+                                "' mixes strings and numbers");
+    return false;
+  }
+  out->clear();
+  for (const Json& v : arr.array()) {
+    if (any_string) {
+      out->emplace_back(v.string_value());
+    } else if (any_double) {
+      out->emplace_back(v.number_value());
+    } else {
+      out->emplace_back(v.int_value());
+    }
+  }
+  *type = any_string ? AxisType::kString
+                     : (any_double ? AxisType::kDouble : AxisType::kInt);
+  return true;
+}
+
+void ReadSweep(const Json& obj, Scenario* out, DiagnosticEngine* diags) {
+  out->sweep_loc = obj.loc();
+  FieldReader r(obj, diags);
+  const Json* axes = r.Array("axes");
+  r.Finish();
+  if (axes == nullptr) {
+    if (obj.Find("axes") == nullptr) {
+      diags->Error(obj.loc(), "'sweep' requires an 'axes' array");
+    }
+    return;
+  }
+  for (const Json& axis_obj : axes->array()) {
+    if (!axis_obj.is_object()) {
+      diags->Error(axis_obj.loc(), std::string("axis entries expect object, "
+                                               "got ") +
+                                       axis_obj.kind_name());
+      continue;
+    }
+    SweepAxis axis;
+    axis.loc = axis_obj.loc();
+    FieldReader ar(axis_obj, diags);
+    ar.String("name", &axis.name);
+    const Json* values = ar.Array("values");
+    const Json* quick = ar.Array("quick_values");
+    ar.Finish();
+    if (axis.name.empty()) {
+      diags->Error(axis_obj.loc(), "axis requires a non-empty 'name'");
+      continue;
+    }
+    for (const SweepAxis& prev : out->sweep) {
+      if (prev.name == axis.name) {
+        diags->Error(axis_obj.KeyLoc("name"),
+                     "duplicate axis '" + axis.name + "'");
+      }
+    }
+    if (values == nullptr) {
+      diags->Error(axis_obj.loc(),
+                   "axis '" + axis.name + "' requires a 'values' array");
+      continue;
+    }
+    AxisType type = AxisType::kInt;
+    if (!ReadAxisValues(*values, "values", &axis.values, &type, diags)) {
+      continue;
+    }
+    if (quick != nullptr) {
+      AxisType qtype = AxisType::kInt;
+      if (!ReadAxisValues(*quick, "quick_values", &axis.quick_values, &qtype,
+                          diags)) {
+        continue;
+      }
+      // Numeric widening keeps [1, 2] usable as quick values of a double
+      // axis; everything else must agree.
+      if (qtype == AxisType::kInt && type == AxisType::kDouble) {
+        for (sweep::ParamValue& v : axis.quick_values) {
+          v = static_cast<double>(std::get<std::int64_t>(v));
+        }
+        qtype = AxisType::kDouble;
+      }
+      if (qtype != type) {
+        diags->Error(quick->loc(),
+                     "axis '" + axis.name + "': 'quick_values' are " +
+                         AxisTypeName(qtype) + " but 'values' are " +
+                         AxisTypeName(type));
+        continue;
+      }
+    }
+    out->sweep.push_back(std::move(axis));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical serialization.
+
+// Shortest representation that parses back to the same double, with a
+// ".0" suffix for integral values so the canonical form re-parses as a
+// double (round-trip stability of the int/double distinction).
+std::string FormatCanonicalDouble(double d) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  std::string s = buf;
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  return s;
+}
+
+std::string FormatParamValue(const sweep::ParamValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) return FormatCanonicalDouble(*d);
+  return "\"" + sweep::JsonEscape(std::get<std::string>(v)) + "\"";
+}
+
+// Tiny canonical-JSON emitter: 2-space indent, one member per line, scalar
+// arrays inline.
+class JsonWriter {
+ public:
+  std::string Take() { return std::move(out_); }
+
+  void BeginObject() {
+    Value("{");
+    stack_.push_back(true);
+  }
+  void EndObject() {
+    stack_.pop_back();
+    out_ += "\n" + Indent() + "}";
+  }
+  void Key(const std::string& k) {
+    if (!stack_.back()) out_ += ",";
+    stack_.back() = false;
+    out_ += "\n" + Indent() + "\"" + sweep::JsonEscape(k) + "\": ";
+  }
+  void String(const std::string& v) {
+    Value("\"" + sweep::JsonEscape(v) + "\"");
+  }
+  void Int(std::int64_t v) { Value(std::to_string(v)); }
+  void Double(double v) { Value(FormatCanonicalDouble(v)); }
+  void Bool(bool v) { Value(v ? "true" : "false"); }
+  void Raw(const std::string& v) { Value(v); }
+
+  void InlineArray(const std::vector<sweep::ParamValue>& values) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += FormatParamValue(values[i]);
+    }
+    s += "]";
+    Value(s);
+  }
+
+  // Array of objects, one object per element, emitted via `fn`.
+  template <typename It, typename Fn>
+  void ObjectArray(It begin, It end, Fn fn) {
+    Value("[");
+    bool first = true;
+    stack_.push_back(true);
+    for (It it = begin; it != end; ++it) {
+      if (!first) out_ += ",";
+      first = false;
+      out_ += "\n" + Indent();
+      fn(*it);
+    }
+    stack_.pop_back();
+    out_ += "\n" + Indent() + "]";
+  }
+
+ private:
+  std::string Indent() const {
+    return std::string(2 * stack_.size(), ' ');
+  }
+  void Value(const std::string& v) { out_ += v; }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per level: no member emitted yet
+};
+
+// Emits `key: value` only when no baseline is given or the value differs
+// from it — quick overlays canonicalize to their diff vs the full spec.
+template <typename T, typename EmitFn>
+void Diffed(JsonWriter* w, const char* key, const T& value, const T* base,
+            EmitFn emit) {
+  if (base != nullptr && value == *base) return;
+  w->Key(key);
+  emit(value);
+}
+
+void EmitInt(JsonWriter* w, const char* key, std::int64_t v,
+             const std::int64_t* base) {
+  Diffed(w, key, v, base, [w](std::int64_t x) { w->Int(x); });
+}
+void EmitInt(JsonWriter* w, const char* key, int v, const int* base) {
+  Diffed(w, key, v, base, [w](int x) { w->Int(x); });
+}
+void EmitDouble(JsonWriter* w, const char* key, double v, const double* base) {
+  Diffed(w, key, v, base, [w](double x) { w->Double(x); });
+}
+void EmitBool(JsonWriter* w, const char* key, bool v, const bool* base) {
+  Diffed(w, key, v, base, [w](bool x) { w->Bool(x); });
+}
+void EmitString(JsonWriter* w, const char* key, const std::string& v,
+                const std::string* base) {
+  Diffed(w, key, v, base, [w](const std::string& x) { w->String(x); });
+}
+
+#define PW_EMIT_INT(field) EmitInt(w, #field, s.field, base ? &base->field : nullptr)
+#define PW_EMIT_DOUBLE(field) \
+  EmitDouble(w, #field, s.field, base ? &base->field : nullptr)
+#define PW_EMIT_BOOL(field) \
+  EmitBool(w, #field, s.field, base ? &base->field : nullptr)
+#define PW_EMIT_STRING(field) \
+  EmitString(w, #field, s.field, base ? &base->field : nullptr)
+
+void EmitMultitenant(JsonWriter* w, const MultitenantSpec& s,
+                     const MultitenantSpec* base) {
+  PW_EMIT_DOUBLE(nominal_pod_per_sec);
+  PW_EMIT_INT(max_inflight_gangs);
+  PW_EMIT_DOUBLE(warmup_ms);
+  PW_EMIT_DOUBLE(horizon_ms);
+  PW_EMIT_INT(queue_capacity);
+  PW_EMIT_INT(max_outstanding);
+  PW_EMIT_INT(retry_max_attempts);
+  PW_EMIT_DOUBLE(retry_initial_backoff_us);
+  PW_EMIT_DOUBLE(retry_max_backoff_ms);
+  PW_EMIT_DOUBLE(step_us);
+  PW_EMIT_INT(collective_bytes);
+  PW_EMIT_INT(seed_base);
+}
+
+void EmitFaults(JsonWriter* w, const FaultsSpec& s, const FaultsSpec* base) {
+  PW_EMIT_DOUBLE(horizon_ms);
+  PW_EMIT_DOUBLE(min_window_ms);
+  PW_EMIT_DOUBLE(max_window_ms);
+  PW_EMIT_INT(link_degrades);
+  PW_EMIT_BOOL(always_recover);
+  PW_EMIT_INT(retry_max_attempts);
+  PW_EMIT_DOUBLE(retry_initial_backoff_us);
+  PW_EMIT_DOUBLE(step_us);
+  PW_EMIT_INT(collective_kib);
+  PW_EMIT_INT(seed_base);
+}
+
+void EmitOversub(JsonWriter* w, const OversubSpec& s, const OversubSpec* base) {
+  PW_EMIT_INT(tenants);
+  PW_EMIT_DOUBLE(weights_per_shard_mib);
+  PW_EMIT_DOUBLE(output_per_shard_mib);
+  PW_EMIT_DOUBLE(working_headroom_mib);
+  PW_EMIT_INT(requests_per_tenant);
+  PW_EMIT_DOUBLE(step_us);
+}
+
+void EmitServing(JsonWriter* w, const ServingSpec& s, const ServingSpec* base) {
+  PW_EMIT_INT(kv_bytes_per_token);
+  PW_EMIT_INT(max_batch);
+  PW_EMIT_INT(token_budget);
+  PW_EMIT_INT(min_prefill_tokens);
+  PW_EMIT_INT(max_prefill_tokens);
+  PW_EMIT_INT(min_decode_tokens);
+  PW_EMIT_INT(max_decode_tokens);
+  PW_EMIT_DOUBLE(horizon_ms);
+  PW_EMIT_DOUBLE(hbm_frac_of_working_set);
+  PW_EMIT_DOUBLE(hbm_headroom_kib);
+  PW_EMIT_INT(arrival_seed_base);
+  PW_EMIT_INT(arrival_seed_stride);
+  PW_EMIT_INT(token_seed_base);
+}
+
+void EmitDisagg(JsonWriter* w, const DisaggSpec& s, const DisaggSpec* base) {
+  PW_EMIT_STRING(model);
+  PW_EMIT_INT(max_batch);
+  PW_EMIT_INT(token_budget);
+  PW_EMIT_INT(min_prefill_tokens);
+  PW_EMIT_INT(max_prefill_tokens);
+  PW_EMIT_INT(min_decode_tokens);
+  PW_EMIT_INT(max_decode_tokens);
+  PW_EMIT_DOUBLE(horizon_ms);
+  PW_EMIT_DOUBLE(hbm_headroom_mib);
+  PW_EMIT_INT(arrival_seed_base);
+  PW_EMIT_INT(arrival_seed_stride);
+  PW_EMIT_INT(token_seed_base);
+}
+
+#undef PW_EMIT_INT
+#undef PW_EMIT_DOUBLE
+#undef PW_EMIT_BOOL
+#undef PW_EMIT_STRING
+
+// Spec equality, used only to decide whether a quick overlay exists.
+#define PW_EQ(field) a.field == b.field
+bool SpecEq(const MultitenantSpec& a, const MultitenantSpec& b) {
+  return PW_EQ(nominal_pod_per_sec) &&
+         PW_EQ(max_inflight_gangs) && PW_EQ(warmup_ms) && PW_EQ(horizon_ms) &&
+         PW_EQ(queue_capacity) && PW_EQ(max_outstanding) &&
+         PW_EQ(retry_max_attempts) && PW_EQ(retry_initial_backoff_us) &&
+         PW_EQ(retry_max_backoff_ms) && PW_EQ(step_us) &&
+         PW_EQ(collective_bytes) && PW_EQ(seed_base);
+}
+bool SpecEq(const FaultsSpec& a, const FaultsSpec& b) {
+  return PW_EQ(horizon_ms) && PW_EQ(min_window_ms) && PW_EQ(max_window_ms) &&
+         PW_EQ(link_degrades) && PW_EQ(always_recover) &&
+         PW_EQ(retry_max_attempts) && PW_EQ(retry_initial_backoff_us) &&
+         PW_EQ(step_us) && PW_EQ(collective_kib) && PW_EQ(seed_base);
+}
+bool SpecEq(const OversubSpec& a, const OversubSpec& b) {
+  return PW_EQ(tenants) && PW_EQ(weights_per_shard_mib) &&
+         PW_EQ(output_per_shard_mib) && PW_EQ(working_headroom_mib) &&
+         PW_EQ(requests_per_tenant) && PW_EQ(step_us);
+}
+bool SpecEq(const ServingSpec& a, const ServingSpec& b) {
+  return PW_EQ(kv_bytes_per_token) && PW_EQ(max_batch) &&
+         PW_EQ(token_budget) && PW_EQ(min_prefill_tokens) &&
+         PW_EQ(max_prefill_tokens) && PW_EQ(min_decode_tokens) &&
+         PW_EQ(max_decode_tokens) && PW_EQ(horizon_ms) &&
+         PW_EQ(hbm_frac_of_working_set) && PW_EQ(hbm_headroom_kib) &&
+         PW_EQ(arrival_seed_base) && PW_EQ(arrival_seed_stride) &&
+         PW_EQ(token_seed_base);
+}
+bool SpecEq(const DisaggSpec& a, const DisaggSpec& b) {
+  return PW_EQ(model) && PW_EQ(max_batch) && PW_EQ(token_budget) &&
+         PW_EQ(min_prefill_tokens) && PW_EQ(max_prefill_tokens) &&
+         PW_EQ(min_decode_tokens) && PW_EQ(max_decode_tokens) &&
+         PW_EQ(horizon_ms) && PW_EQ(hbm_headroom_mib) &&
+         PW_EQ(arrival_seed_base) && PW_EQ(arrival_seed_stride) &&
+         PW_EQ(token_seed_base);
+}
+#undef PW_EQ
+
+template <typename T, typename EmitFn>
+void EmitSection(JsonWriter* w, const char* key, const WithQuick<T>& section,
+                 EmitFn emit) {
+  if (!section.present) return;
+  w->Key(key);
+  w->BeginObject();
+  emit(w, section.full, static_cast<const T*>(nullptr));
+  // The quick overlay reduces to its diff vs the full spec; omit when empty.
+  if (!SpecEq(section.quick, section.full)) {
+    w->Key("quick");
+    w->BeginObject();
+    emit(w, section.quick, &section.full);
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+sweep::ParamGrid Scenario::Grid(bool quick) const {
+  sweep::ParamGrid grid;
+  for (const SweepAxis& axis : sweep) {
+    grid.Axis(axis.name, axis.For(quick));
+  }
+  return grid;
+}
+
+std::string Scenario::Serialize() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String(name);
+  w.Key("family");
+  w.String(family);
+  if (!description.empty()) {
+    w.Key("description");
+    w.String(description);
+  }
+
+  w.Key("cluster");
+  w.BeginObject();
+  w.Key("preset");
+  w.String(cluster.preset);
+  w.Key("islands");
+  w.Int(cluster.islands);
+  w.Key("hosts_per_island");
+  w.Int(cluster.hosts_per_island);
+  w.Key("devices_per_host");
+  w.Int(cluster.devices_per_host);
+  if (cluster.host_jitter_frac) {
+    w.Key("host_jitter_frac");
+    w.Double(*cluster.host_jitter_frac);
+  }
+  if (cluster.hbm_capacity_mib) {
+    w.Key("hbm_capacity_mib");
+    w.Double(*cluster.hbm_capacity_mib);
+  }
+  if (cluster.host_dram_capacity_mib) {
+    w.Key("host_dram_capacity_mib");
+    w.Double(*cluster.host_dram_capacity_mib);
+  }
+  if (cluster.ici_flow || cluster.ici_flow_dims != 2) {
+    w.Key("ici_flow");
+    w.BeginObject();
+    w.Key("enabled");
+    w.Bool(cluster.ici_flow);
+    w.Key("dims");
+    w.Int(cluster.ici_flow_dims);
+    w.EndObject();
+  }
+  if (cluster.dcn_clos || cluster.clos_hosts_per_leaf != 8 ||
+      cluster.clos_num_spines != 4 || cluster.clos_oversubscription != 1.0) {
+    w.Key("dcn_clos");
+    w.BeginObject();
+    w.Key("enabled");
+    w.Bool(cluster.dcn_clos);
+    w.Key("hosts_per_leaf");
+    w.Int(cluster.clos_hosts_per_leaf);
+    w.Key("num_spines");
+    w.Int(cluster.clos_num_spines);
+    w.Key("oversubscription");
+    w.Double(cluster.clos_oversubscription);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  EmitSection(&w, "multitenant", multitenant, EmitMultitenant);
+  EmitSection(&w, "faults", faults, EmitFaults);
+  EmitSection(&w, "oversub", oversub, EmitOversub);
+  EmitSection(&w, "serving", serving, EmitServing);
+  EmitSection(&w, "serving_disagg", disagg, EmitDisagg);
+
+  w.Key("sweep");
+  w.BeginObject();
+  w.Key("axes");
+  w.ObjectArray(sweep.begin(), sweep.end(), [&w](const SweepAxis& axis) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(axis.name);
+    w.Key("values");
+    w.InlineArray(axis.values);
+    if (!axis.quick_values.empty() && axis.quick_values != axis.values) {
+      w.Key("quick_values");
+      w.InlineArray(axis.quick_values);
+    }
+    w.EndObject();
+  });
+  w.EndObject();
+
+  w.EndObject();
+  std::string out = w.Take();
+  out += "\n";
+  return out;
+}
+
+bool ParseScenario(const std::string& text, Scenario* out,
+                   DiagnosticEngine* diags) {
+  Json root;
+  if (!ParseJson(text, &root, diags)) return false;
+  if (!root.is_object()) {
+    diags->Error(root.loc(), std::string("top level expects object, got ") +
+                                 root.kind_name());
+    return false;
+  }
+  *out = Scenario();
+  out->file = diags->file();
+
+  FieldReader r(root, diags);
+  r.String("name", &out->name, &out->name_loc);
+  r.String("family", &out->family, &out->family_loc);
+  r.String("description", &out->description);
+  const Json* cluster = r.Object("cluster");
+  const Json* sweep_obj = r.Object("sweep");
+  const Json* mt = r.Object("multitenant");
+  const Json* fl = r.Object("faults");
+  const Json* ov = r.Object("oversub");
+  const Json* sv = r.Object("serving");
+  const Json* dg = r.Object("serving_disagg");
+  r.Finish();
+
+  if (out->name.empty()) {
+    diags->Error(root.loc(), "scenario requires a non-empty 'name'");
+  } else {
+    for (char c : out->name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+      if (!ok) {
+        diags->Error(out->name_loc,
+                     "'name' must match [A-Za-z0-9_-]+ (it names the "
+                     "BENCH_<name>.json result file and the query-path root)");
+        break;
+      }
+    }
+  }
+  if (out->family.empty()) {
+    diags->Error(root.loc(), "scenario requires a 'family'");
+  } else {
+    bool known = false;
+    for (const std::string& f : KnownFamilies()) known |= f == out->family;
+    if (!known) {
+      diags->Error(out->family_loc,
+                   "unknown family '" + out->family + "'" +
+                       DidYouMeanSuffix(out->family, KnownFamilies()));
+    }
+  }
+
+  if (cluster != nullptr) ReadCluster(*cluster, &out->cluster, diags);
+  if (mt != nullptr) ReadSection(*mt, &out->multitenant, diags, ReadMultitenant);
+  if (fl != nullptr) ReadSection(*fl, &out->faults, diags, ReadFaults);
+  if (ov != nullptr) ReadSection(*ov, &out->oversub, diags, ReadOversub);
+  if (sv != nullptr) ReadSection(*sv, &out->serving, diags, ReadServing);
+  if (dg != nullptr) ReadSection(*dg, &out->disagg, diags, ReadDisagg);
+
+  // A section for a family this scenario does not run is almost certainly a
+  // mistake (its knobs would be silently ignored).
+  struct SectionRef {
+    const char* key;
+    const Json* obj;
+  };
+  for (const SectionRef& s : {SectionRef{"multitenant", mt},
+                              SectionRef{"faults", fl},
+                              SectionRef{"oversub", ov},
+                              SectionRef{"serving", sv},
+                              SectionRef{"serving_disagg", dg}}) {
+    if (s.obj != nullptr && out->family != s.key) {
+      diags->Error(root.KeyLoc(s.key),
+                   std::string("section '") + s.key +
+                       "' does not match family '" + out->family + "'");
+    }
+  }
+
+  if (sweep_obj == nullptr) {
+    if (root.Find("sweep") == nullptr) {
+      diags->Error(root.loc(), "scenario requires a 'sweep' section");
+    }
+  } else {
+    ReadSweep(*sweep_obj, out, diags);
+  }
+
+  return diags->ok();
+}
+
+bool LoadScenarioFile(const std::string& path, Scenario* out,
+                      DiagnosticEngine* diags) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *diags = DiagnosticEngine(path, "");
+    diags->Error({0, 0}, "cannot open file");
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *diags = DiagnosticEngine(path, buf.str());
+  return ParseScenario(buf.str(), out, diags);
+}
+
+std::string ScenarioDir() {
+  if (const char* env = std::getenv("PWSIM_SCENARIO_DIR");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+#ifdef PWSIM_SCENARIO_DIR_DEFAULT
+  return PWSIM_SCENARIO_DIR_DEFAULT;
+#else
+  return "scenarios";
+#endif
+}
+
+std::string DefaultScenarioPath(const std::string& name) {
+  return ScenarioDir() + "/" + name + ".json";
+}
+
+}  // namespace pw::scenario

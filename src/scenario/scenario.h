@@ -1,0 +1,218 @@
+// Declarative scenario schema: one JSON file describes a complete sweep —
+// which measurement family runs it, the cluster it runs on, the family's
+// workload knobs, and the parameter grid — so new scenarios cost a file,
+// not a recompile (docs/SCENARIOS.md has the full schema reference).
+//
+//   {
+//     "name": "serving",            // result file: BENCH_<name>.json
+//     "family": "serving",          // registered runner (scenario/runner.h)
+//     "description": "...",
+//     "cluster":  { "preset": "tpu_default", "devices_per_host": 2, ... },
+//     "serving":  { "max_batch": 8, ..., "quick": { "horizon_ms": 2 } },
+//     "sweep":    { "axes": [ { "name": "rate_per_s",
+//                               "values": [1500.0, 24000.0],
+//                               "quick_values": [1500.0] } ] }
+//   }
+//
+// Parsing is strict: unknown keys are hard errors with "did you mean"
+// suggestions, every diagnostic carries file:line:col, and a parsed
+// scenario serializes back to a canonical byte-stable form (Serialize is a
+// fixed field order; parse -> serialize -> parse round-trips
+// byte-identically).
+//
+// Every family section accepts a "quick" sub-object overriding a subset of
+// its fields for --quick (CI smoke) runs; each sweep axis may carry
+// "quick_values". Spec(quick=true) / GridAxes(quick=true) select the
+// overlaid view.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/diagnostics.h"
+#include "sweep/param_grid.h"
+
+namespace pw::scenario {
+
+// --- Cluster topology (hw::SystemParams / hw::Cluster knobs) ---------------
+//
+// `preset` picks the base SystemParams and construction style:
+//   "tpu_default" — SystemParams::TpuDefault() + the uniform shape below
+//   "gpu_vm"      — SystemParams::GpuVmDefault() + the uniform shape below
+//   "config_a" / "config_b" — the paper's evaluation configurations
+//     (hw::Cluster::ConfigA/ConfigB; hosts_per_island supplies `hosts`)
+// Optional overrides apply on top; families may further derive per-point
+// values (e.g. oversub scales hbm_capacity from its sweep axis).
+struct ClusterSpec {
+  std::string preset = "tpu_default";
+  int islands = 1;
+  int hosts_per_island = 1;
+  int devices_per_host = 2;
+  std::optional<double> host_jitter_frac;
+  std::optional<double> hbm_capacity_mib;
+  std::optional<double> host_dram_capacity_mib;
+  // Flow-level ICI (net::IciFlowParams): per-island torus pricing.
+  bool ici_flow = false;
+  int ici_flow_dims = 2;
+  // Flow-level DCN (net::DcnClosParams): two-tier Clos pricing.
+  bool dcn_clos = false;
+  int clos_hosts_per_leaf = 8;
+  int clos_num_spines = 4;
+  double clos_oversubscription = 1.0;
+};
+
+// --- Family sections -------------------------------------------------------
+// Field defaults are the full-size values the pre-scenario bench binaries
+// hard-coded; shipped scenario files override via "quick" for smoke runs.
+
+// family "multitenant": open-loop weighted clients through the stride
+// scheduler (bench_multitenant).
+struct MultitenantSpec {
+  double nominal_pod_per_sec = 2500;
+  int max_inflight_gangs = 2;
+  double warmup_ms = 80;
+  double horizon_ms = 800;
+  int queue_capacity = 64;
+  int max_outstanding = 6;
+  int retry_max_attempts = 5;
+  double retry_initial_backoff_us = 200;
+  double retry_max_backoff_ms = 5;
+  double step_us = 330;
+  std::int64_t collective_bytes = 64;
+  std::int64_t seed_base = 0xC0FFEE;
+};
+
+// family "faults": crash/straggler/degrade injection vs a per-point
+// fault-free baseline (bench_faults).
+struct FaultsSpec {
+  double horizon_ms = 200;
+  double min_window_ms = 1;
+  double max_window_ms = 5;
+  int link_degrades = 1;
+  bool always_recover = true;
+  int retry_max_attempts = 6;
+  double retry_initial_backoff_us = 250;
+  double step_us = 300;
+  std::int64_t collective_kib = 64;
+  std::int64_t seed_base = 0x5eed;
+};
+
+// family "oversub": tenants' working sets vs scaled-down HBM through the
+// spill hierarchy (bench_oversub).
+struct OversubSpec {
+  int tenants = 4;
+  double weights_per_shard_mib = 6;
+  double output_per_shard_mib = 2;
+  double working_headroom_mib = 64;
+  int requests_per_tenant = 24;
+  double step_us = 300;
+};
+
+// family "serving": continuous vs static batching under KV budgets
+// (bench_serving).
+struct ServingSpec {
+  std::int64_t kv_bytes_per_token = 4096;
+  int max_batch = 8;
+  int token_budget = 256;
+  int min_prefill_tokens = 8;
+  int max_prefill_tokens = 48;
+  int min_decode_tokens = 2;
+  int max_decode_tokens = 32;
+  double horizon_ms = 8;
+  double hbm_frac_of_working_set = 0.2;
+  double hbm_headroom_kib = 128;
+  std::int64_t arrival_seed_base = 11;
+  std::int64_t arrival_seed_stride = 17;
+  std::int64_t token_seed_base = 101;
+};
+
+// family "serving_disagg": prefill/decode split across islands with
+// cross-island KV transfer, vs a colocated arm (bench_serving --disagg).
+struct DisaggSpec {
+  std::string model = "decoder3b";
+  int max_batch = 8;
+  int token_budget = 256;
+  int min_prefill_tokens = 8;
+  int max_prefill_tokens = 48;
+  int min_decode_tokens = 2;
+  int max_decode_tokens = 32;
+  double horizon_ms = 4000;
+  double hbm_headroom_mib = 1;
+  std::int64_t arrival_seed_base = 11;
+  std::int64_t arrival_seed_stride = 17;
+  std::int64_t token_seed_base = 101;
+};
+
+// --- Sweep grid ------------------------------------------------------------
+
+struct SweepAxis {
+  std::string name;
+  SourceLoc loc;  // of the axis object, for family-validation diagnostics
+  std::vector<sweep::ParamValue> values;
+  // Reduced values for --quick runs; empty = same as `values`.
+  std::vector<sweep::ParamValue> quick_values;
+
+  const std::vector<sweep::ParamValue>& For(bool quick) const {
+    return quick && !quick_values.empty() ? quick_values : values;
+  }
+};
+
+// One family section parsed twice: the full-size spec and the spec with the
+// "quick" overlay applied.
+template <typename T>
+struct WithQuick {
+  bool present = false;
+  SourceLoc loc;
+  T full;
+  T quick;
+
+  const T& For(bool is_quick) const { return is_quick ? quick : full; }
+};
+
+struct Scenario {
+  std::string file;  // where it was loaded from ("" for in-memory)
+  std::string name;
+  std::string family;
+  std::string description;
+  SourceLoc name_loc, family_loc, sweep_loc;
+
+  ClusterSpec cluster;
+  std::vector<SweepAxis> sweep;
+
+  WithQuick<MultitenantSpec> multitenant;
+  WithQuick<FaultsSpec> faults;
+  WithQuick<OversubSpec> oversub;
+  WithQuick<ServingSpec> serving;
+  WithQuick<DisaggSpec> disagg;
+
+  // The axis list lowered into a sweep::ParamGrid (row-major order as
+  // declared). Family-specific type coercion lives in runner.h's
+  // ValidateForFamily; this is the raw lowering.
+  sweep::ParamGrid Grid(bool quick) const;
+
+  // Canonical serialization: fixed field order, canonical number
+  // formatting, quick overlays reduced to their diff vs the full spec.
+  // Parse(Serialize()) == *this, and re-serializing is byte-identical.
+  std::string Serialize() const;
+};
+
+// Parses and schema-validates `text` into *out, reporting into `diags`
+// (construct the engine over the same file/text). Returns false if any
+// error was reported; *out is only meaningful on success.
+bool ParseScenario(const std::string& text, Scenario* out,
+                   DiagnosticEngine* diags);
+
+// Loads a scenario file from disk. `diags` is reset to the file's content
+// for rendering. Returns false on I/O or parse/validation errors.
+bool LoadScenarioFile(const std::string& path, Scenario* out,
+                      DiagnosticEngine* diags);
+
+// Directory holding the shipped scenario files: $PWSIM_SCENARIO_DIR when
+// set, else the compile-time default (<repo>/scenarios).
+std::string ScenarioDir();
+// ScenarioDir()/<name>.json
+std::string DefaultScenarioPath(const std::string& name);
+
+}  // namespace pw::scenario

@@ -1,0 +1,347 @@
+// Scenario layer: clang-style diagnostics (file:line:col + did-you-mean),
+// canonical serialization round-trips, family validation, thread-count
+// determinism of RunScenario, and the path-addressed result store's glob
+// queries (docs/SCENARIOS.md).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "scenario/diagnostics.h"
+#include "scenario/result_store.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+#include "sweep/result_table.h"
+
+namespace pw::scenario {
+namespace {
+
+// --- diagnostics -----------------------------------------------------------
+
+TEST(Diagnostics, EditDistanceCountsTransposes) {
+  EXPECT_EQ(EditDistance("quick", "quick"), 0u);
+  EXPECT_EQ(EditDistance("quick", "quik"), 1u);    // delete
+  EXPECT_EQ(EditDistance("quick", "qiuck"), 1u);   // transpose
+  EXPECT_EQ(EditDistance("quick", "brick"), 2u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+}
+
+TEST(Diagnostics, DidYouMeanBoundsTheSuggestion) {
+  const std::vector<std::string> keys = {"name", "family", "sweep"};
+  EXPECT_EQ(DidYouMean("famly", keys), "family");
+  EXPECT_EQ(DidYouMean("zzzzzz", keys), "");  // nothing plausible
+  EXPECT_EQ(DidYouMeanSuffix("famly", keys), "; did you mean 'family'?");
+  EXPECT_EQ(DidYouMeanSuffix("zzzzzz", keys), "");
+}
+
+TEST(Diagnostics, HeaderCarriesFileLineCol) {
+  DiagnosticEngine diags("test.json", "{\n  \"bad\": 1\n}\n");
+  diags.Error({2, 3}, "unknown key 'bad'");
+  ASSERT_EQ(diags.diagnostics().size(), 1u);
+  EXPECT_EQ(diags.diagnostics()[0].Header(),
+            "test.json:2:3: error: unknown key 'bad'");
+  // Render excerpts the offending line with a caret under column 3.
+  const std::string render = diags.Render();
+  EXPECT_NE(render.find("  \"bad\": 1"), std::string::npos);
+  EXPECT_NE(render.find("^"), std::string::npos);
+  EXPECT_FALSE(diags.ok());
+}
+
+// Parses `text` expecting failure; returns the rendered diagnostics.
+std::string ParseExpectingErrors(const std::string& text, Scenario* out,
+                                 DiagnosticEngine* diags) {
+  *diags = DiagnosticEngine("test.json", text);
+  EXPECT_FALSE(ParseScenario(text, out, diags));
+  EXPECT_FALSE(diags->ok());
+  return diags->Render();
+}
+
+TEST(ScenarioParse, SyntaxErrorPointsAtTheOffendingToken) {
+  Scenario s;
+  DiagnosticEngine diags;
+  ParseExpectingErrors("{\n  \"name\": ,\n}\n", &s, &diags);
+  ASSERT_GE(diags.diagnostics().size(), 1u);
+  EXPECT_EQ(diags.diagnostics()[0].loc.line, 2);
+  EXPECT_GT(diags.diagnostics()[0].loc.col, 0);
+}
+
+TEST(ScenarioParse, UnknownTopLevelKeySuggestsTheRightOne) {
+  Scenario s;
+  DiagnosticEngine diags;
+  const std::string render = ParseExpectingErrors(
+      "{\n"
+      "  \"name\": \"t\",\n"
+      "  \"famly\": \"faults\",\n"
+      "  \"sweep\": { \"axes\": [ { \"name\": \"island_devices\","
+      " \"values\": [4] } ] }\n"
+      "}\n",
+      &s, &diags);
+  EXPECT_NE(render.find("unknown key 'famly'; did you mean 'family'?"),
+            std::string::npos);
+  bool found = false;
+  for (const auto& d : diags.diagnostics()) {
+    if (d.message.find("'famly'") != std::string::npos) {
+      EXPECT_EQ(d.loc.line, 3);
+      EXPECT_GT(d.loc.col, 0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ScenarioParse, MissingRequiredSectionsAreErrors) {
+  Scenario s;
+  DiagnosticEngine diags;
+  std::string render = ParseExpectingErrors(
+      "{ \"name\": \"t\", \"family\": \"faults\" }\n", &s, &diags);
+  EXPECT_NE(render.find("scenario requires a 'sweep' section"),
+            std::string::npos);
+
+  render = ParseExpectingErrors(
+      "{ \"family\": \"faults\",\n"
+      "  \"sweep\": { \"axes\": [ { \"name\": \"a\", \"values\": [1] } ] } }\n",
+      &s, &diags);
+  EXPECT_NE(render.find("scenario requires a non-empty 'name'"),
+            std::string::npos);
+}
+
+TEST(ScenarioParse, MistypedFieldReportsWantedAndActualType) {
+  Scenario s;
+  DiagnosticEngine diags;
+  const std::string render = ParseExpectingErrors(
+      "{\n"
+      "  \"name\": \"t\",\n"
+      "  \"family\": \"faults\",\n"
+      "  \"faults\": { \"horizon_ms\": \"fast\" },\n"
+      "  \"sweep\": { \"axes\": [ { \"name\": \"island_devices\","
+      " \"values\": [4] },\n"
+      "               { \"name\": \"faults_per_sec\", \"values\": [25] } ] }\n"
+      "}\n",
+      &s, &diags);
+  EXPECT_NE(render.find("key 'horizon_ms' expects number"),
+            std::string::npos);
+  EXPECT_NE(render.find("test.json:4:"), std::string::npos);
+}
+
+TEST(ScenarioParse, UnknownFamilyAxisSuggestsDeclaredAxis) {
+  Scenario s;
+  DiagnosticEngine diags("test.json", "");
+  const std::string text =
+      "{\n"
+      "  \"name\": \"t\",\n"
+      "  \"family\": \"multitenant\",\n"
+      "  \"sweep\": { \"axes\": [\n"
+      "    { \"name\": \"clientz\", \"values\": [2] },\n"
+      "    { \"name\": \"rate_scale\", \"values\": [0.5] },\n"
+      "    { \"name\": \"policy\", \"values\": [\"drop-tail\"] }\n"
+      "  ] }\n"
+      "}\n";
+  diags = DiagnosticEngine("test.json", text);
+  ASSERT_TRUE(ParseScenario(text, &s, &diags)) << diags.Render();
+  EXPECT_FALSE(ValidateForFamily(&s, &diags));
+  const std::string render = diags.Render();
+  EXPECT_NE(render.find("no axis 'clientz'"), std::string::npos);
+  EXPECT_NE(render.find("did you mean 'clients'?"), std::string::npos);
+  EXPECT_NE(render.find("test.json:5:"), std::string::npos);
+}
+
+TEST(ScenarioParse, MissingFamilyAxisIsAnError) {
+  Scenario s;
+  DiagnosticEngine diags;
+  const std::string text =
+      "{ \"name\": \"t\", \"family\": \"multitenant\",\n"
+      "  \"sweep\": { \"axes\": [ { \"name\": \"clients\","
+      " \"values\": [2] } ] } }\n";
+  diags = DiagnosticEngine("test.json", text);
+  ASSERT_TRUE(ParseScenario(text, &s, &diags)) << diags.Render();
+  EXPECT_FALSE(ValidateForFamily(&s, &diags));
+  EXPECT_NE(diags.Render().find("rate_scale"), std::string::npos);
+}
+
+TEST(ScenarioParse, WholeNumberValuesPromoteOnDoubleAxes) {
+  Scenario s;
+  DiagnosticEngine diags;
+  const std::string text =
+      "{ \"name\": \"t\", \"family\": \"multitenant\",\n"
+      "  \"sweep\": { \"axes\": [\n"
+      "    { \"name\": \"clients\", \"values\": [2] },\n"
+      "    { \"name\": \"rate_scale\", \"values\": [1, 4] },\n"
+      "    { \"name\": \"policy\", \"values\": [\"drop-tail\"] } ] } }\n";
+  diags = DiagnosticEngine("test.json", text);
+  ASSERT_TRUE(ParseScenario(text, &s, &diags)) << diags.Render();
+  ASSERT_TRUE(ValidateForFamily(&s, &diags)) << diags.Render();
+  const auto points = s.Grid(false).Points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].GetDouble("rate_scale"), 1.0);
+  EXPECT_DOUBLE_EQ(points[1].GetDouble("rate_scale"), 4.0);
+}
+
+// --- canonical serialization ----------------------------------------------
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(ScenarioSerialize, ShippedScenariosRoundTripByteIdentically) {
+  const char* names[] = {"multitenant",   "faults",       "oversub",
+                         "serving",       "serving_disagg", "serving_flow"};
+  for (const char* name : names) {
+    SCOPED_TRACE(name);
+    const std::string path = DefaultScenarioPath(name);
+    Scenario s1;
+    DiagnosticEngine d1;
+    ASSERT_TRUE(LoadScenarioFile(path, &s1, &d1)) << d1.Render();
+
+    // Serialize is the canonical fixed point: parsing the serialized form
+    // and serializing again must be byte-identical.
+    const std::string canon = s1.Serialize();
+    Scenario s2;
+    DiagnosticEngine d2(path + " (canonical)", canon);
+    ASSERT_TRUE(ParseScenario(canon, &s2, &d2)) << d2.Render();
+    EXPECT_EQ(s2.Serialize(), canon);
+
+    // And the canonical form validates for the same family with the same
+    // grid as the hand-written file.
+    DiagnosticEngine d3;
+    ASSERT_TRUE(ValidateForFamily(&s1, &d3)) << d3.Render();
+    ASSERT_TRUE(ValidateForFamily(&s2, &d3)) << d3.Render();
+    EXPECT_EQ(s2.family, s1.family);
+    for (const bool quick : {false, true}) {
+      const auto p1 = s1.Grid(quick).Points();
+      const auto p2 = s2.Grid(quick).Points();
+      ASSERT_EQ(p1.size(), p2.size());
+      for (std::size_t i = 0; i < p1.size(); ++i) {
+        EXPECT_EQ(p1[i].Label(), p2[i].Label());
+      }
+    }
+  }
+}
+
+// --- runner determinism ----------------------------------------------------
+
+TEST(ScenarioRunner, ByteIdenticalAcrossThreadCounts) {
+  const std::string text =
+      "{ \"name\": \"t\", \"family\": \"multitenant\",\n"
+      "  \"multitenant\": { \"warmup_ms\": 5, \"horizon_ms\": 30 },\n"
+      "  \"sweep\": { \"axes\": [\n"
+      "    { \"name\": \"clients\", \"values\": [2] },\n"
+      "    { \"name\": \"rate_scale\", \"values\": [0.5, 4.0] },\n"
+      "    { \"name\": \"policy\", \"values\": [\"drop-tail\"] } ] } }\n";
+  Scenario s;
+  DiagnosticEngine diags("inline", text);
+  ASSERT_TRUE(ParseScenario(text, &s, &diags)) << diags.Render();
+  ASSERT_TRUE(ValidateForFamily(&s, &diags)) << diags.Render();
+
+  std::string csv[2];
+  const int threads[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    RunOptions opts;
+    opts.threads = threads[i];
+    opts.check_determinism = false;  // this test is the comparison
+    opts.write_json = false;
+    RunResult result;
+    std::string error;
+    ASSERT_TRUE(RunScenario(s, opts, &result, &error)) << error;
+    ASSERT_EQ(result.table.rows().size(), 2u);
+    std::ostringstream os;
+    result.table.WriteCsv(os);
+    csv[i] = os.str();
+  }
+  EXPECT_EQ(csv[0], csv[1]);
+}
+
+TEST(ScenarioRunner, UnknownFamilyFailsWithError) {
+  Scenario s;
+  s.name = "t";
+  s.family = "nope";
+  RunResult result;
+  std::string error;
+  EXPECT_FALSE(RunScenario(s, RunOptions{}, &result, &error));
+  EXPECT_NE(error.find("nope"), std::string::npos);
+}
+
+// --- result store ----------------------------------------------------------
+
+TEST(ResultStore, GlobMatchIsSlashAware) {
+  // `*` and `?` stay within one segment.
+  EXPECT_TRUE(ResultStore::GlobMatch("a/*/c", "a/b/c"));
+  EXPECT_FALSE(ResultStore::GlobMatch("a/*/c", "a/b/x/c"));
+  EXPECT_TRUE(ResultStore::GlobMatch("a/b?/c", "a/bb/c"));
+  EXPECT_FALSE(ResultStore::GlobMatch("a?b", "a/b"));
+  // Greedy `*` backtracks within the segment.
+  EXPECT_TRUE(ResultStore::GlobMatch("*_us", "ttft_p99_us"));
+  EXPECT_TRUE(ResultStore::GlobMatch("*p99*", "ttft_p99_us"));
+  EXPECT_FALSE(ResultStore::GlobMatch("p99_*", "ttft_p99_us"));
+  // `**` spans any number of whole segments, including zero.
+  EXPECT_TRUE(ResultStore::GlobMatch("a/**/d", "a/b/c/d"));
+  EXPECT_TRUE(ResultStore::GlobMatch("a/**/d", "a/d"));
+  EXPECT_TRUE(ResultStore::GlobMatch("**", "a/b/c"));
+  EXPECT_TRUE(
+      ResultStore::GlobMatch("serving/**/ttft_p99_*",
+                             "serving/rate_per_s=1500/policy_continuous=1/"
+                             "kv_scale=0.5/ttft_p99_us"));
+  EXPECT_FALSE(ResultStore::GlobMatch("serving/**/p50_*",
+                                      "serving/summary/deadlocks"));
+}
+
+TEST(ResultStore, LoadsBenchJsonIntoAddressedEntries) {
+  const std::string dir = ::testing::TempDir();
+  sweep::ResultTable table;
+  table.Add({{"rate", sweep::ParamValue{std::int64_t{1500}}},
+             {"kv_scale", sweep::ParamValue{0.5}}},
+            {{"p99_us", 243.0}, {"goodput", 439.0}});
+  table.Add({{"rate", sweep::ParamValue{std::int64_t{24000}}},
+             {"kv_scale", sweep::ParamValue{0.5}}},
+            {{"p99_us", 21631.0}, {"goodput", 1448.0}});
+  const std::string path = sweep::WriteBenchJsonFile(
+      "store_test", {{"deadlocks", 0.0}, {"speedup", 1.74}}, table, dir);
+  ASSERT_FALSE(path.empty());
+
+  ResultStore store;
+  std::string error;
+  ASSERT_TRUE(store.LoadBenchFile(path, &error)) << error;
+
+  const auto summary = store.Select("store_test/summary/*");
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].path, "store_test/summary/deadlocks");
+  EXPECT_DOUBLE_EQ(summary[0].value, 0.0);
+  EXPECT_EQ(summary[1].path, "store_test/summary/speedup");
+  EXPECT_DOUBLE_EQ(summary[1].value, 1.74);
+
+  const auto p99 = store.Select("store_test/**/p99_us");
+  ASSERT_EQ(p99.size(), 2u);
+  EXPECT_EQ(p99[0].path, "store_test/rate=1500/kv_scale=0.5/p99_us");
+  EXPECT_DOUBLE_EQ(p99[0].value, 243.0);
+  EXPECT_EQ(p99[1].path, "store_test/rate=24000/kv_scale=0.5/p99_us");
+
+  EXPECT_TRUE(store.Select("other_bench/**").empty());
+
+  // LoadDir picks the file up again (entries append).
+  ResultStore store2;
+  const int n = store2.LoadDir(dir, &error);
+  ASSERT_GE(n, 1) << error;
+  EXPECT_FALSE(store2.Select("store_test/summary/speedup").empty());
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, RejectsNonBenchJson) {
+  const std::string path = ::testing::TempDir() + "/BENCH_bad.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{ \"not_a_bench\": true }\n";
+  }
+  ResultStore store;
+  std::string error;
+  EXPECT_FALSE(store.LoadBenchFile(path, &error));
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pw::scenario

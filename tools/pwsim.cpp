@@ -1,0 +1,255 @@
+// pwsim — the declarative scenario CLI (docs/SCENARIOS.md).
+//
+//   pwsim validate <file>...     schema + family validation, clang-style
+//                                diagnostics, non-zero exit on any error
+//   pwsim run <name|file>        lower a scenario through SweepRunner and
+//                                write BENCH_<name>.json
+//   pwsim query --select <glob>  path-addressed lookup over BENCH_*.json
+//   pwsim dump <name|file>       canonical serialization to stdout
+//   pwsim families               list registered measurement families
+//
+// Scenario arguments that name no existing file and contain no '/' resolve
+// through ScenarioDir() (default <repo>/scenarios, override with
+// $PWSIM_SCENARIO_DIR).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/result_store.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+#include "sweep/result_table.h"
+
+namespace {
+
+using namespace pw;
+using scenario::DiagnosticEngine;
+using scenario::ResultStore;
+using scenario::Scenario;
+
+int Usage(FILE* out) {
+  std::fprintf(out,
+               "pwsim — declarative scenario runner for the Pathways "
+               "simulator\n"
+               "\n"
+               "usage:\n"
+               "  pwsim validate <scenario.json>...\n"
+               "      Parse + schema-check + family-check each file; prints\n"
+               "      clang-style diagnostics; exit 1 if any file fails.\n"
+               "  pwsim run <name|file> [--quick] [--threads N] [--out DIR]\n"
+               "                        [--no-determinism] [--dry-run]\n"
+               "      Run the scenario's sweep and write BENCH_<name>.json\n"
+               "      (--dry-run: validate and list grid points only).\n"
+               "  pwsim query --select <glob> [--dir DIR]\n"
+               "      Print 'path value' for every result matching the\n"
+               "      glob (segments split on '/'; * ? within a segment,\n"
+               "      ** across segments), loaded from DIR's BENCH_*.json\n"
+               "      (default: current directory).\n"
+               "  pwsim dump <name|file>\n"
+               "      Print the canonical serialization (the parse ->\n"
+               "      serialize -> parse fixed point).\n"
+               "  pwsim families\n"
+               "      List measurement families and their sweep axes.\n");
+  return out == stderr ? 2 : 0;
+}
+
+// <name> -> ScenarioDir()/<name>.json unless it already names a file.
+std::string ResolveScenarioPath(const std::string& arg) {
+  if (arg.find('/') != std::string::npos ||
+      (arg.size() > 5 && arg.substr(arg.size() - 5) == ".json")) {
+    return arg;
+  }
+  std::ifstream probe(arg);
+  if (probe.good()) return arg;
+  return scenario::DefaultScenarioPath(arg);
+}
+
+bool LoadAndValidate(const std::string& path, Scenario* s,
+                     DiagnosticEngine* diags) {
+  if (!scenario::LoadScenarioFile(path, s, diags)) return false;
+  return scenario::ValidateForFamily(s, diags);
+}
+
+int CmdValidate(const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "pwsim validate: no files given\n");
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& arg : files) {
+    const std::string path = ResolveScenarioPath(arg);
+    Scenario s;
+    DiagnosticEngine diags;
+    if (LoadAndValidate(path, &s, &diags)) {
+      std::printf("%s: OK (family %s, %zu axes)\n", path.c_str(),
+                  s.family.c_str(), s.sweep.size());
+    } else {
+      std::fputs(diags.Render().c_str(), stderr);
+      ++failures;
+    }
+  }
+  return failures > 0 ? 1 : 0;
+}
+
+int CmdRun(const std::vector<std::string>& args) {
+  std::string target;
+  scenario::RunOptions opts;
+  bool dry_run = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--quick") {
+      opts.quick = true;
+    } else if (a == "--no-determinism") {
+      opts.check_determinism = false;
+    } else if (a == "--dry-run") {
+      dry_run = true;
+    } else if (a == "--threads" && i + 1 < args.size()) {
+      opts.threads = std::atoi(args[++i].c_str());
+    } else if (a == "--out" && i + 1 < args.size()) {
+      opts.out_dir = args[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "pwsim run: unknown flag '%s'\n", a.c_str());
+      return Usage(stderr);
+    } else if (target.empty()) {
+      target = a;
+    } else {
+      std::fprintf(stderr, "pwsim run: more than one scenario given\n");
+      return Usage(stderr);
+    }
+  }
+  if (target.empty()) {
+    std::fprintf(stderr, "pwsim run: no scenario given\n");
+    return Usage(stderr);
+  }
+
+  const std::string path = ResolveScenarioPath(target);
+  Scenario s;
+  DiagnosticEngine diags;
+  if (!LoadAndValidate(path, &s, &diags)) {
+    std::fputs(diags.Render().c_str(), stderr);
+    return 1;
+  }
+
+  const sweep::ParamGrid grid = s.Grid(opts.quick);
+  const auto points = grid.Points();
+  if (dry_run) {
+    std::printf("%s: family %s, %zu points%s\n", s.name.c_str(),
+                s.family.c_str(), points.size(),
+                opts.quick ? " (quick)" : "");
+    for (const auto& p : points) {
+      std::printf("  %s\n", p.Label().c_str());
+    }
+    return 0;
+  }
+
+  scenario::RunResult result;
+  std::string error;
+  if (!scenario::RunScenario(s, opts, &result, &error)) {
+    std::fprintf(stderr, "pwsim run: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu points%s\n", s.name.c_str(), result.points.size(),
+              opts.quick ? " (quick)" : "");
+  for (const auto& [key, value] : result.summary) {
+    std::printf("  %-28s %.6g\n", key.c_str(), value);
+  }
+  if (!result.json_path.empty()) {
+    std::printf("wrote %s\n", result.json_path.c_str());
+  }
+  return 0;
+}
+
+int CmdQuery(const std::vector<std::string>& args) {
+  std::string select;
+  std::string dir = ".";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--select" && i + 1 < args.size()) {
+      select = args[++i];
+    } else if (a == "--dir" && i + 1 < args.size()) {
+      dir = args[++i];
+    } else {
+      std::fprintf(stderr, "pwsim query: unknown argument '%s'\n", a.c_str());
+      return Usage(stderr);
+    }
+  }
+  if (select.empty()) {
+    std::fprintf(stderr, "pwsim query: --select <glob> is required\n");
+    return Usage(stderr);
+  }
+  ResultStore store;
+  std::string error;
+  const int loaded = store.LoadDir(dir, &error);
+  if (loaded < 0) {
+    std::fprintf(stderr, "pwsim query: %s\n", error.c_str());
+    return 1;
+  }
+  if (loaded == 0) {
+    std::fprintf(stderr, "pwsim query: no BENCH_*.json files in %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  const auto matches = store.Select(select);
+  for (const auto& e : matches) {
+    // Shortest round-trip form, same as the files themselves.
+    char buf[64];
+    for (int prec = 1; prec <= 17; ++prec) {
+      std::snprintf(buf, sizeof buf, "%.*g", prec, e.value);
+      if (std::strtod(buf, nullptr) == e.value) break;
+    }
+    std::printf("%s %s\n", e.path.c_str(), buf);
+  }
+  if (matches.empty()) {
+    std::fprintf(stderr, "pwsim query: no results match '%s'\n",
+                 select.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int CmdDump(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::fprintf(stderr, "pwsim dump: expected exactly one scenario\n");
+    return 2;
+  }
+  const std::string path = ResolveScenarioPath(args[0]);
+  Scenario s;
+  DiagnosticEngine diags;
+  if (!LoadAndValidate(path, &s, &diags)) {
+    std::fputs(diags.Render().c_str(), stderr);
+    return 1;
+  }
+  std::fputs(s.Serialize().c_str(), stdout);
+  return 0;
+}
+
+int CmdFamilies() {
+  for (const std::string& name : scenario::FamilyNames()) {
+    const scenario::Family* f = scenario::FindFamily(name);
+    std::printf("%s — %s\n", f->name.c_str(), f->description.c_str());
+    for (const auto& axis : f->axes) {
+      std::printf("  axis %-18s %s\n", axis.name.c_str(),
+                  scenario::AxisKindName(axis.kind));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(stderr);
+  const std::string cmd = argv[1];
+  std::vector<std::string> rest(argv + 2, argv + argc);
+  if (cmd == "validate") return CmdValidate(rest);
+  if (cmd == "run") return CmdRun(rest);
+  if (cmd == "query") return CmdQuery(rest);
+  if (cmd == "dump") return CmdDump(rest);
+  if (cmd == "families") return CmdFamilies();
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") return Usage(stdout);
+  std::fprintf(stderr, "pwsim: unknown command '%s'\n", cmd.c_str());
+  return Usage(stderr);
+}
