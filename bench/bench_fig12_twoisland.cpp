@@ -6,139 +6,63 @@
 // for 136B) is decomposed into intra-island reduce-scatter + cross-island
 // DCN exchange + intra-island all-gather, overlapped with the backward
 // pass.
+//
+// Thin wrapper: the measurement harness lives in the "fig12_twoisland"
+// family (src/scenario/family_fig12.cpp) and the model grid in
+// scenarios/fig12_twoisland.json (override with --scenario <file>). Every
+// point also re-runs the two-island arm on a non-blocking flow-level Clos
+// and this main gates |flow/analytic - 1| <= 5% — pinning the "uncontended
+// flow == analytic" claim at full system scale (contention itself is
+// bench_network's job).
 #include <cmath>
-#include <memory>
-#include <vector>
+#include <cstdio>
+#include <map>
+#include <string>
 
 #include "bench_common.h"
-#include "models/step_builder.h"
-#include "pathways/pathways.h"
-
-namespace {
-
-struct Result {
-  double tokens_per_sec;
-  double dcn_gb_per_step;
-};
-
-Result MeasureDataParallel(const pw::models::TransformerConfig& config,
-                           int islands, int cores_per_island,
-                           const pw::hw::SystemParams& params) {
-  using namespace pw;
-  using namespace pw::pathways;
-  sim::Simulator sim;
-  auto cluster = std::make_unique<hw::Cluster>(&sim, params, islands,
-                                               cores_per_island / 8, 8);
-  PathwaysOptions options;
-  options.max_inflight_gangs = 64;
-  PathwaysRuntime runtime(cluster.get(), options);
-  Client* client = runtime.CreateClient();
-  models::StepBuilder builder(config, cluster->params());
-
-  std::unique_ptr<PathwaysProgram> program;
-  if (islands == 1) {
-    ProgramBuilder pb("spmd");
-    auto slice = client->AllocateSlice(cores_per_island).value();
-    pb.Call(builder.SpmdStepFunction(cores_per_island,
-                                     cluster->island(0).collectives(),
-                                     /*model_parallel=*/32),
-            slice, {});
-    program = std::make_unique<PathwaysProgram>(std::move(pb).Build());
-  } else {
-    std::vector<VirtualSlice> slices;
-    for (int i = 0; i < islands; ++i) {
-      slices.push_back(
-          client->AllocateSlice(cores_per_island, hw::IslandId(i)).value());
-    }
-    program = std::make_unique<PathwaysProgram>(builder.BuildMultiIslandStep(
-        slices, /*chunks=*/8, cluster->island(0).collectives()));
-  }
-  const auto m = models::MeasureTraining(client, program.get(),
-                                         config.tokens_per_batch, 3);
-  Result r;
-  r.tokens_per_sec = m.tokens_per_sec;
-  r.dcn_gb_per_step = static_cast<double>(cluster->dcn().bytes_sent()) /
-                      (3.0 * 1e9);
-  return r;
-}
-
-// Returns the two-island result so main can validate it against the
-// flow-level fabric.
-Result RunModel(const pw::models::TransformerConfig& config,
-                int cores_per_island, double paper_reduction_gb,
-                pw::bench::Reporter* report) {
-  const pw::hw::SystemParams params = pw::hw::SystemParams::TpuDefault();
-  const Result two = MeasureDataParallel(config, 2, cores_per_island, params);
-  const Result one =
-      MeasureDataParallel(config, 1, 2 * cores_per_island, params);
-  const double efficiency = two.tokens_per_sec / one.tokens_per_sec;
-  std::printf("%-9s 2x%-5d cores: %9.1fk tok/s | 1x%-5d cores: %9.1fk tok/s"
-              " | efficiency %.1f%% (paper ~97%%)\n",
-              config.name.c_str(), cores_per_island,
-              two.tokens_per_sec / 1e3, 2 * cores_per_island,
-              one.tokens_per_sec / 1e3, 100.0 * efficiency);
-  std::printf("          cross-island traffic: %.0f GB/step "
-              "(paper global reduction: %.0f GB)\n",
-              two.dcn_gb_per_step, paper_reduction_gb);
-  report->AddRow(
-      {{"model", config.name},
-       {"cores_per_island", static_cast<std::int64_t>(cores_per_island)}},
-      {{"two_island_tokens_per_sec", two.tokens_per_sec},
-       {"one_island_tokens_per_sec", one.tokens_per_sec},
-       {"efficiency", efficiency},
-       {"dcn_gb_per_step", two.dcn_gb_per_step}});
-  report->Summary("efficiency_" + config.name, efficiency);
-  return two;
-}
-
-// Re-runs the two-island point on the flow-level Clos DCN and gates the
-// result against the abstract (analytic) fabric. A single spine at R=1 is
-// a non-blocking fat pipe, so the pairwise cross-island gradient exchange
-// is uncontended and the flow engine must land on the same throughput —
-// this pins the tentpole's "uncontended flow == analytic" claim at full
-// system scale, not just in unit tests (contention is bench_network's job).
-bool ValidateFlowFabric(const pw::models::TransformerConfig& config,
-                        int cores_per_island, const Result& analytic,
-                        pw::bench::Reporter* report) {
-  using namespace pw;
-  hw::SystemParams params = hw::SystemParams::TpuDefault();
-  params.dcn.clos.enabled = true;
-  params.dcn.clos.hosts_per_leaf = 8;
-  params.dcn.clos.num_spines = 1;
-  params.dcn.clos.oversubscription = 1.0;
-  const Result flow = MeasureDataParallel(config, 2, cores_per_island, params);
-  const double ratio = flow.tokens_per_sec / analytic.tokens_per_sec;
-  const bool ok = std::abs(ratio - 1.0) <= 0.05;
-  std::printf("flow-level DCN (non-blocking Clos): %9.1fk tok/s, "
-              "%.2f%% of analytic [%s]\n",
-              flow.tokens_per_sec / 1e3, 100.0 * ratio, ok ? "ok" : "FAIL");
-  report->Summary("flow_vs_analytic_ratio", ratio);
-  report->Summary("flow_gate_ok", ok ? 1.0 : 0.0);
-  if (!ok) {
-    std::fprintf(stderr,
-                 "FAIL: flow-level two-island throughput off analytic by "
-                 "%.2f%% (tolerance 5%%)\n",
-                 100.0 * std::abs(ratio - 1.0));
-  }
-  return ok;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pw;
-  const bench::Args args = bench::Args::Parse(argc, argv);
+  const bench::Args args =
+      bench::Args::Parse(argc, argv, bench::kScenarioFlag);
   bench::Header(
       "Figure 12 / §5.3: 64B and 136B LMs data-parallel over two islands",
       "two islands over DCN reach ~97% of one island with 2x devices");
-  bench::Reporter report("fig12_twoisland", args);
-  const Result two64 =
-      RunModel(models::TransformerConfig::Decoder64B(), 512, 457, &report);
-  const bool flow_ok = ValidateFlowFabric(models::TransformerConfig::Decoder64B(),
-                                          512, two64, &report);
-  if (!args.quick) {
-    RunModel(models::TransformerConfig::Decoder136B(), 1024, 1030, &report);
+
+  const scenario::Scenario s =
+      bench::LoadBenchScenario(args, "fig12_twoisland", "fig12_twoisland");
+  const scenario::RunResult result = bench::RunBenchScenario(s, args);
+
+  const std::map<std::string, double> paper_reduction_gb = {
+      {"decoder64b", 457.0}, {"decoder136b", 1030.0}};
+  bool flow_ok = true;
+  for (std::size_t i = 0; i < result.table.rows().size(); ++i) {
+    const auto& row = result.table.rows()[i];
+    const std::string model = result.points[i].GetString("model");
+    const double two = bench::MetricOf(row, "two_island_tokens_per_sec");
+    const double one = bench::MetricOf(row, "one_island_tokens_per_sec");
+    std::printf("%-11s two islands: %9.1fk tok/s | one island, 2x devices: "
+                "%9.1fk tok/s | efficiency %.1f%% (paper ~97%%)\n",
+                model.c_str(), two / 1e3, one / 1e3,
+                100.0 * bench::MetricOf(row, "efficiency"));
+    const auto paper = paper_reduction_gb.find(model);
+    std::printf("            cross-island traffic: %.0f GB/step "
+                "(paper global reduction: %.0f GB)\n",
+                bench::MetricOf(row, "dcn_gb_per_step"),
+                paper != paper_reduction_gb.end() ? paper->second : 0.0);
+    const double ratio = bench::MetricOf(row, "flow_vs_analytic_ratio");
+    const bool ok = std::abs(ratio - 1.0) <= 0.05;
+    std::printf("            flow-level DCN (non-blocking Clos): %9.1fk "
+                "tok/s, %.2f%% of analytic [%s]\n",
+                bench::MetricOf(row, "flow_tokens_per_sec") / 1e3,
+                100.0 * ratio, ok ? "ok" : "FAIL");
+    if (!ok) {
+      std::fprintf(stderr,
+                   "FAIL: %s flow-level two-island throughput off analytic "
+                   "by %.2f%% (tolerance 5%%)\n",
+                   model.c_str(), 100.0 * std::abs(ratio - 1.0));
+      flow_ok = false;
+    }
   }
-  report.Write();
   return flow_ok ? 0 : 1;
 }

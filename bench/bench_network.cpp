@@ -2,161 +2,56 @@
 // oversubscription ratio x incast fan-in, with the abstract per-NIC fabric
 // measured at every point as the baseline the scalar model predicts.
 //
-// The sweep gates on exactly the properties the tentpole claims:
+// Thin wrapper: the measurement harness lives in the "network" family
+// (src/scenario/family_network.cpp) and the grid in scenarios/network.json
+// (override with --scenario <file>). This main prints the table and gates on
+// exactly the properties the flow-level tentpole claims:
 //   1. Uncontended agreement: with one flow on a non-blocking Clos, the
 //      flow fabric matches the abstract fabric to ~1us (NIC serialization
 //      is the only bottleneck either way).
 //   2. Incast: N senders converging on one host finish ~N x slower on the
 //      flow fabric, while the abstract fabric — whose senders serialize on
-//      their own NICs only — is flat in N. A scalar multiplier cannot
-//      express this.
-//   3. Oversubscription: a cross-leaf shuffle at R=4 pays >= 2x the R=1
-//      completion time (leaf->spine uplinks throttle it), again invisible
-//      to the abstract fabric.
+//      their own NICs only — is flat in N.
+//   3. Oversubscription: the cross-leaf shuffle at the largest swept R pays
+//      >= 2x the smallest-R completion time (leaf->spine uplinks throttle
+//      it), again invisible to the abstract fabric.
 //   4. Determinism: the sweep table is byte-identical between 1 and N
 //      SweepRunner threads.
 // Exit code is non-zero if any gate fails, so CI can gate on the binary.
-#include <algorithm>
 #include <cmath>
-#include <cstdint>
 #include <cstdio>
-#include <sstream>
-#include <string>
-#include <variant>
-#include <vector>
 
 #include "bench_common.h"
-#include "net/dcn.h"
-#include "sim/simulator.h"
-
-namespace {
-
-using namespace pw;
-
-// Numeric parameter lookup in a finished sweep row (axes are typed).
-double ParamOf(const sweep::ResultRow& row, const std::string& name) {
-  for (const auto& [k, v] : row.params) {
-    if (k != name) continue;
-    if (const auto* d = std::get_if<double>(&v)) return *d;
-    if (const auto* i = std::get_if<std::int64_t>(&v)) {
-      return static_cast<double>(*i);
-    }
-  }
-  return 0.0;
-}
-
-constexpr Bytes kMessageBytes = MiB(16);
-constexpr int kHostsPerLeaf = 8;
-constexpr int kNumSpines = 4;
-constexpr int kHosts = 32;
-
-net::DcnParams MakeParams(bool flow_mode, double oversub) {
-  net::DcnParams p;  // 20us latency, 12.5 GB/s NIC, 128 B header
-  p.clos.enabled = flow_mode;
-  p.clos.hosts_per_leaf = kHostsPerLeaf;
-  p.clos.num_spines = kNumSpines;
-  p.clos.oversubscription = oversub;
-  return p;
-}
-
-// N senders (hosts 1..fan_in) -> host 0; returns last-arrival time in ms.
-double MeasureIncast(bool flow_mode, double oversub, int fan_in) {
-  sim::Simulator sim;
-  net::DcnFabric dcn(&sim, MakeParams(flow_mode, oversub));
-  for (int h = 0; h < kHosts; ++h) dcn.AddHost(net::HostId(h));
-  std::int64_t last_ns = 0;
-  for (int s = 1; s <= fan_in; ++s) {
-    dcn.Send(net::HostId(s), net::HostId(0), kMessageBytes,
-             [&] { last_ns = sim.now().nanos(); });
-  }
-  sim.Run();
-  return static_cast<double>(last_ns) / 1e6;
-}
-
-// Every host on leaf 0 streams to its counterpart on leaf 1 concurrently;
-// returns last-arrival time in ms. Exercises the leaf->spine uplinks, whose
-// bandwidth encodes the oversubscription ratio.
-double MeasureShuffle(bool flow_mode, double oversub) {
-  sim::Simulator sim;
-  net::DcnFabric dcn(&sim, MakeParams(flow_mode, oversub));
-  for (int h = 0; h < kHosts; ++h) dcn.AddHost(net::HostId(h));
-  std::int64_t last_ns = 0;
-  for (int s = 0; s < kHostsPerLeaf; ++s) {
-    dcn.Send(net::HostId(s), net::HostId(kHostsPerLeaf + s), kMessageBytes,
-             [&] { last_ns = sim.now().nanos(); });
-  }
-  sim.Run();
-  return static_cast<double>(last_ns) / 1e6;
-}
-
-sweep::Metrics MeasurePoint(const sweep::ParamPoint& p) {
-  const double oversub = p.GetDouble("oversub");
-  const int fan_in = static_cast<int>(p.GetInt("fan_in"));
-  const double incast_flow = MeasureIncast(true, oversub, fan_in);
-  const double incast_abstract = MeasureIncast(false, oversub, fan_in);
-  const double shuffle_flow = MeasureShuffle(true, oversub);
-  const double shuffle_abstract = MeasureShuffle(false, oversub);
-  return sweep::Metrics{
-      {"incast_flow_ms", incast_flow},
-      {"incast_abstract_ms", incast_abstract},
-      {"incast_slowdown", incast_flow / incast_abstract},
-      {"shuffle_flow_ms", shuffle_flow},
-      {"shuffle_abstract_ms", shuffle_abstract},
-  };
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pw;
-  const bench::Args args = bench::Args::Parse(argc, argv);
+  const bench::Args args =
+      bench::Args::Parse(argc, argv, bench::kScenarioFlag);
   bench::Header(
       "Contended DCN sweep: oversubscription x incast over the flow-level Clos",
       "incast and oversubscription effects the scalar per-NIC fabric cannot "
       "express (ROADMAP item 2)");
-  bench::Reporter report("network", args);
 
-  sweep::ParamGrid grid;
-  if (args.quick) {
-    grid.AxisDoubles("oversub", {1.0, 4.0}).AxisInts("fan_in", {1, 8});
-  } else {
-    grid.AxisDoubles("oversub", {1.0, 2.0, 4.0}).AxisInts("fan_in", {1, 4, 8, 16});
-  }
-
-  sweep::SweepRunner runner;  // default thread count
-  const sweep::ResultTable table = runner.Run(grid, MeasurePoint);
-
-  // Determinism gate: 1-thread rerun must produce a byte-identical table.
-  sweep::SweepRunner serial({.threads = 1});
-  const sweep::ResultTable table_1t = serial.Run(grid, MeasurePoint);
-  std::ostringstream csv_mt, csv_1t;
-  table.WriteCsv(csv_mt);
-  table_1t.WriteCsv(csv_1t);
-  const bool deterministic = csv_mt.str() == csv_1t.str();
-
-  bool gates_ok = deterministic;
-  if (!deterministic) {
-    std::fprintf(stderr,
-                 "FAIL: sweep table differs between 1 and N threads\n");
-  }
+  const scenario::Scenario s =
+      bench::LoadBenchScenario(args, "network", "network");
+  const scenario::RunResult result = bench::RunBenchScenario(s, args);
 
   std::printf("%8s %7s | %14s %14s %9s | %14s %14s\n", "oversub", "fan_in",
               "incast_flow", "incast_abs", "slowdown", "shuffle_flow",
               "shuffle_abs");
-  double max_incast_slowdown = 0;
-  double shuffle_r1 = 0, shuffle_r4 = 0;
-  for (const sweep::ResultRow& row : table.rows()) {
-    const double oversub = ParamOf(row, "oversub");
-    const int fan_in = static_cast<int>(ParamOf(row, "fan_in"));
+  bool gates_ok = true;
+  for (std::size_t i = 0; i < result.table.rows().size(); ++i) {
+    const auto& row = result.table.rows()[i];
+    const auto& p = result.points[i];
+    const double oversub = p.GetDouble("oversub");
+    const int fan_in = static_cast<int>(p.GetInt("fan_in"));
     const double incast_flow = bench::MetricOf(row, "incast_flow_ms");
     const double incast_abstract = bench::MetricOf(row, "incast_abstract_ms");
     const double slowdown = bench::MetricOf(row, "incast_slowdown");
-    const double shuffle_flow = bench::MetricOf(row, "shuffle_flow_ms");
     std::printf("%8.1f %7d | %12.3fms %12.3fms %8.2fx | %12.3fms %12.3fms\n",
                 oversub, fan_in, incast_flow, incast_abstract, slowdown,
-                shuffle_flow, bench::MetricOf(row, "shuffle_abstract_ms"));
-    report.AddRow(row.params, row.metrics);
-    max_incast_slowdown = std::max(max_incast_slowdown, slowdown);
+                bench::MetricOf(row, "shuffle_flow_ms"),
+                bench::MetricOf(row, "shuffle_abstract_ms"));
     if (fan_in == 1) {
       // Gate 1: uncontended agreement (single flow, any R: the access links
       // are the bottleneck either way).
@@ -168,8 +63,6 @@ int main(int argc, char** argv) {
                      diff_ms, oversub);
         gates_ok = false;
       }
-      if (oversub == 1.0) shuffle_r1 = shuffle_flow;
-      if (oversub == 4.0) shuffle_r4 = shuffle_flow;
     }
     if (fan_in >= 4) {
       // Gate 2: incast bites ~N x on the flow fabric, not at all on the
@@ -182,25 +75,29 @@ int main(int argc, char** argv) {
       }
     }
   }
+
   // Gate 3: oversubscription throttles the cross-leaf shuffle.
-  const double oversub_penalty = shuffle_r4 / shuffle_r1;
+  const double oversub_penalty =
+      bench::SummaryOf(result.summary, "oversub_shuffle_penalty");
   if (!(oversub_penalty >= 2.0)) {
     std::fprintf(stderr,
-                 "FAIL: R=4 shuffle only %.2fx of R=1 (expected >= 2x)\n",
+                 "FAIL: high-R shuffle only %.2fx of low-R (expected >= 2x)\n",
                  oversub_penalty);
     gates_ok = false;
   }
+  // Gate 4: byte-identical sweep table across SweepRunner thread counts.
+  const bool deterministic =
+      bench::SummaryOf(result.summary, "deterministic") > 0.5;
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: sweep table differs between 1 and N threads\n");
+    gates_ok = false;
+  }
 
-  std::printf("\nincast slowdown (max over grid): %.2fx | R=4/R=1 shuffle "
+  std::printf("\nincast slowdown (max over grid): %.2fx | shuffle "
               "penalty: %.2fx | deterministic: %s\n",
-              max_incast_slowdown, oversub_penalty,
-              deterministic ? "yes" : "NO");
-
-  report.Summary("max_incast_slowdown", max_incast_slowdown);
-  report.Summary("oversub_shuffle_penalty", oversub_penalty);
-  report.Summary("deterministic", deterministic ? 1.0 : 0.0);
-  report.Summary("gates_ok", gates_ok ? 1.0 : 0.0);
-  report.Write();
+              bench::SummaryOf(result.summary, "max_incast_slowdown"),
+              oversub_penalty, deterministic ? "yes" : "NO");
   if (!gates_ok) {
     std::fprintf(stderr, "bench_network: GATES FAILED\n");
     return 1;

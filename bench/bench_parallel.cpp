@@ -1,0 +1,73 @@
+// Partitioned-engine scaling bench: the cross-island ring workload of the
+// "parallel" family (src/scenario/family_parallel.cpp, grid in
+// scenarios/parallel.json) run twice per point — one sim-thread vs N — with
+// the canonically merged event traces compared byte-for-byte.
+//
+// Gates:
+//   1. Determinism (always): every point's parallel trace, event count and
+//      delivered-message count must equal the serial run's exactly. This is
+//      the docs/PARALLEL.md contract and it holds on any host.
+//   2. Speedup (multi-core hosts only): parallel events/sec >= 2x serial at
+//      the largest island count. Wall-clock scaling is meaningless on a
+//      single-core CI runner, so this gate arms only when
+//      hardware_concurrency() >= 4; the JSON still records the measured
+//      speedup either way so trend lines can track it.
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const bench::Args args =
+      bench::Args::Parse(argc, argv, bench::kScenarioFlag);
+  bench::Header(
+      "Partitioned event engine: islands as conservatively-synchronized LPs",
+      "per-island logical processes synchronized by DCN-latency lookahead "
+      "scale events/sec with cores while replaying bit-identical traces");
+
+  const scenario::Scenario s =
+      bench::LoadBenchScenario(args, "parallel", "parallel");
+  const scenario::RunResult result = bench::RunBenchScenario(s, args);
+
+  std::printf("%8s %12s | %16s %16s %8s | %6s\n", "islands", "sim_threads",
+              "serial_ev/s", "parallel_ev/s", "speedup", "match");
+  for (std::size_t i = 0; i < result.table.rows().size(); ++i) {
+    const auto& row = result.table.rows()[i];
+    std::printf("%8lld %12.0f | %16.0f %16.0f %7.2fx | %6s\n",
+                static_cast<long long>(result.points[i].GetInt("islands")),
+                bench::MetricOf(row, "sim_threads"),
+                bench::MetricOf(row, "serial_events_per_sec"),
+                bench::MetricOf(row, "parallel_events_per_sec"),
+                bench::MetricOf(row, "speedup"),
+                bench::MetricOf(row, "trace_match") > 0.5 ? "yes" : "NO");
+  }
+
+  bool gates_ok = true;
+  const bool all_match =
+      bench::SummaryOf(result.summary, "all_traces_match") > 0.5;
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: parallel trace diverged from the serial run\n");
+    gates_ok = false;
+  }
+  const double max_speedup = bench::SummaryOf(result.summary, "max_speedup");
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores >= 4) {
+    if (max_speedup < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: max speedup %.2fx < 2x on a %u-core host\n",
+                   max_speedup, cores);
+      gates_ok = false;
+    }
+  } else {
+    std::printf("(speedup gate disarmed: only %u hardware threads)\n", cores);
+  }
+  std::printf("\nmax speedup: %.2fx | traces: %s\n", max_speedup,
+              all_match ? "byte-identical" : "DIVERGED");
+  if (!gates_ok) {
+    std::fprintf(stderr, "bench_parallel: GATES FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "hw/partitioned_cluster.h"
+
+#include <utility>
+
+namespace pw::hw {
+
+PartitionedCluster::PartitionedCluster(sim::PartitionedSimulator* psim,
+                                       Options opts)
+    : psim_(psim), opts_(std::move(opts)) {
+  PW_CHECK(psim_ != nullptr);
+  PW_CHECK_GE(psim_->num_lps(), opts_.islands)
+      << "each island needs its own LP";
+  PW_CHECK_GE(opts_.channel.latency.nanos(), psim_->lookahead().nanos())
+      << "cross-island latency below the engine lookahead";
+  clusters_.reserve(static_cast<std::size_t>(opts_.islands));
+  for (int i = 0; i < opts_.islands; ++i) {
+    clusters_.push_back(std::make_unique<Cluster>(
+        &psim_->lp(i), opts_.params, /*islands=*/1, opts_.hosts_per_island,
+        opts_.devices_per_host));
+  }
+  channels_ = std::make_unique<net::LpChannelMap>(psim_, opts_.channel);
+}
+
+}  // namespace pw::hw

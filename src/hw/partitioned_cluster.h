@@ -1,0 +1,82 @@
+// The hw-layer partition boundary: islands as logical processes.
+//
+// A PartitionedCluster builds one single-island hw::Cluster per LP of a
+// PartitionedSimulator, so every device, host, ICI link, and flow-network
+// structure of island i lives entirely on LP i and is only ever touched by
+// events executing there. Intra-island traffic (ICI transfers, collectives,
+// host DMA) stays LP-local and needs no synchronization at all; the only
+// thing that crosses LPs is cross-island traffic, and all of it is routed
+// through a shared net::LpChannelMap — the timestamped inter-LP channel
+// whose latency floor equals the engine's lookahead.
+//
+// This mirrors the serial topology exactly: a serial Cluster with N islands
+// has per-island ICI plus one DCN fabric; a PartitionedCluster has N
+// LP-local clusters plus the channel map playing the DCN's role (per-pair
+// serialization and FIFO, partition hold / heal replay, degrade scaling).
+// The channel latency must be >= the engine lookahead — with the defaults
+// both derive from the same physical quantity, the minimum cross-island
+// DCN latency (DcnFabric::MinCrossIslandLatency).
+//
+// Device and host IDs are island-local: island_cluster(i).device(0) is the
+// first device *of island i*. Cross-island code addresses peers by island
+// index, which is also the LP index.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "hw/cluster.h"
+#include "hw/system_params.h"
+#include "net/lp_channel.h"
+#include "sim/partition.h"
+
+namespace pw::hw {
+
+class PartitionedCluster {
+ public:
+  struct Options {
+    int islands = 2;
+    int hosts_per_island = 1;
+    int devices_per_host = 2;
+    SystemParams params = SystemParams::TpuDefault();
+    // Cross-island channel. `channel.latency` must be >= the engine's
+    // lookahead (LpChannelMap checks this at construction).
+    net::LpChannelParams channel{};
+  };
+
+  // Requires psim->num_lps() >= opts.islands; island i lives on LP i.
+  PartitionedCluster(sim::PartitionedSimulator* psim, Options opts);
+
+  PartitionedCluster(const PartitionedCluster&) = delete;
+  PartitionedCluster& operator=(const PartitionedCluster&) = delete;
+
+  int num_islands() const { return static_cast<int>(clusters_.size()); }
+
+  // The LP-local single-island cluster for island i.
+  Cluster& island_cluster(int i) {
+    return *clusters_.at(static_cast<std::size_t>(i));
+  }
+
+  net::LpChannelMap& channels() { return *channels_; }
+  sim::PartitionedSimulator& engine() { return *psim_; }
+
+  // Cross-island send: bytes from island src to island dst, on_delivered
+  // running on LP dst at arrival. Must be called from an event executing on
+  // LP src (or from setup). Returns the delivery time, or
+  // LpChannelMap::kHeldSentinel when a partition held the message.
+  TimePoint SendCrossIsland(int src, int dst, Bytes bytes,
+                            std::function<void()> on_delivered) {
+    return channels_->Send(src, dst, bytes, std::move(on_delivered));
+  }
+
+ private:
+  sim::PartitionedSimulator* psim_;
+  Options opts_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;  // index == island == LP
+  std::unique_ptr<net::LpChannelMap> channels_;
+};
+
+}  // namespace pw::hw

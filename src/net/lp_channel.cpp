@@ -1,0 +1,140 @@
+#include "net/lp_channel.h"
+
+#include <algorithm>
+
+namespace pw::net {
+
+LpChannelMap::LpChannelMap(sim::PartitionedSimulator* psim,
+                           LpChannelParams params)
+    : psim_(psim), params_(params) {
+  PW_CHECK_GT(params_.bandwidth, 0.0);
+  PW_CHECK_GE(params_.latency.nanos(), psim_->lookahead().nanos())
+      << "channel latency below the engine lookahead would let a message "
+         "arrive inside an already-executed window";
+  const std::size_t n = static_cast<std::size_t>(psim_->num_lps());
+  src_.resize(n);
+  for (SrcState& s : src_) {
+    s.pairs.resize(n);
+    s.cut.assign(n, 0);
+  }
+  delivered_.assign(n, 0);
+}
+
+TimePoint LpChannelMap::Send(int src, int dst, Bytes bytes,
+                             std::function<void()> on_delivered) {
+  PW_CHECK(src != dst) << "LpChannelMap is the cross-LP path only";
+  ++src_[static_cast<std::size_t>(src)].messages_sent;
+  return Route(src, dst, bytes, std::move(on_delivered), kFreshSend);
+}
+
+TimePoint LpChannelMap::Route(int src, int dst, Bytes bytes,
+                              std::function<void()> on_delivered,
+                              std::uint64_t replay_seq) {
+  SrcState& s = src_[static_cast<std::size_t>(src)];
+  if (s.cut[static_cast<std::size_t>(src)] ||
+      s.cut[static_cast<std::size_t>(dst)]) {
+    HeldMessage m{dst, bytes, std::move(on_delivered),
+                  replay_seq == kFreshSend ? s.next_hold_seq++ : replay_seq};
+    Hold(s, std::move(m));
+    return kHeldSentinel;
+  }
+  PairState& pair = s.pairs[static_cast<std::size_t>(dst)];
+  const std::int64_t now_ns = psim_->lp(src).now().nanos();
+  const std::int64_t start = std::max(now_ns, pair.next_free_ns);
+  const double scale = s.bandwidth_scale;
+  const double bw =
+      scale == 1.0 ? params_.bandwidth : params_.bandwidth * scale;
+  const Duration xmit = Duration::Seconds(
+      static_cast<double>(bytes + params_.per_message_header) / bw);
+  pair.next_free_ns = start + xmit.nanos();
+  const TimePoint delivered =
+      TimePoint::FromNanos(start + xmit.nanos() + params_.latency.nanos());
+  std::int64_t* delivered_slot = &delivered_[static_cast<std::size_t>(dst)];
+  psim_->SendAt(src, dst, delivered,
+                [fn = std::move(on_delivered), delivered_slot] {
+                  ++*delivered_slot;
+                  if (fn) fn();
+                });
+  return delivered;
+}
+
+void LpChannelMap::Hold(SrcState& s, HeldMessage m) {
+  // Stamp-position insertion (fresh sends carry the highest stamp so far,
+  // so this is O(1) appends in the common case; a replay re-held because
+  // its peer is still cut lands back in original order).
+  auto it = s.held.end();
+  while (it != s.held.begin() && std::prev(it)->seq > m.seq) --it;
+  s.held.insert(it, std::move(m));
+}
+
+void LpChannelMap::SetCut(int src, int lp, bool cut) {
+  SrcState& s = src_[static_cast<std::size_t>(src)];
+  s.cut[static_cast<std::size_t>(lp)] = cut ? 1 : 0;
+  if (!cut) ReplayHeld(src);
+}
+
+void LpChannelMap::ReplayHeld(int src) {
+  SrcState& s = src_[static_cast<std::size_t>(src)];
+  if (s.held.empty()) return;
+  std::vector<HeldMessage> replay;
+  replay.swap(s.held);
+  // Route() re-holds (in stamp position) any message whose other endpoint
+  // is still cut; the rest serialize onto the wire at heal time in original
+  // send order.
+  for (HeldMessage& m : replay) {
+    if (s.cut[static_cast<std::size_t>(src)]) {
+      Hold(s, std::move(m));
+      continue;
+    }
+    Route(src, m.dst, m.bytes, std::move(m.on_delivered), m.seq);
+  }
+}
+
+void LpChannelMap::SchedulePartition(int lp, TimePoint at, TimePoint heal) {
+  PW_CHECK_GT(heal.nanos(), at.nanos());
+  for (int src = 0; src < psim_->num_lps(); ++src) {
+    psim_->lp(src).ScheduleAt(at, [this, src, lp] { SetCut(src, lp, true); });
+    psim_->lp(src).ScheduleAt(heal,
+                              [this, src, lp] { SetCut(src, lp, false); });
+  }
+}
+
+void LpChannelMap::ScheduleDegrade(int src, double scale, TimePoint at,
+                                   TimePoint restore) {
+  PW_CHECK_GT(scale, 0.0);
+  PW_CHECK_GT(restore.nanos(), at.nanos());
+  psim_->lp(src).ScheduleAt(at, [this, src, scale] {
+    src_[static_cast<std::size_t>(src)].bandwidth_scale = scale;
+  });
+  psim_->lp(src).ScheduleAt(restore, [this, src] {
+    src_[static_cast<std::size_t>(src)].bandwidth_scale = 1.0;
+  });
+}
+
+std::int64_t LpChannelMap::messages_sent() const {
+  std::int64_t total = 0;
+  for (const SrcState& s : src_) total += s.messages_sent;
+  return total;
+}
+
+std::int64_t LpChannelMap::messages_delivered() const {
+  std::int64_t total = 0;
+  for (std::int64_t d : delivered_) total += d;
+  return total;
+}
+
+std::size_t LpChannelMap::messages_held() const {
+  std::size_t total = 0;
+  for (const SrcState& s : src_) total += s.held.size();
+  return total;
+}
+
+Bytes LpChannelMap::held_bytes() const {
+  Bytes total = 0;
+  for (const SrcState& s : src_) {
+    for (const HeldMessage& m : s.held) total += m.bytes;
+  }
+  return total;
+}
+
+}  // namespace pw::net

@@ -1,0 +1,134 @@
+// Timestamped inter-LP channels: the partition boundary's data path.
+//
+// When a run executes islands as logical processes (sim/partition.h), all
+// cross-island traffic — DCN sends, disagg KV transfers, fault
+// partition/heal replay — must flow through an explicitly timestamped
+// channel instead of touching a peer island's state directly. LpChannelMap
+// provides that path with the same semantics the serial DcnFabric gives
+// cross-island messages:
+//
+//   * per-pair serialization: each directed (src, dst) pair owns an egress
+//     cursor; messages queue behind each other at bandwidth, then pay the
+//     fabric latency;
+//   * per-pair FIFO: serialization makes delivery times per pair
+//     non-decreasing, and the engine's deterministic merge (delivery time,
+//     source LP, per-source send seq) breaks any remaining tie in send
+//     order — so receivers observe sends in order, exactly once;
+//   * partitions hold, heals replay in original send order: cutting an LP
+//     parks messages from/to it on the *sender's* hold queue (stamp-ordered,
+//     mirroring DcnFabric::Hold) and a heal re-submits them at heal time;
+//   * degrades scale a source's egress bandwidth for transfers started
+//     after the change.
+//
+// Ownership discipline (the reason this is race-free and deterministic):
+// every piece of channel state for pair (src, dst) — cursor, degrade scale,
+// hold queue, and the local view of which peers are cut — lives on the
+// source LP and is only touched from events executing on that LP. Fault
+// timelines are pre-scheduled onto every LP at setup (SchedulePartition /
+// ScheduleDegrade), so partition state never needs a cross-LP read: each LP
+// applies the same toggle when its own clock reaches the fault time. The
+// only cross-LP effect is the delivery event, routed through
+// PartitionedSimulator::SendAt — legal because delivery is always at least
+// `latency` in the future, and `latency` must be >= the engine's lookahead
+// (DcnFabric::MinCrossIslandLatency is the physical floor for both).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "sim/partition.h"
+
+namespace pw::net {
+
+struct LpChannelParams {
+  Duration latency = Duration::Micros(20);  // one-way, >= engine lookahead
+  double bandwidth = 12.5e9;                // bytes/sec per directed pair
+  Bytes per_message_header = 128;           // framing overhead per message
+};
+
+class LpChannelMap {
+ public:
+  // Returned by Send() when the message was held by a partition (no usable
+  // delivery estimate exists until the heal), mirroring DcnFabric.
+  static constexpr TimePoint kHeldSentinel = TimePoint::Max();
+
+  LpChannelMap(sim::PartitionedSimulator* psim, LpChannelParams params);
+
+  LpChannelMap(const LpChannelMap&) = delete;
+  LpChannelMap& operator=(const LpChannelMap&) = delete;
+
+  // Sends `bytes` from LP src to LP dst; on_delivered runs on LP dst at
+  // arrival. Must be invoked from an event executing on LP src (or from
+  // setup before the run). Returns the delivery time, or kHeldSentinel when
+  // a partition held the message.
+  TimePoint Send(int src, int dst, Bytes bytes,
+                 std::function<void()> on_delivered);
+
+  // Immediately toggles `lp`'s cut state as seen from `src`. Must run on LP
+  // src. A heal (cut = false) replays src's held messages whose endpoints
+  // are all reachable again, in original send order.
+  void SetCut(int src, int lp, bool cut);
+
+  // Pre-schedules (at setup) the partition of `lp` over [at, heal) onto
+  // every LP's local timeline, so all senders observe the cut at identical
+  // simulated times regardless of thread count.
+  void SchedulePartition(int lp, TimePoint at, TimePoint heal);
+
+  // Scales LP src's egress bandwidth (all pairs from src) over
+  // [at, restore); applies to transfers started inside the window.
+  void ScheduleDegrade(int src, double scale, TimePoint at, TimePoint restore);
+
+  const LpChannelParams& params() const { return params_; }
+
+  // Telemetry. Safe to read between runs (src-side counters are written by
+  // their owning LP; delivered counters by the destination LP).
+  std::int64_t messages_sent() const;        // includes held-then-replayed once
+  std::int64_t messages_delivered() const;
+  std::size_t messages_held() const;         // currently parked by partitions
+  Bytes held_bytes() const;
+  std::int64_t delivered_to(int dst) const {
+    return delivered_[static_cast<std::size_t>(dst)];
+  }
+
+ private:
+  struct HeldMessage {
+    int dst;
+    Bytes bytes;
+    std::function<void()> on_delivered;
+    std::uint64_t seq;  // fabric-order stamp; replay preserves it
+  };
+  struct PairState {
+    std::int64_t next_free_ns = 0;  // egress serialization cursor
+  };
+  // Everything a source LP owns. Only events on that LP may touch it.
+  struct SrcState {
+    std::vector<PairState> pairs;  // indexed by dst
+    std::vector<char> cut;         // local view: is LP j unreachable?
+    std::vector<HeldMessage> held; // stamp-ordered hold queue
+    double bandwidth_scale = 1.0;
+    std::int64_t messages_sent = 0;
+    // Send-order stamp for this source's hold queue. Per-source (not
+    // fabric-wide like DcnFabric's) because sources run on different
+    // threads; per-pair FIFO only needs order within a source anyway.
+    std::uint64_t next_hold_seq = 0;
+  };
+
+  static constexpr std::uint64_t kFreshSend = ~std::uint64_t{0};
+
+  // Send minus double-counting, carrying a replayed message's stamp.
+  TimePoint Route(int src, int dst, Bytes bytes,
+                  std::function<void()> on_delivered, std::uint64_t replay_seq);
+  void Hold(SrcState& s, HeldMessage m);
+  void ReplayHeld(int src);
+
+  sim::PartitionedSimulator* psim_;
+  LpChannelParams params_;
+  std::vector<SrcState> src_;
+  std::vector<std::int64_t> delivered_;  // indexed by dst, written by dst LP
+};
+
+}  // namespace pw::net

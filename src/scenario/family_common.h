@@ -31,5 +31,8 @@ Family MakeFaultsFamily();
 Family MakeOversubFamily();
 Family MakeServingFamily();
 Family MakeServingDisaggFamily();
+Family MakeNetworkFamily();
+Family MakeFig12Family();
+Family MakeParallelFamily();
 
 }  // namespace pw::scenario

@@ -33,10 +33,49 @@ struct PointResult {
   double goodput() const { return steps_ok / horizon_sec; }
 };
 
-// Runs the training loop on an island of `island_devices` with `crashes`
-// injected crashes (0 = fault-free baseline) over the spec's horizon.
+// The declarative fault_plan section lowered onto the builder API.
+// Out-of-range targets die in FaultPlan::Validate when the injector arms,
+// naming the offending event.
+faults::FaultPlan PlanFromSpec(const FaultsSpec& spec) {
+  faults::FaultPlan plan;
+  for (const FaultPlanEvent& e : spec.fault_plan) {
+    const TimePoint at = TimePoint() + Duration::Millis(e.at_ms);
+    const Duration window = Duration::Millis(e.window_ms);
+    if (e.kind == "device_crash") {
+      plan.CrashDevice(hw::DeviceId(e.device), at, window);
+    } else if (e.kind == "straggler") {
+      plan.SlowDevice(hw::DeviceId(e.device), at, window, e.severity);
+    } else if (e.kind == "link_degrade") {
+      plan.DegradeHostLink(net::HostId(e.host), at, window, e.severity);
+    } else {  // "partition" — the parser admits no other kind
+      plan.PartitionHost(net::HostId(e.host), at, window);
+    }
+  }
+  return plan;
+}
+
+// The axis-derived random plan (empty when crashes == 0, the baseline arm).
+faults::FaultPlan RandomPlan(const FaultsSpec& spec, int island_devices,
+                             int crashes, std::uint64_t seed) {
+  if (crashes <= 0) return {};
+  const int hosts = std::max(1, island_devices / 4);
+  faults::FaultPlan::RandomSpec fspec;
+  fspec.device_crashes = crashes;
+  fspec.stragglers = crashes / 2;
+  fspec.link_degrades = spec.link_degrades;
+  fspec.partitions = 0;
+  fspec.horizon = Duration::Millis(spec.horizon_ms);
+  fspec.min_window = Duration::Millis(spec.min_window_ms);
+  fspec.max_window = Duration::Millis(spec.max_window_ms);
+  fspec.always_recover = spec.always_recover;
+  return faults::FaultPlan::Random(
+      seed, faults::ClusterShape{island_devices, hosts}, fspec);
+}
+
+// Runs the training loop on an island of `island_devices` with `plan`
+// armed (an empty plan = the fault-free baseline) over the spec's horizon.
 PointResult RunPoint(const Scenario& sc, const FaultsSpec& spec,
-                     int island_devices, int crashes, std::uint64_t seed) {
+                     int island_devices, const faults::FaultPlan& plan) {
   const Duration horizon = Duration::Millis(spec.horizon_ms);
   sim::Simulator sim;
   const hw::SystemParams params = BaseSystemParams(sc.cluster);
@@ -46,21 +85,6 @@ PointResult RunPoint(const Scenario& sc, const FaultsSpec& spec,
                                                hosts, devs_per_host);
   PathwaysRuntime runtime(cluster.get(), pathways::PathwaysOptions{});
 
-  faults::FaultPlan plan;
-  if (crashes > 0) {
-    faults::FaultPlan::RandomSpec fspec;
-    fspec.device_crashes = crashes;
-    fspec.stragglers = crashes / 2;
-    fspec.link_degrades = spec.link_degrades;
-    fspec.partitions = 0;
-    fspec.horizon = horizon;
-    fspec.min_window = Duration::Millis(spec.min_window_ms);
-    fspec.max_window = Duration::Millis(spec.max_window_ms);
-    fspec.always_recover = spec.always_recover;
-    plan = faults::FaultPlan::Random(
-        seed, faults::ClusterShape{cluster->num_devices(), cluster->num_hosts()},
-        fspec);
-  }
   faults::FaultInjector injector(cluster.get(), &runtime, plan);
   injector.Arm();
 
@@ -96,19 +120,28 @@ PointResult RunPoint(const Scenario& sc, const FaultsSpec& spec,
   return out;
 }
 
-sweep::Metrics Measure(const Scenario& sc, bool quick,
+sweep::Metrics Measure(const Scenario& sc, const MeasureCtx& ctx,
                        const sweep::ParamPoint& p) {
-  const FaultsSpec& spec = sc.faults.For(quick);
+  const FaultsSpec& spec = sc.faults.For(ctx.quick);
   const int devices = static_cast<int>(p.GetInt("island_devices"));
-  const int rate = static_cast<int>(p.GetInt("faults_per_sec"));
-  const int crashes = std::max(
-      1, static_cast<int>(rate * Duration::Millis(spec.horizon_ms).ToSeconds()));
-  // Seed varies per point so grid cells see different fault draws but
-  // every rerun of the bench sees the same ones.
-  const std::uint64_t seed = static_cast<std::uint64_t>(spec.seed_base) +
-                             p.index();
-  const PointResult faulted = RunPoint(sc, spec, devices, crashes, seed);
-  const PointResult baseline = RunPoint(sc, spec, devices, 0, seed);
+  faults::FaultPlan plan;
+  if (!spec.fault_plan.empty()) {
+    // Declarative timeline: the same events replay at every grid point
+    // (the faults_per_sec axis, if present, does not shape the plan).
+    plan = PlanFromSpec(spec);
+  } else {
+    const int rate = static_cast<int>(p.GetInt("faults_per_sec"));
+    const int crashes =
+        std::max(1, static_cast<int>(
+                        rate * Duration::Millis(spec.horizon_ms).ToSeconds()));
+    // Seed varies per point so grid cells see different fault draws but
+    // every rerun of the bench sees the same ones.
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(spec.seed_base) + p.index();
+    plan = RandomPlan(spec, devices, crashes, seed);
+  }
+  const PointResult faulted = RunPoint(sc, spec, devices, plan);
+  const PointResult baseline = RunPoint(sc, spec, devices, {});
   return {{"goodput_steps_per_sec", faulted.goodput()},
           {"baseline_steps_per_sec", baseline.goodput()},
           {"goodput_ratio", faulted.goodput() / baseline.goodput()},

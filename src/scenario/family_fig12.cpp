@@ -1,0 +1,167 @@
+// Family "fig12_twoisland": §5.3 / Figure 12 — large decoder-only LMs
+// trained data-parallel over two islands connected by DCN, vs one island
+// with twice the devices. Extracted from bench/bench_fig12_twoisland.cpp.
+//
+// The model axis fixes the per-island core count (decoder64b -> 512,
+// decoder136b -> 1024). Every point also re-runs the two-island arm on the
+// flow-level Clos DCN (single spine at R=1: a non-blocking fat pipe) so the
+// bench can gate "uncontended flow == analytic" at full system scale.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "models/step_builder.h"
+#include "pathways/pathways.h"
+#include "scenario/family_common.h"
+
+namespace pw::scenario {
+namespace {
+
+using pathways::Client;
+using pathways::PathwaysProgram;
+using pathways::PathwaysRuntime;
+using pathways::ProgramBuilder;
+using pathways::VirtualSlice;
+
+struct ModelPoint {
+  models::TransformerConfig config;
+  int cores_per_island = 0;
+};
+
+ModelPoint ModelFor(const std::string& name) {
+  if (name == "decoder64b") {
+    return {models::TransformerConfig::Decoder64B(), 512};
+  }
+  PW_CHECK(name == "decoder136b")
+      << "fig12_twoisland: unknown model '" << name
+      << "' (known: decoder64b, decoder136b)";
+  return {models::TransformerConfig::Decoder136B(), 1024};
+}
+
+struct ArmResult {
+  double tokens_per_sec = 0;
+  double dcn_gb_per_step = 0;
+};
+
+ArmResult MeasureDataParallel(const Fig12Spec& spec, const ModelPoint& m,
+                              int islands, int cores_per_island,
+                              const hw::SystemParams& params) {
+  using namespace pathways;
+  sim::Simulator sim;
+  auto cluster = std::make_unique<hw::Cluster>(&sim, params, islands,
+                                               cores_per_island / 8, 8);
+  PathwaysOptions options;
+  options.max_inflight_gangs = spec.max_inflight_gangs;
+  PathwaysRuntime runtime(cluster.get(), options);
+  Client* client = runtime.CreateClient();
+  models::StepBuilder builder(m.config, cluster->params());
+
+  std::unique_ptr<PathwaysProgram> program;
+  if (islands == 1) {
+    ProgramBuilder pb("spmd");
+    auto slice = client->AllocateSlice(cores_per_island).value();
+    pb.Call(builder.SpmdStepFunction(cores_per_island,
+                                     cluster->island(0).collectives(),
+                                     spec.model_parallel),
+            slice, {});
+    program = std::make_unique<PathwaysProgram>(std::move(pb).Build());
+  } else {
+    std::vector<VirtualSlice> slices;
+    for (int i = 0; i < islands; ++i) {
+      slices.push_back(
+          client->AllocateSlice(cores_per_island, hw::IslandId(i)).value());
+    }
+    program = std::make_unique<PathwaysProgram>(builder.BuildMultiIslandStep(
+        slices, spec.chunks, cluster->island(0).collectives()));
+  }
+  const auto meas = models::MeasureTraining(client, program.get(),
+                                            m.config.tokens_per_batch,
+                                            spec.steps);
+  ArmResult r;
+  r.tokens_per_sec = meas.tokens_per_sec;
+  r.dcn_gb_per_step = static_cast<double>(cluster->dcn().bytes_sent()) /
+                      (static_cast<double>(spec.steps) * 1e9);
+  return r;
+}
+
+sweep::Metrics Measure(const Scenario& sc, const MeasureCtx& ctx,
+                       const sweep::ParamPoint& p) {
+  const Fig12Spec& spec = sc.fig12.For(ctx.quick);
+  const ModelPoint m = ModelFor(p.GetString("model"));
+  const hw::SystemParams params = BaseSystemParams(sc.cluster);
+
+  const ArmResult two =
+      MeasureDataParallel(spec, m, 2, m.cores_per_island, params);
+  const ArmResult one =
+      MeasureDataParallel(spec, m, 1, 2 * m.cores_per_island, params);
+
+  // Flow-level validation arm: single spine at R=1 is non-blocking, so the
+  // pairwise cross-island gradient exchange is uncontended and must land on
+  // the analytic fabric's throughput (contention itself is the network
+  // family's job).
+  hw::SystemParams flow_params = params;
+  flow_params.dcn.clos.enabled = true;
+  flow_params.dcn.clos.hosts_per_leaf = 8;
+  flow_params.dcn.clos.num_spines = 1;
+  flow_params.dcn.clos.oversubscription = 1.0;
+  const ArmResult flow =
+      MeasureDataParallel(spec, m, 2, m.cores_per_island, flow_params);
+
+  return {{"two_island_tokens_per_sec", two.tokens_per_sec},
+          {"one_island_tokens_per_sec", one.tokens_per_sec},
+          {"efficiency", two.tokens_per_sec / one.tokens_per_sec},
+          {"dcn_gb_per_step", two.dcn_gb_per_step},
+          {"flow_tokens_per_sec", flow.tokens_per_sec},
+          {"flow_vs_analytic_ratio",
+           flow.tokens_per_sec / two.tokens_per_sec}};
+}
+
+double MetricOf(const sweep::ResultRow& row, const std::string& name) {
+  for (const auto& [k, v] : row.metrics) {
+    if (k == name) return v;
+  }
+  return 0.0;
+}
+
+std::map<std::string, double> Summarize(
+    const Scenario&, bool, const sweep::ResultTable& table,
+    const std::vector<sweep::ParamPoint>& points, bool deterministic) {
+  std::map<std::string, double> summary;
+  double worst_flow_drift = 0;
+  for (std::size_t i = 0; i < table.rows().size(); ++i) {
+    const auto& row = table.rows()[i];
+    summary["efficiency_" + points[i].GetString("model")] =
+        MetricOf(row, "efficiency");
+    worst_flow_drift =
+        std::max(worst_flow_drift,
+                 std::abs(MetricOf(row, "flow_vs_analytic_ratio") - 1.0));
+  }
+  summary["worst_flow_drift"] = worst_flow_drift;
+  summary["deterministic"] = deterministic ? 1.0 : 0.0;
+  return summary;
+}
+
+}  // namespace
+
+Family MakeFig12Family() {
+  Family f;
+  f.name = "fig12_twoisland";
+  f.description =
+      "Fig. 12: data-parallel LM training over two islands vs one island "
+      "with 2x devices, plus the flow-level Clos validation arm";
+  f.axes = {{"model", AxisKind::kString}};
+  // Three full training measurements per point: too slow to rerun the whole
+  // grid serially for the generic determinism check (the bench's own gates
+  // compare against fixed paper numbers instead).
+  f.check_determinism = false;
+  f.measure = Measure;
+  f.summarize = Summarize;
+  return f;
+}
+
+}  // namespace pw::scenario

@@ -1,0 +1,177 @@
+// Family "parallel": scaling microbenchmark for the partitioned
+// (conservatively synchronized) event engine. Each grid point runs the
+// same cross-island ring workload twice on a PartitionedCluster — once on
+// one sim-thread (the serial baseline: identical engine, identical
+// schedule) and once on the point's parallel thread count — and reports
+// events/sec for both plus whether the canonically merged event traces are
+// byte-identical. The trace comparison is the determinism contract of
+// docs/PARALLEL.md surfaced as a metric the bench can gate on; wall-clock
+// speedup is only meaningful on multi-core hosts (bench_parallel arms its
+// >= 2x gate conditionally).
+//
+// Workload: `islands` chains, one starting on each island. A hop is an
+// intra-island ICI transfer (dev 0 -> dev 1) followed by a cross-island
+// message to the next island in the ring; the chains rotate concurrently,
+// so at any instant every LP has work and the cross-LP channels stay busy.
+// Per-destination logs are appended only by events on the owning LP (no
+// shared mutable state between LPs) and merged after the run by the
+// deterministic (time, island, seq) sort.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "hw/partitioned_cluster.h"
+#include "scenario/family_common.h"
+#include "sim/partition.h"
+
+namespace pw::scenario {
+namespace {
+
+// One merged trace entry: (delivery time ns, destination island, per-island
+// sequence). The per-island logs are deterministic, so the sorted merge is
+// too — byte-equality of two WorkloadResults is the determinism gate.
+using Trace = std::vector<std::tuple<std::int64_t, int, std::int64_t>>;
+
+struct WorkloadResult {
+  Trace trace;
+  std::int64_t events = 0;     // engine events executed, all LPs
+  std::int64_t delivered = 0;  // cross-island messages delivered
+  double wall_sec = 0;
+};
+
+WorkloadResult RunRing(const ParallelSpec& spec, int islands, int threads) {
+  sim::PartitionedSimulator part(
+      {.num_lps = islands,
+       .threads = threads,
+       .lookahead = Duration::Micros(spec.lookahead_us)});
+  hw::PartitionedCluster::Options opts;
+  opts.islands = islands;
+  opts.devices_per_host = spec.devices_per_host;
+  opts.params.host_jitter_frac = 0;
+  hw::PartitionedCluster pc(&part, opts);
+
+  // logs[i] is written only by events executing on LP i.
+  std::vector<std::vector<std::int64_t>> logs(
+      static_cast<std::size_t>(islands));
+  auto step = std::make_shared<std::function<void(int, int)>>();
+  *step = [&, step](int island, int n) {
+    if (n >= spec.steps) return;
+    hw::Island& isl = pc.island_cluster(island).island(0);
+    isl.Transfer(hw::DeviceId(0), hw::DeviceId(1), KiB(spec.ici_kib))
+        .Then([&, step, island, n](sim::Unit) {
+          const int dst = (island + 1) % islands;
+          pc.SendCrossIsland(island, dst, KiB(spec.dcn_kib),
+                             [&, step, dst, n] {
+                               logs[static_cast<std::size_t>(dst)].push_back(
+                                   pc.engine().lp(dst).now().nanos());
+                               (*step)(dst, n + 1);
+                             });
+        });
+  };
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < islands; ++i) {
+    part.lp(i).ScheduleAt(TimePoint::FromNanos(0),
+                          [&, step, i] { (*step)(i, 0); });
+  }
+  part.Run();
+  const auto stop = std::chrono::steady_clock::now();
+  PW_CHECK(!part.Deadlocked());
+
+  WorkloadResult r;
+  r.wall_sec = std::chrono::duration<double>(stop - start).count();
+  r.events = part.TotalEventsExecuted();
+  r.delivered = pc.channels().messages_delivered();
+  for (int i = 0; i < islands; ++i) {
+    const auto& log = logs[static_cast<std::size_t>(i)];
+    for (std::size_t k = 0; k < log.size(); ++k) {
+      r.trace.emplace_back(log[k], i, static_cast<std::int64_t>(k));
+    }
+  }
+  std::sort(r.trace.begin(), r.trace.end());
+  return r;
+}
+
+sweep::Metrics Measure(const Scenario& sc, const MeasureCtx& ctx,
+                       const sweep::ParamPoint& p) {
+  const ParallelSpec& spec = sc.parallel.For(ctx.quick);
+  const int islands = static_cast<int>(p.GetInt("islands"));
+  // The parallel arm's thread count: --sim-threads when given, else every
+  // core the host has, never more threads than LPs.
+  int threads = ctx.sim_threads;
+  if (threads <= 1) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::max(1, std::min(threads, islands));
+
+  // Wall-clock on a sub-millisecond workload is mostly warmup noise; run
+  // each arm twice and keep the faster wall time (the traces must agree
+  // between repetitions — that is the determinism claim again).
+  const auto timed = [&](int n_threads) {
+    WorkloadResult r = RunRing(spec, islands, n_threads);
+    const WorkloadResult rerun = RunRing(spec, islands, n_threads);
+    PW_CHECK(rerun.trace == r.trace);
+    r.wall_sec = std::min(r.wall_sec, rerun.wall_sec);
+    return r;
+  };
+  RunRing(spec, islands, 1);  // untimed warmup: page-in, allocator growth
+  const WorkloadResult serial = timed(1);
+  const WorkloadResult parallel = timed(threads);
+  const bool match = parallel.trace == serial.trace &&
+                     parallel.events == serial.events &&
+                     parallel.delivered == serial.delivered;
+  const auto rate = [](const WorkloadResult& r) {
+    return r.wall_sec > 0 ? static_cast<double>(r.events) / r.wall_sec : 0.0;
+  };
+  return {{"events", static_cast<double>(serial.events)},
+          {"messages", static_cast<double>(serial.delivered)},
+          {"sim_threads", static_cast<double>(threads)},
+          {"serial_events_per_sec", rate(serial)},
+          {"parallel_events_per_sec", rate(parallel)},
+          {"speedup", rate(serial) > 0 ? rate(parallel) / rate(serial) : 0.0},
+          {"trace_match", match ? 1.0 : 0.0}};
+}
+
+double MetricOf(const sweep::ResultRow& row, const std::string& name) {
+  for (const auto& [k, v] : row.metrics) {
+    if (k == name) return v;
+  }
+  return 0.0;
+}
+
+std::map<std::string, double> Summarize(
+    const Scenario&, bool, const sweep::ResultTable& table,
+    const std::vector<sweep::ParamPoint>&, bool) {
+  double max_speedup = 0, all_match = 1;
+  for (const auto& row : table.rows()) {
+    max_speedup = std::max(max_speedup, MetricOf(row, "speedup"));
+    all_match = std::min(all_match, MetricOf(row, "trace_match"));
+  }
+  return {{"max_speedup", max_speedup}, {"all_traces_match", all_match}};
+}
+
+}  // namespace
+
+Family MakeParallelFamily() {
+  Family f;
+  f.name = "parallel";
+  f.description =
+      "partitioned-engine scaling: cross-island ring workload, 1 vs N "
+      "sim-threads, trace-identity gated";
+  f.axes = {{"islands", AxisKind::kInt}};
+  // Wall-clock metrics are inherently non-reproducible; the determinism
+  // claim lives in the trace_match metric instead.
+  f.check_determinism = false;
+  f.measure = Measure;
+  f.summarize = Summarize;
+  return f;
+}
+
+}  // namespace pw::scenario

@@ -179,4 +179,83 @@ std::vector<ResultEntry> ResultStore::Select(const std::string& pattern) const {
   return out;
 }
 
+std::optional<Aggregation> ResultStore::ParseAggregation(
+    const std::string& select) {
+  // Form: "<agg> over <glob>". A glob can't contain spaces, so a plain
+  // glob select never parses as an aggregation.
+  const std::size_t sp = select.find(' ');
+  if (sp == std::string::npos) return std::nullopt;
+  const std::string agg_word = select.substr(0, sp);
+  std::size_t rest = select.find_first_not_of(' ', sp);
+  if (rest == std::string::npos || select.compare(rest, 5, "over ") != 0) {
+    return std::nullopt;
+  }
+  rest = select.find_first_not_of(' ', rest + 5);
+  if (rest == std::string::npos) return std::nullopt;
+
+  Aggregation agg;
+  agg.glob = select.substr(rest);
+  if (agg_word == "min") {
+    agg.kind = Aggregation::Kind::kMin;
+  } else if (agg_word == "max") {
+    agg.kind = Aggregation::Kind::kMax;
+  } else if (agg_word == "mean") {
+    agg.kind = Aggregation::Kind::kMean;
+  } else if (agg_word == "sum") {
+    agg.kind = Aggregation::Kind::kSum;
+  } else if (agg_word == "count") {
+    agg.kind = Aggregation::Kind::kCount;
+  } else if (agg_word.size() > 1 && agg_word[0] == 'p') {
+    char* end = nullptr;
+    const double p = std::strtod(agg_word.c_str() + 1, &end);
+    if (end == nullptr || *end != '\0' || p < 0 || p > 100) {
+      return std::nullopt;
+    }
+    agg.kind = Aggregation::Kind::kPercentile;
+    agg.percentile = p;
+  } else {
+    return std::nullopt;
+  }
+  return agg;
+}
+
+std::optional<double> ResultStore::Aggregate(const Aggregation& agg) const {
+  std::vector<double> values;
+  for (const ResultEntry& e : entries_) {
+    if (GlobMatch(agg.glob, e.path)) values.push_back(e.value);
+  }
+  if (agg.kind == Aggregation::Kind::kCount) {
+    return static_cast<double>(values.size());
+  }
+  if (values.empty()) return std::nullopt;
+  switch (agg.kind) {
+    case Aggregation::Kind::kMin:
+      return *std::min_element(values.begin(), values.end());
+    case Aggregation::Kind::kMax:
+      return *std::max_element(values.begin(), values.end());
+    case Aggregation::Kind::kSum:
+    case Aggregation::Kind::kMean: {
+      double sum = 0;
+      for (double v : values) sum += v;
+      return agg.kind == Aggregation::Kind::kSum
+                 ? sum
+                 : sum / static_cast<double>(values.size());
+    }
+    case Aggregation::Kind::kPercentile: {
+      // Linear interpolation between ranks, matching
+      // common::PercentileSampler::Percentile.
+      std::sort(values.begin(), values.end());
+      const double rank =
+          agg.percentile / 100.0 * static_cast<double>(values.size() - 1);
+      const std::size_t lo = static_cast<std::size_t>(rank);
+      const std::size_t hi = std::min(lo + 1, values.size() - 1);
+      const double frac = rank - static_cast<double>(lo);
+      return values[lo] + (values[hi] - values[lo]) * frac;
+    }
+    case Aggregation::Kind::kCount:
+      break;  // handled above
+  }
+  return std::nullopt;
+}
+
 }  // namespace pw::scenario

@@ -9,8 +9,12 @@
 // e.g. "serving/rate_per_s=1500/policy_continuous=1/kv_scale=0.5/ttft_p99_us".
 // `pwsim query --select 'serving/**/p99_*'` resolves glob patterns over
 // these paths: `*` and `?` match within one segment, `**` spans segments.
+// A select may also be an aggregation: "<agg> over <glob>" reduces every
+// matching value to one number, where <agg> is min, max, mean, sum, count,
+// or pNN (a percentile, e.g. p50/p99).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +23,14 @@ namespace pw::scenario {
 struct ResultEntry {
   std::string path;
   double value = 0;
+};
+
+// Parsed "<agg> over <glob>" selector.
+struct Aggregation {
+  enum class Kind { kMin, kMax, kMean, kSum, kCount, kPercentile };
+  Kind kind = Kind::kMean;
+  double percentile = 0;  // in [0, 100], kPercentile only
+  std::string glob;
 };
 
 class ResultStore {
@@ -36,6 +48,16 @@ class ResultStore {
 
   // Entries whose path matches the glob, in load order.
   std::vector<ResultEntry> Select(const std::string& pattern) const;
+
+  // Parses "<agg> over <glob>" (e.g. "p99 over serving/**/ttft_*").
+  // Returns nullopt when `select` is not an aggregation form — callers fall
+  // back to a plain glob Select. A malformed aggregation (unknown <agg>)
+  // also returns nullopt; `pNN over x` with NN out of [0,100] is malformed.
+  static std::optional<Aggregation> ParseAggregation(const std::string& select);
+
+  // Reduces the values matching agg.glob. Count of an empty match is 0;
+  // every other aggregation over an empty match returns nullopt.
+  std::optional<double> Aggregate(const Aggregation& agg) const;
 
   // Slash-aware glob match: `*` / `?` never cross a '/', `**` matches any
   // number of whole segments (including zero).

@@ -1,6 +1,8 @@
 #include "scenario/runner.h"
 
+#include <algorithm>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "scenario/family_common.h"
@@ -18,6 +20,9 @@ const std::vector<Family>& Registry() {
     v->push_back(MakeOversubFamily());
     v->push_back(MakeServingFamily());
     v->push_back(MakeServingDisaggFamily());
+    v->push_back(MakeNetworkFamily());
+    v->push_back(MakeFig12Family());
+    v->push_back(MakeParallelFamily());
     return v;
   }();
   return *families;
@@ -96,7 +101,12 @@ bool ValidateForFamily(Scenario* s, DiagnosticEngine* diags) {
     }
   }
 
+  // A declarative fault_plan supersedes the axis-derived random plan, so
+  // the faults_per_sec axis becomes optional for those scenarios.
+  const bool has_fault_plan =
+      s->family == "faults" && !s->faults.full.fault_plan.empty();
   for (const FamilyAxis& fa : fam->axes) {
+    if (has_fault_plan && fa.name == "faults_per_sec") continue;
     bool found = false;
     for (const SweepAxis& axis : s->sweep) found |= axis.name == fa.name;
     if (!found) {
@@ -104,6 +114,12 @@ bool ValidateForFamily(Scenario* s, DiagnosticEngine* diags) {
                                      "' requires axis '" + fa.name + "' (" +
                                      AxisKindName(fa.kind) + ")");
     }
+  }
+  if (s->family == "faults" && !has_fault_plan) {
+    diags->Note(s->faults.present ? s->faults.loc : s->sweep_loc,
+                "deriving the fault timeline from the faults_per_sec axis is "
+                "deprecated; declare an explicit 'fault_plan' in the 'faults' "
+                "section (see scenarios/faults_plan.json)");
   }
   return diags->ok();
 }
@@ -116,13 +132,27 @@ bool RunScenario(const Scenario& s, const RunOptions& opts, RunResult* out,
     return false;
   }
 
+  const MeasureCtx ctx{opts.quick, std::max(1, opts.sim_threads)};
   const sweep::ParamGrid grid = s.Grid(opts.quick);
   const auto point_fn = [&](const sweep::ParamPoint& p) {
-    return fam->measure(s, opts.quick, p);
+    return fam->measure(s, ctx, p);
   };
 
+  // Split the thread budget between sweep-parallelism and per-point
+  // sim-parallelism: a partitioned-engine point already uses sim_threads
+  // cores, so the sweep fans out with correspondingly fewer workers.
+  int sweep_threads = opts.threads;
+  if (ctx.sim_threads > 1) {
+    int budget = opts.threads;
+    if (budget == 0) {
+      budget = static_cast<int>(std::thread::hardware_concurrency());
+      if (budget <= 0) budget = 1;
+    }
+    sweep_threads = std::max(1, budget / ctx.sim_threads);
+  }
+
   sweep::SweepRunner runner(sweep::SweepRunner::Options{
-      .threads = opts.threads, .record_wall_ms = false});
+      .threads = sweep_threads, .record_wall_ms = false});
   out->table = runner.Run(grid, point_fn);
   out->points = grid.Points();
 

@@ -12,10 +12,11 @@
 namespace pw::scenario {
 namespace {
 
-// The five known families double as the schema's section keys.
+// The known families double as the schema's section keys.
 const std::vector<std::string>& KnownFamilies() {
   static const std::vector<std::string> kFamilies{
-      "multitenant", "faults", "oversub", "serving", "serving_disagg"};
+      "multitenant", "faults",  "oversub",       "serving",
+      "serving_disagg", "network", "fig12_twoisland", "parallel"};
   return kFamilies;
 }
 
@@ -256,6 +257,60 @@ void ReadMultitenant(const Json& obj, MultitenantSpec* s,
   r.Finish();
 }
 
+const std::vector<std::string>& KnownFaultKinds() {
+  static const std::vector<std::string> kKinds{"device_crash", "straggler",
+                                              "link_degrade", "partition"};
+  return kKinds;
+}
+
+// One fault_plan entry. Only the fields the kind uses are legal, so a
+// parsed event serializes back to exactly the keys it was written with.
+void ReadFaultPlanEvent(const Json& obj, FaultPlanEvent* e,
+                        DiagnosticEngine* diags) {
+  FieldReader r(obj, diags);
+  SourceLoc kind_loc = obj.loc();
+  r.String("kind", &e->kind, &kind_loc);
+  r.Double("at_ms", &e->at_ms, 0);
+  r.Double("window_ms", &e->window_ms, 0);
+  r.Int("device", &e->device, 0);
+  r.Int("host", &e->host, 0);
+  r.Double("severity", &e->severity);
+  r.Finish();
+
+  bool known = false;
+  for (const std::string& k : KnownFaultKinds()) known |= k == e->kind;
+  if (!known) {
+    diags->Error(kind_loc, "unknown fault kind '" + e->kind + "'" +
+                               DidYouMeanSuffix(e->kind, KnownFaultKinds()));
+    return;
+  }
+  const bool device_kind = e->kind == "device_crash" || e->kind == "straggler";
+  if (!device_kind && r.Saw("device")) {
+    diags->Error(obj.KeyLoc("device"),
+                 "'device' does not apply to kind '" + e->kind + "'");
+  }
+  if (device_kind && r.Saw("host")) {
+    diags->Error(obj.KeyLoc("host"),
+                 "'host' does not apply to kind '" + e->kind + "'");
+  }
+  if (e->kind == "straggler") {
+    if (e->severity < 1.0) {
+      diags->Error(obj.KeyLoc("severity"),
+                   "straggler 'severity' is a compute multiplier; "
+                   "it must be >= 1");
+    }
+  } else if (e->kind == "link_degrade") {
+    if (e->severity <= 0.0 || e->severity > 1.0) {
+      diags->Error(obj.KeyLoc("severity"),
+                   "link_degrade 'severity' is a bandwidth scale; "
+                   "it must be in (0, 1]");
+    }
+  } else if (r.Saw("severity")) {
+    diags->Error(obj.KeyLoc("severity"),
+                 "'severity' does not apply to kind '" + e->kind + "'");
+  }
+}
+
 void ReadFaults(const Json& obj, FaultsSpec* s, DiagnosticEngine* diags,
                 bool overlay) {
   FieldReader r(obj, diags);
@@ -270,6 +325,22 @@ void ReadFaults(const Json& obj, FaultsSpec* s, DiagnosticEngine* diags,
   r.Double("step_us", &s->step_us, 0);
   r.I64("collective_kib", &s->collective_kib, 0);
   r.I64("seed_base", &s->seed_base, 0);
+  if (const Json* plan = r.Array("fault_plan")) {
+    // A fault_plan in a quick overlay replaces the full plan wholesale
+    // (merging timelines element-wise would be unintelligible).
+    s->fault_plan.clear();
+    for (const Json& entry : plan->array()) {
+      if (!entry.is_object()) {
+        diags->Error(entry.loc(),
+                     std::string("fault_plan entries expect object, got ") +
+                         entry.kind_name());
+        continue;
+      }
+      FaultPlanEvent e;
+      ReadFaultPlanEvent(entry, &e, diags);
+      s->fault_plan.push_back(e);
+    }
+  }
   r.Finish();
   if (s->max_window_ms < s->min_window_ms) {
     diags->Error(obj.KeyLoc("max_window_ms"),
@@ -339,6 +410,40 @@ void ReadDisagg(const Json& obj, DisaggSpec* s, DiagnosticEngine* diags,
   r.I64("arrival_seed_base", &s->arrival_seed_base, 0);
   r.I64("arrival_seed_stride", &s->arrival_seed_stride, 0);
   r.I64("token_seed_base", &s->token_seed_base, 0);
+  r.Finish();
+}
+
+void ReadNetwork(const Json& obj, NetworkSpec* s, DiagnosticEngine* diags,
+                 bool overlay) {
+  FieldReader r(obj, diags);
+  if (!overlay) r.Allow("quick");
+  r.Double("message_mib", &s->message_mib, 0);
+  r.Int("hosts", &s->hosts, 2);
+  r.Int("hosts_per_leaf", &s->hosts_per_leaf, 1);
+  r.Int("num_spines", &s->num_spines, 1);
+  r.Finish();
+}
+
+void ReadFig12(const Json& obj, Fig12Spec* s, DiagnosticEngine* diags,
+               bool overlay) {
+  FieldReader r(obj, diags);
+  if (!overlay) r.Allow("quick");
+  r.Int("steps", &s->steps, 1);
+  r.Int("chunks", &s->chunks, 1);
+  r.Int("max_inflight_gangs", &s->max_inflight_gangs, 1);
+  r.Int("model_parallel", &s->model_parallel, 1);
+  r.Finish();
+}
+
+void ReadParallel(const Json& obj, ParallelSpec* s, DiagnosticEngine* diags,
+                  bool overlay) {
+  FieldReader r(obj, diags);
+  if (!overlay) r.Allow("quick");
+  r.Int("steps", &s->steps, 1);
+  r.Double("ici_kib", &s->ici_kib, 0);
+  r.Double("dcn_kib", &s->dcn_kib, 0);
+  r.Int("devices_per_host", &s->devices_per_host, 1);
+  r.Double("lookahead_us", &s->lookahead_us, 1);
   r.Finish();
 }
 
@@ -636,6 +741,36 @@ void EmitFaults(JsonWriter* w, const FaultsSpec& s, const FaultsSpec* base) {
   PW_EMIT_DOUBLE(step_us);
   PW_EMIT_INT(collective_kib);
   PW_EMIT_INT(seed_base);
+  // Only the keys the kind accepts are emitted, mirroring what the parser
+  // admits, so parse -> serialize stays a fixed point.
+  const bool plan_differs =
+      base != nullptr ? !(s.fault_plan == base->fault_plan)
+                      : !s.fault_plan.empty();
+  if (plan_differs) {
+    w->Key("fault_plan");
+    w->ObjectArray(s.fault_plan.begin(), s.fault_plan.end(),
+                   [w](const FaultPlanEvent& e) {
+                     w->BeginObject();
+                     w->Key("kind");
+                     w->String(e.kind);
+                     w->Key("at_ms");
+                     w->Double(e.at_ms);
+                     w->Key("window_ms");
+                     w->Double(e.window_ms);
+                     if (e.kind == "device_crash" || e.kind == "straggler") {
+                       w->Key("device");
+                       w->Int(e.device);
+                     } else {
+                       w->Key("host");
+                       w->Int(e.host);
+                     }
+                     if (e.kind == "straggler" || e.kind == "link_degrade") {
+                       w->Key("severity");
+                       w->Double(e.severity);
+                     }
+                     w->EndObject();
+                   });
+  }
 }
 
 void EmitOversub(JsonWriter* w, const OversubSpec& s, const OversubSpec* base) {
@@ -678,6 +813,29 @@ void EmitDisagg(JsonWriter* w, const DisaggSpec& s, const DisaggSpec* base) {
   PW_EMIT_INT(token_seed_base);
 }
 
+void EmitNetwork(JsonWriter* w, const NetworkSpec& s, const NetworkSpec* base) {
+  PW_EMIT_DOUBLE(message_mib);
+  PW_EMIT_INT(hosts);
+  PW_EMIT_INT(hosts_per_leaf);
+  PW_EMIT_INT(num_spines);
+}
+
+void EmitFig12(JsonWriter* w, const Fig12Spec& s, const Fig12Spec* base) {
+  PW_EMIT_INT(steps);
+  PW_EMIT_INT(chunks);
+  PW_EMIT_INT(max_inflight_gangs);
+  PW_EMIT_INT(model_parallel);
+}
+
+void EmitParallel(JsonWriter* w, const ParallelSpec& s,
+                  const ParallelSpec* base) {
+  PW_EMIT_INT(steps);
+  PW_EMIT_DOUBLE(ici_kib);
+  PW_EMIT_DOUBLE(dcn_kib);
+  PW_EMIT_INT(devices_per_host);
+  PW_EMIT_DOUBLE(lookahead_us);
+}
+
 #undef PW_EMIT_INT
 #undef PW_EMIT_DOUBLE
 #undef PW_EMIT_BOOL
@@ -697,7 +855,8 @@ bool SpecEq(const FaultsSpec& a, const FaultsSpec& b) {
   return PW_EQ(horizon_ms) && PW_EQ(min_window_ms) && PW_EQ(max_window_ms) &&
          PW_EQ(link_degrades) && PW_EQ(always_recover) &&
          PW_EQ(retry_max_attempts) && PW_EQ(retry_initial_backoff_us) &&
-         PW_EQ(step_us) && PW_EQ(collective_kib) && PW_EQ(seed_base);
+         PW_EQ(step_us) && PW_EQ(collective_kib) && PW_EQ(seed_base) &&
+         PW_EQ(fault_plan);
 }
 bool SpecEq(const OversubSpec& a, const OversubSpec& b) {
   return PW_EQ(tenants) && PW_EQ(weights_per_shard_mib) &&
@@ -712,6 +871,18 @@ bool SpecEq(const ServingSpec& a, const ServingSpec& b) {
          PW_EQ(hbm_frac_of_working_set) && PW_EQ(hbm_headroom_kib) &&
          PW_EQ(arrival_seed_base) && PW_EQ(arrival_seed_stride) &&
          PW_EQ(token_seed_base);
+}
+bool SpecEq(const NetworkSpec& a, const NetworkSpec& b) {
+  return PW_EQ(message_mib) && PW_EQ(hosts) && PW_EQ(hosts_per_leaf) &&
+         PW_EQ(num_spines);
+}
+bool SpecEq(const Fig12Spec& a, const Fig12Spec& b) {
+  return PW_EQ(steps) && PW_EQ(chunks) && PW_EQ(max_inflight_gangs) &&
+         PW_EQ(model_parallel);
+}
+bool SpecEq(const ParallelSpec& a, const ParallelSpec& b) {
+  return PW_EQ(steps) && PW_EQ(ici_kib) && PW_EQ(dcn_kib) &&
+         PW_EQ(devices_per_host) && PW_EQ(lookahead_us);
 }
 bool SpecEq(const DisaggSpec& a, const DisaggSpec& b) {
   return PW_EQ(model) && PW_EQ(max_batch) && PW_EQ(token_budget) &&
@@ -814,6 +985,9 @@ std::string Scenario::Serialize() const {
   EmitSection(&w, "oversub", oversub, EmitOversub);
   EmitSection(&w, "serving", serving, EmitServing);
   EmitSection(&w, "serving_disagg", disagg, EmitDisagg);
+  EmitSection(&w, "network", network, EmitNetwork);
+  EmitSection(&w, "fig12_twoisland", fig12, EmitFig12);
+  EmitSection(&w, "parallel", parallel, EmitParallel);
 
   w.Key("sweep");
   w.BeginObject();
@@ -861,6 +1035,9 @@ bool ParseScenario(const std::string& text, Scenario* out,
   const Json* ov = r.Object("oversub");
   const Json* sv = r.Object("serving");
   const Json* dg = r.Object("serving_disagg");
+  const Json* nw = r.Object("network");
+  const Json* fg = r.Object("fig12_twoisland");
+  const Json* pl = r.Object("parallel");
   r.Finish();
 
   if (out->name.empty()) {
@@ -895,6 +1072,9 @@ bool ParseScenario(const std::string& text, Scenario* out,
   if (ov != nullptr) ReadSection(*ov, &out->oversub, diags, ReadOversub);
   if (sv != nullptr) ReadSection(*sv, &out->serving, diags, ReadServing);
   if (dg != nullptr) ReadSection(*dg, &out->disagg, diags, ReadDisagg);
+  if (nw != nullptr) ReadSection(*nw, &out->network, diags, ReadNetwork);
+  if (fg != nullptr) ReadSection(*fg, &out->fig12, diags, ReadFig12);
+  if (pl != nullptr) ReadSection(*pl, &out->parallel, diags, ReadParallel);
 
   // A section for a family this scenario does not run is almost certainly a
   // mistake (its knobs would be silently ignored).
@@ -906,7 +1086,10 @@ bool ParseScenario(const std::string& text, Scenario* out,
                               SectionRef{"faults", fl},
                               SectionRef{"oversub", ov},
                               SectionRef{"serving", sv},
-                              SectionRef{"serving_disagg", dg}}) {
+                              SectionRef{"serving_disagg", dg},
+                              SectionRef{"network", nw},
+                              SectionRef{"fig12_twoisland", fg},
+                              SectionRef{"parallel", pl}}) {
     if (s.obj != nullptr && out->family != s.key) {
       diags->Error(root.KeyLoc(s.key),
                    std::string("section '") + s.key +

@@ -84,8 +84,36 @@ struct MultitenantSpec {
   std::int64_t seed_base = 0xC0FFEE;
 };
 
+// One entry in a declarative fault timeline. `kind` selects which target
+// fields apply (others are schema errors, so serialization stays canonical):
+//   device_crash — device                 (crash at at_ms, down window_ms)
+//   straggler    — device, severity > 1   (compute multiplier for window_ms)
+//   link_degrade — host, severity in (0,1] (NIC bandwidth scale)
+//   partition    — host                   (cut off the DCN for window_ms)
+// window_ms = 0 on device_crash means the device never recovers.
+struct FaultPlanEvent {
+  std::string kind;
+  double at_ms = 0;
+  double window_ms = 0;
+  int device = 0;
+  int host = 0;
+  double severity = 1.0;
+
+  friend bool operator==(const FaultPlanEvent& a, const FaultPlanEvent& b) {
+    return a.kind == b.kind && a.at_ms == b.at_ms &&
+           a.window_ms == b.window_ms && a.device == b.device &&
+           a.host == b.host && a.severity == b.severity;
+  }
+};
+
 // family "faults": crash/straggler/degrade injection vs a per-point
 // fault-free baseline (bench_faults).
+//
+// Two ways to get a fault timeline: a non-empty `fault_plan` replays those
+// exact events at every grid point; an empty one derives a seeded random
+// plan from the faults_per_sec axis (the original bench_faults behaviour,
+// now deprecated — validation emits a note steering scenarios to the
+// declarative form).
 struct FaultsSpec {
   double horizon_ms = 200;
   double min_window_ms = 1;
@@ -97,6 +125,7 @@ struct FaultsSpec {
   double step_us = 300;
   std::int64_t collective_kib = 64;
   std::int64_t seed_base = 0x5eed;
+  std::vector<FaultPlanEvent> fault_plan;
 };
 
 // family "oversub": tenants' working sets vs scaled-down HBM through the
@@ -145,6 +174,38 @@ struct DisaggSpec {
   std::int64_t token_seed_base = 101;
 };
 
+// family "network": contended flow-level Clos DCN vs the abstract per-NIC
+// fabric, swept over oversubscription ratio x incast fan-in
+// (bench_network, docs/NETWORK.md).
+struct NetworkSpec {
+  double message_mib = 16;
+  int hosts = 32;
+  int hosts_per_leaf = 8;
+  int num_spines = 4;
+};
+
+// family "fig12_twoisland": Figure 12 / §5.3 — data-parallel training over
+// two islands vs one island with twice the devices, plus the flow-level
+// Clos validation arm (bench_fig12_twoisland). The model axis fixes the
+// per-island core count: decoder64b -> 512, decoder136b -> 1024.
+struct Fig12Spec {
+  int steps = 3;
+  int chunks = 8;
+  int max_inflight_gangs = 64;
+  int model_parallel = 32;  // single-island SPMD arm
+};
+
+// family "parallel": partitioned-engine scaling — the same cross-island
+// ring workload on a 1-thread and an N-thread PartitionedSimulator, gated
+// on byte-identical canonical traces (bench_parallel, docs/PARALLEL.md).
+struct ParallelSpec {
+  int steps = 600;         // ring hops per starting island
+  double ici_kib = 256;    // intra-island transfer per hop
+  double dcn_kib = 64;     // cross-island message per hop
+  int devices_per_host = 2;
+  double lookahead_us = 20;  // must stay <= the LP channel latency
+};
+
 // --- Sweep grid ------------------------------------------------------------
 
 struct SweepAxis {
@@ -186,6 +247,9 @@ struct Scenario {
   WithQuick<OversubSpec> oversub;
   WithQuick<ServingSpec> serving;
   WithQuick<DisaggSpec> disagg;
+  WithQuick<NetworkSpec> network;
+  WithQuick<Fig12Spec> fig12;
+  WithQuick<ParallelSpec> parallel;
 
   // The axis list lowered into a sweep::ParamGrid (row-major order as
   // declared). Family-specific type coercion lives in runner.h's

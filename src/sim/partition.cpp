@@ -1,0 +1,313 @@
+#include "sim/partition.h"
+
+#include <algorithm>
+
+namespace pw::sim {
+
+PartitionedSimulator::PartitionedSimulator(const Options& opts)
+    : lookahead_(opts.lookahead) {
+  PW_CHECK_GT(opts.num_lps, 0);
+  if (opts.num_lps > 1) {
+    PW_CHECK_GT(lookahead_.nanos(), 0)
+        << "multi-LP runs need a positive lookahead";
+  }
+  int threads = opts.threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads_ = std::min(threads, opts.num_lps);
+  if (threads_ < 1) threads_ = 1;
+  lps_.reserve(static_cast<std::size_t>(opts.num_lps));
+  arenas_.reserve(static_cast<std::size_t>(opts.num_lps));
+  for (int i = 0; i < opts.num_lps; ++i) {
+    lps_.push_back(std::make_unique<Simulator>());
+    arenas_.push_back(std::make_unique<common::Arena>());
+  }
+  outboxes_.resize(static_cast<std::size_t>(opts.num_lps));
+}
+
+PartitionedSimulator::~PartitionedSimulator() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void PartitionedSimulator::DeliverPending() {
+  for (Outbox& box : outboxes_) {
+    if (box.messages.empty()) continue;
+    pending_.insert(pending_.end(),
+                    std::make_move_iterator(box.messages.begin()),
+                    std::make_move_iterator(box.messages.end()));
+    box.messages.clear();
+  }
+  if (pending_.empty()) return;
+  // The deterministic merge rule: delivery time first, then source LP, then
+  // the source's own send order. Injection happens in this order on the
+  // coordinator thread, so destination seq numbers — the FIFO tie-break for
+  // equal timestamps — are a pure function of the message set.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const Message& a, const Message& b) {
+              if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (Message& m : pending_) {
+    PW_CHECK_GE(m.at_ns, lp(m.dst).now().nanos())
+        << "cross-LP message would arrive in LP " << m.dst << "'s past";
+    lp(m.dst).ScheduleAt(TimePoint::FromNanos(m.at_ns), std::move(m.fn));
+    ++stats_.messages_delivered;
+  }
+  pending_.clear();
+}
+
+void PartitionedSimulator::SnapshotNextTimes(std::vector<std::int64_t>* n) const {
+  n->clear();
+  n->reserve(lps_.size());
+  for (const auto& s : lps_) n->push_back(s->NextQueuedTimeNs());
+}
+
+std::int64_t PartitionedSimulator::WindowEnd(const std::vector<std::int64_t>& n,
+                                             int i) const {
+  std::int64_t m = kInf;
+  for (int j = 0; j < num_lps(); ++j) {
+    if (j != i && n[static_cast<std::size_t>(j)] < m) {
+      m = n[static_cast<std::size_t>(j)];
+    }
+  }
+  if (m == kInf) return kInf;
+  return m + lookahead_.nanos();
+}
+
+void PartitionedSimulator::EnsureWorkers() {
+  if (!workers_.empty() || threads_ <= 1) return;
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void PartitionedSimulator::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      cv_work_.wait(l, [this] {
+        return shutdown_ || next_job_ < round_jobs_.size();
+      });
+      if (next_job_ >= round_jobs_.size()) {
+        if (shutdown_) return;
+        continue;
+      }
+      job = round_jobs_[next_job_++];
+    }
+    lp(job.lp).RunUntilBefore(TimePoint::FromNanos(job.w_end_ns));
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      if (--jobs_outstanding_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void PartitionedSimulator::ExecuteJobs(const std::vector<Job>& jobs) {
+  if (jobs.empty()) return;
+  if (threads_ <= 1 || jobs.size() == 1) {
+    for (const Job& j : jobs) {
+      lp(j.lp).RunUntilBefore(TimePoint::FromNanos(j.w_end_ns));
+    }
+    return;
+  }
+  EnsureWorkers();
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    round_jobs_ = jobs;
+    next_job_ = 0;
+    jobs_outstanding_ = jobs.size();
+  }
+  cv_work_.notify_all();
+  // The coordinator pulls jobs too, then waits out stragglers.
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      if (next_job_ >= round_jobs_.size()) break;
+      job = round_jobs_[next_job_++];
+    }
+    lp(job.lp).RunUntilBefore(TimePoint::FromNanos(job.w_end_ns));
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      if (--jobs_outstanding_ == 0) cv_done_.notify_all();
+    }
+  }
+  std::unique_lock<std::mutex> l(mu_);
+  cv_done_.wait(l, [this] { return jobs_outstanding_ == 0; });
+  round_jobs_.clear();
+  next_job_ = 0;
+}
+
+std::int64_t PartitionedSimulator::Run() {
+  const std::int64_t before = TotalEventsExecuted();
+  std::vector<std::int64_t> n;
+  std::vector<Job> jobs;
+  for (;;) {
+    DeliverPending();
+    SnapshotNextTimes(&n);
+    jobs.clear();
+    for (int i = 0; i < num_lps(); ++i) {
+      const std::int64_t w = WindowEnd(n, i);
+      if (n[static_cast<std::size_t>(i)] < w) jobs.push_back(Job{i, w});
+    }
+    if (jobs.empty()) break;  // everything quiescent, nothing in flight
+    ++stats_.rounds;
+    ExecuteJobs(jobs);
+  }
+  return TotalEventsExecuted() - before;
+}
+
+bool PartitionedSimulator::RunUntilPredicate(const std::function<bool()>& pred) {
+  if (pred()) return true;
+  std::vector<std::int64_t> n;
+  std::vector<Job> jobs;
+  for (;;) {
+    DeliverPending();
+    SnapshotNextTimes(&n);
+    jobs.clear();
+    std::int64_t lp0_end = 0;
+    bool lp0_runs = false;
+    for (int i = 0; i < num_lps(); ++i) {
+      const std::int64_t w = WindowEnd(n, i);
+      if (n[static_cast<std::size_t>(i)] >= w) continue;
+      if (i == 0) {
+        lp0_runs = true;  // runs on the coordinator so pred sees LP-0 state
+        lp0_end = w;
+      } else {
+        jobs.push_back(Job{i, w});
+      }
+    }
+    if (!lp0_runs && jobs.empty()) return false;
+    ++stats_.rounds;
+    bool satisfied = false;
+    if (jobs.empty()) {
+      // Fast path (and the exactness path for control-LP-only workloads):
+      // no peer windows, run LP 0 inline.
+      if (lp0_runs) {
+        satisfied = lp(0).RunUntilBeforePredicate(
+            TimePoint::FromNanos(lp0_end), pred);
+      }
+    } else if (!lp0_runs) {
+      ExecuteJobs(jobs);
+    } else if (threads_ <= 1) {
+      // LPs are independent within a round, so execution order cannot
+      // change the result; LP order keeps it simple.
+      satisfied = lp(0).RunUntilBeforePredicate(TimePoint::FromNanos(lp0_end),
+                                                pred);
+      for (const Job& j : jobs) {
+        lp(j.lp).RunUntilBefore(TimePoint::FromNanos(j.w_end_ns));
+      }
+    } else {
+      EnsureWorkers();
+      {
+        std::lock_guard<std::mutex> l(mu_);
+        round_jobs_ = jobs;
+        next_job_ = 0;
+        jobs_outstanding_ = jobs.size();
+      }
+      cv_work_.notify_all();
+      satisfied = lp(0).RunUntilBeforePredicate(TimePoint::FromNanos(lp0_end),
+                                                pred);
+      for (;;) {
+        Job job;
+        {
+          std::unique_lock<std::mutex> l(mu_);
+          if (next_job_ >= round_jobs_.size()) break;
+          job = round_jobs_[next_job_++];
+        }
+        lp(job.lp).RunUntilBefore(TimePoint::FromNanos(job.w_end_ns));
+        {
+          std::lock_guard<std::mutex> l(mu_);
+          if (--jobs_outstanding_ == 0) cv_done_.notify_all();
+        }
+      }
+      std::unique_lock<std::mutex> l(mu_);
+      cv_done_.wait(l, [this] { return jobs_outstanding_ == 0; });
+      round_jobs_.clear();
+      next_job_ = 0;
+    }
+    if (satisfied) return true;
+  }
+}
+
+std::int64_t PartitionedSimulator::RunUntil(TimePoint t) {
+  const std::int64_t before = TotalEventsExecuted();
+  const std::int64_t bound = t.nanos() == kInf ? kInf : t.nanos() + 1;
+  std::vector<std::int64_t> n;
+  std::vector<Job> jobs;
+  for (;;) {
+    DeliverPending();
+    SnapshotNextTimes(&n);
+    jobs.clear();
+    for (int i = 0; i < num_lps(); ++i) {
+      std::int64_t w = WindowEnd(n, i);
+      if (w > bound) w = bound;
+      if (n[static_cast<std::size_t>(i)] < w) jobs.push_back(Job{i, w});
+    }
+    if (jobs.empty()) break;
+    ++stats_.rounds;
+    ExecuteJobs(jobs);
+  }
+  // Remaining events (if any) are strictly after t; snap every clock to t,
+  // mirroring the serial engine's RunUntil contract.
+  for (auto& s : lps_) {
+    if (s->now().nanos() < t.nanos()) s->RunUntil(t);
+  }
+  return TotalEventsExecuted() - before;
+}
+
+std::int64_t PartitionedSimulator::TotalEventsExecuted() const {
+  std::int64_t total = 0;
+  for (const auto& s : lps_) total += s->events_executed();
+  return total;
+}
+
+TimePoint PartitionedSimulator::MaxNow() const {
+  TimePoint m;
+  for (const auto& s : lps_) {
+    if (s->now().nanos() > m.nanos()) m = s->now();
+  }
+  return m;
+}
+
+bool PartitionedSimulator::AllEmpty() const {
+  for (const auto& s : lps_) {
+    if (!s->empty()) return false;
+  }
+  return true;
+}
+
+bool PartitionedSimulator::MessagesPending() const {
+  if (!pending_.empty()) return true;
+  for (const Outbox& box : outboxes_) {
+    if (!box.messages.empty()) return true;
+  }
+  return false;
+}
+
+bool PartitionedSimulator::Deadlocked() const {
+  if (!AllEmpty() || MessagesPending()) return false;
+  return !BlockedEntities().empty();
+}
+
+std::vector<std::string> PartitionedSimulator::BlockedEntities() const {
+  std::vector<std::string> out;
+  for (const auto& s : lps_) {
+    std::vector<std::string> b = s->BlockedEntities();
+    out.insert(out.end(), std::make_move_iterator(b.begin()),
+               std::make_move_iterator(b.end()));
+  }
+  return out;
+}
+
+}  // namespace pw::sim

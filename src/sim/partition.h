@@ -1,0 +1,214 @@
+// Conservative parallel discrete-event simulation: logical processes on a
+// thread pool, synchronized by lookahead windows.
+//
+// A PartitionedSimulator owns K independent sim::Simulator instances — the
+// logical processes (LPs). Each LP keeps the full pooled-heap + timing-wheel
+// engine (simulator.h) for its own event queue; the partitioned layer adds
+// only the synchronization protocol and a timestamped cross-LP message path.
+// The intended mapping (hw/partitioned_cluster.h) is one island per LP, with
+// LP 0 doubling as the control LP that hosts the Pathways control plane.
+//
+// Protocol: windowed lower-bound-timestamp (LBTS) rounds, a conservative
+// scheme in the YAWNS family. All cross-LP interaction carries at least
+// `lookahead` of simulated latency — in this codebase that bound is physical:
+// DcnFabric's minimum cross-island latency (DcnParams::latency, exposed as
+// DcnFabric::MinCrossIslandLatency()), since islands only ever interact
+// through the DCN. Each round:
+//
+//   1. Deliver pending cross-LP messages (sorted; see "Determinism" below)
+//      into their destination LPs' queues.
+//   2. Snapshot N_i = each LP's earliest queued timestamp. Each LP may then
+//      safely execute every event with timestamp strictly below
+//
+//        LBTS_i = min over j != i of N_j + lookahead
+//
+//      because any message a peer j could still emit is sent by an event at
+//      time >= N_j and delivered >= N_j + lookahead. An idle peer
+//      (N_j = +inf) never constrains the window — in particular a run whose
+//      events all live on one LP executes in a single unbounded window,
+//      which is why the serial golden scenarios are reproduced exactly (see
+//      tests/sim_determinism_test.cpp).
+//   3. Execute the per-LP windows on the worker pool. LPs share no mutable
+//      state, so any LP->thread assignment yields the same result; cross-LP
+//      sends buffer into the sending LP's private outbox.
+//   4. Barrier; collected outboxes become step 1 of the next round.
+//
+// The LP holding the minimum N_i always has LBTS_i > N_i (lookahead > 0),
+// so every round makes progress and the protocol cannot livelock.
+//
+// Determinism: runs are bit-identical across thread counts (and across
+// machines). Within a window an LP is an ordinary serial simulator; across
+// windows the only ordering freedom is message injection, which is resolved
+// by sorting each batch by (delivery time, source LP, per-source sequence)
+// and injecting on the coordinator thread — injection order assigns the
+// destination's FIFO tie-break seqs, so equal-timestamp merges are fixed by
+// that sort key, never by thread scheduling. docs/PARALLEL.md states the
+// full rules.
+//
+// Typical use:
+//
+//   sim::PartitionedSimulator part({.num_lps = 8, .threads = 4,
+//                                   .lookahead = dcn.MinCrossIslandLatency()});
+//   BuildIsland(&part.lp(i), ...);   // per-LP state, island i
+//   part.SendAt(i, j, t, [fn]);      // cross-LP message, t >= now_i + lookahead
+//   part.Run();
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace pw::sim {
+
+class PartitionedSimulator {
+ public:
+  struct Options {
+    int num_lps = 1;
+    // Worker threads for window execution; 0 = hardware_concurrency, capped
+    // at num_lps. 1 runs windows inline on the calling thread (no pool).
+    int threads = 1;
+    // Minimum cross-LP latency. Every SendAt must be >= lookahead in the
+    // sender's future. Must be > 0 when num_lps > 1; derive it from
+    // net::DcnFabric::MinCrossIslandLatency() when LPs are islands.
+    Duration lookahead = Duration::Micros(20);
+  };
+
+  struct Stats {
+    std::int64_t rounds = 0;              // LBTS rounds executed
+    std::int64_t messages_delivered = 0;  // cross-LP messages injected
+  };
+
+  explicit PartitionedSimulator(const Options& opts);
+  ~PartitionedSimulator();
+
+  PartitionedSimulator(const PartitionedSimulator&) = delete;
+  PartitionedSimulator& operator=(const PartitionedSimulator&) = delete;
+
+  int num_lps() const { return static_cast<int>(lps_.size()); }
+  int threads() const { return threads_; }
+  Duration lookahead() const { return lookahead_; }
+
+  Simulator& lp(int i) { return *lps_[static_cast<std::size_t>(i)]; }
+  const Simulator& lp(int i) const { return *lps_[static_cast<std::size_t>(i)]; }
+
+  // Per-LP scratch arena for trivially-destructible workload records
+  // (shard/step bookkeeping and the like). One arena per LP means no shared
+  // allocator lock on the hot path; only touch arena(i) from events
+  // executing on LP i, and Reset() it only between runs.
+  common::Arena& arena(int i) {
+    return *arenas_[static_cast<std::size_t>(i)];
+  }
+
+  // Schedules fn on LP `dst` at absolute time `at`. When src != dst, `at`
+  // must be at least lookahead past LP src's clock — the conservative bound
+  // that makes windows safe. Callable from inside an event executing on LP
+  // src (the common case) or from the coordinator between runs (setup).
+  // src == dst degenerates to a plain ScheduleAt on that LP.
+  template <typename Fn>
+  void SendAt(int src, int dst, TimePoint at, Fn&& fn) {
+    if (src == dst) {
+      lp(src).ScheduleAt(at, std::forward<Fn>(fn));
+      return;
+    }
+    PW_CHECK_GE(at.nanos(), lp(src).now().nanos() + lookahead_.nanos())
+        << "cross-LP send below the lookahead bound (src=" << src
+        << " dst=" << dst << ")";
+    Outbox& box = outboxes_[static_cast<std::size_t>(src)];
+    box.messages.push_back(Message{at.nanos(), src, dst, box.next_seq++,
+                                   std::function<void()>(std::forward<Fn>(fn))});
+  }
+
+  // Drains every LP to quiescence. Returns events executed (all LPs).
+  std::int64_t Run();
+
+  // Runs until `pred()` — a predicate over LP 0 (control LP) state — becomes
+  // true or everything quiesces. Parity with Simulator::RunUntilPredicate:
+  // the predicate is evaluated before the first event and after every LP-0
+  // event, so a driver alternating RunUntilPredicate with new submissions
+  // observes the exact clocks the serial engine would. Peer LPs may have
+  // advanced up to their window ends when this returns; undelivered
+  // messages stay pending for the next Run*/drain call.
+  bool RunUntilPredicate(const std::function<bool()>& pred);
+
+  // Runs all events with timestamp <= t and advances every LP's clock to
+  // exactly t (mirrors Simulator::RunUntil). Returns events executed.
+  std::int64_t RunUntil(TimePoint t);
+
+  std::int64_t TotalEventsExecuted() const;
+  // Max LP clock — the partitioned analogue of Simulator::now().
+  TimePoint MaxNow() const;
+
+  bool AllEmpty() const;   // no queued events on any LP
+  bool MessagesPending() const;  // undelivered cross-LP messages
+
+  // Deadlock = quiescent (no events anywhere, no in-flight messages) with
+  // some entity still blocked on any LP.
+  bool Deadlocked() const;
+  std::vector<std::string> BlockedEntities() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Message {
+    std::int64_t at_ns;
+    int src;
+    int dst;
+    std::uint64_t seq;  // per-source send counter: FIFO tie-break
+    std::function<void()> fn;
+  };
+  struct Outbox {
+    std::vector<Message> messages;
+    std::uint64_t next_seq = 0;
+  };
+  // One LP's slice of a round: run events strictly below w_end_ns.
+  struct Job {
+    int lp;
+    std::int64_t w_end_ns;
+  };
+
+  static constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+  // Moves every outbox into the pending batch, sorts by (time, src, seq)
+  // and injects into destination LPs. Coordinator thread only.
+  void DeliverPending();
+  // Snapshot of per-LP earliest timestamps; kInf for an empty LP.
+  void SnapshotNextTimes(std::vector<std::int64_t>* n) const;
+  // LBTS_i = min_{j != i} N_j + lookahead (kInf when unconstrained).
+  std::int64_t WindowEnd(const std::vector<std::int64_t>& n, int i) const;
+  // Runs `jobs` on the pool (and the calling thread) and waits for all.
+  void ExecuteJobs(const std::vector<Job>& jobs);
+  void WorkerLoop();
+  void EnsureWorkers();
+
+  Duration lookahead_;
+  int threads_;
+  std::vector<std::unique_ptr<Simulator>> lps_;
+  std::vector<std::unique_ptr<common::Arena>> arenas_;  // parallel to lps_
+  std::vector<Outbox> outboxes_;
+  std::vector<Message> pending_;  // delivered at the top of the next round
+  Stats stats_;
+
+  // Worker pool (spawned lazily on the first multi-threaded round).
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Job> round_jobs_;
+  std::size_t next_job_ = 0;
+  std::size_t jobs_outstanding_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pw::sim

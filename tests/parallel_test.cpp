@@ -1,0 +1,486 @@
+// Partitioned (conservatively synchronized parallel) engine tests:
+// window-execution primitives, cross-LP messaging, determinism across
+// sim-thread counts, LP channels, and the per-LP arena.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "gtest/gtest.h"
+#include "hw/partitioned_cluster.h"
+#include "net/lp_channel.h"
+#include "sim/partition.h"
+#include "sim/simulator.h"
+
+namespace pw::sim {
+namespace {
+
+// ------------------------------------------------- window primitives --
+
+// A log entry (time, tag) appended by events; the vehicle for comparing
+// execution order across engines and thread counts.
+using Log = std::vector<std::pair<std::int64_t, int>>;
+
+// Schedules a seeded tree of events on `sim`: each event logs, then may
+// schedule children at random small offsets. Exercises ring/wheel/heap.
+void SeedWorkload(Simulator& sim, Log* log, std::uint64_t seed) {
+  auto chain = std::make_shared<std::function<void(int, int)>>();
+  *chain = [&sim, log, chain, seed](int id, int depth) {
+    log->emplace_back(sim.now().nanos(), id);
+    if (depth >= 6) return;
+    Rng rng(seed ^ (static_cast<std::uint64_t>(id) * 1000003 + depth));
+    const int kids = static_cast<int>(rng.NextBounded(3));
+    for (int k = 0; k < kids; ++k) {
+      const std::int64_t delay = static_cast<std::int64_t>(
+          rng.NextBounded(3000));  // 0 (ring), wheel, and heap delays
+      sim.Schedule(Duration::Nanos(delay),
+                   [chain, id, k, depth] { (*chain)(id * 4 + k, depth + 1); });
+    }
+  };
+  for (int i = 0; i < 16; ++i) {
+    sim.Schedule(Duration::Nanos(static_cast<std::int64_t>(i) * 700),
+                 [chain, i] { (*chain)(i, 0); });
+  }
+}
+
+TEST(RunUntilBeforeTest, SlicedRunIsBitIdenticalToUnsliced) {
+  Log a, b;
+  Simulator ref;
+  SeedWorkload(ref, &a, 42);
+  ref.Run();
+
+  Simulator sliced;
+  SeedWorkload(sliced, &b, 42);
+  // Arbitrary, misaligned window ends; the clock must never move between
+  // events, so slicing cannot perturb wheel/ring/heap merge order.
+  std::int64_t w = 37;
+  while (sliced.HasQueued()) {
+    sliced.RunUntilBefore(TimePoint::FromNanos(w));
+    w += 211;
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ref.now().nanos(), sliced.now().nanos());
+  EXPECT_EQ(ref.events_executed(), sliced.events_executed());
+}
+
+TEST(RunUntilBeforeTest, StrictBoundLeavesEventAtWindowEnd) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Duration::Nanos(100), [&] { ++fired; });
+  sim.RunUntilBefore(TimePoint::FromNanos(100));  // strictly-before: stays
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(sim.HasQueued());
+  EXPECT_EQ(sim.NextQueuedTimeNs(), 100);
+  sim.RunUntilBefore(TimePoint::FromNanos(101));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.HasQueued());
+  // Unlike RunUntil, the clock stays at the last executed event.
+  EXPECT_EQ(sim.now().nanos(), 100);
+}
+
+TEST(RunUntilBeforeTest, PredicateCheckedBeforeFirstEventAndAfterEach) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Duration::Nanos(10), [&] { ++fired; });
+  sim.Schedule(Duration::Nanos(20), [&] { ++fired; });
+  EXPECT_TRUE(sim.RunUntilBeforePredicate(TimePoint::Max(),
+                                          [] { return true; }));
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(sim.RunUntilBeforePredicate(TimePoint::Max(),
+                                          [&] { return fired == 1; }));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.RunUntilBeforePredicate(TimePoint::FromNanos(15),
+                                           [&] { return fired == 2; }));
+  EXPECT_EQ(fired, 1);  // the t=20 event is outside the window
+}
+
+TEST(SimulatorTest, NextQueuedTimeInfWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.HasQueued());
+  EXPECT_EQ(sim.NextQueuedTimeNs(), std::numeric_limits<std::int64_t>::max());
+}
+
+// --------------------------------------------- partitioned engine core --
+
+TEST(PartitionedSimulatorTest, SingleLpRunMatchesSerialExactly) {
+  Log a, b;
+  Simulator ref;
+  SeedWorkload(ref, &a, 7);
+  const std::int64_t ref_events = ref.Run();
+
+  PartitionedSimulator part({.num_lps = 1, .threads = 1});
+  SeedWorkload(part.lp(0), &b, 7);
+  const std::int64_t part_events = part.Run();
+
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ref_events, part_events);
+  EXPECT_EQ(ref.now().nanos(), part.lp(0).now().nanos());
+}
+
+TEST(PartitionedSimulatorTest, IdleLpsDoNotConstrainTheActiveOne) {
+  // All events on LP 2 of 4: the whole run must complete in one round
+  // (idle peers have no lower bound to respect).
+  PartitionedSimulator part(
+      {.num_lps = 4, .threads = 1, .lookahead = Duration::Nanos(5)});
+  Log log;
+  SeedWorkload(part.lp(2), &log, 11);
+  part.Run();
+  EXPECT_FALSE(log.empty());
+  EXPECT_EQ(part.stats().rounds, 1);
+}
+
+TEST(PartitionedSimulatorTest, RunUntilPredicateParityWithSerial) {
+  // The golden harness alternates RunUntilPredicate with fresh submissions;
+  // the partitioned engine must stop at the exact same clocks.
+  Simulator ref;
+  Log ref_log;
+  SeedWorkload(ref, &ref_log, 99);
+  int ref_seen = 0;
+  ref.RunUntilPredicate([&] { return ref_log.size() >= 10; });
+  const std::int64_t ref_stop = ref.now().nanos();
+  ref_seen = static_cast<int>(ref_log.size());
+  ref.Run();
+
+  PartitionedSimulator part(
+      {.num_lps = 4, .threads = 2, .lookahead = Duration::Nanos(5)});
+  Log part_log;
+  SeedWorkload(part.lp(0), &part_log, 99);
+  part.RunUntilPredicate([&] { return part_log.size() >= 10; });
+  EXPECT_EQ(part.lp(0).now().nanos(), ref_stop);
+  EXPECT_EQ(static_cast<int>(part_log.size()), ref_seen);
+  part.Run();
+  EXPECT_EQ(ref_log, part_log);
+}
+
+TEST(PartitionedSimulatorTest, RunUntilSnapsEveryClock) {
+  PartitionedSimulator part(
+      {.num_lps = 3, .threads = 1, .lookahead = Duration::Nanos(10)});
+  int fired = 0;
+  part.lp(1).Schedule(Duration::Nanos(50), [&] { ++fired; });
+  part.lp(2).Schedule(Duration::Micros(5), [&] { ++fired; });
+  part.RunUntil(TimePoint::FromNanos(1000));
+  EXPECT_EQ(fired, 1);  // only the t=50 event is due
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(part.lp(i).now().nanos(), 1000) << "lp " << i;
+  }
+  part.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PartitionedSimulatorTest, CrossLpSendsDeliverInDeterministicOrder) {
+  // Two LPs flood a third with equal-timestamp messages; the receiver's
+  // observed order must be (time, src, per-src seq) regardless of threads.
+  auto run = [](int threads) {
+    PartitionedSimulator part(
+        {.num_lps = 3, .threads = threads, .lookahead = Duration::Nanos(100)});
+    std::vector<std::pair<int, int>> received;  // (src, msg index)
+    for (int src = 0; src < 2; ++src) {
+      part.lp(src).Schedule(Duration::Nanos(10 + src), [&part, &received,
+                                                        src] {
+        for (int k = 0; k < 4; ++k) {
+          part.SendAt(src, 2, TimePoint::FromNanos(500),
+                      [&received, src, k] { received.emplace_back(src, k); });
+        }
+      });
+    }
+    part.Run();
+    return received;
+  };
+  const auto r1 = run(1);
+  const auto r2 = run(2);
+  ASSERT_EQ(r1.size(), 8u);
+  EXPECT_EQ(r1, r2);
+  // src 0's batch sorts ahead of src 1's at the shared timestamp.
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(r1[static_cast<std::size_t>(k)], std::make_pair(0, k));
+    EXPECT_EQ(r1[static_cast<std::size_t>(4 + k)], std::make_pair(1, k));
+  }
+}
+
+TEST(PartitionedSimulatorDeathTest, SendBelowLookaheadDies) {
+  PartitionedSimulator part(
+      {.num_lps = 2, .threads = 1, .lookahead = Duration::Micros(1)});
+  EXPECT_DEATH(part.SendAt(0, 1, TimePoint::FromNanos(10), [] {}),
+               "lookahead");
+}
+
+// Ring workload: every LP runs a local event chain and periodically sends
+// to its right neighbor; the neighbor logs the arrival. Used to prove
+// 1-vs-N-thread bit-identity with real cross-LP traffic.
+struct RingWorld {
+  explicit RingWorld(int lps, int threads)
+      : part({.num_lps = lps, .threads = threads,
+              .lookahead = Duration::Nanos(200)}),
+        logs(static_cast<std::size_t>(lps)) {
+    for (int i = 0; i < lps; ++i) {
+      Step(i, 0);
+    }
+  }
+
+  void Step(int lp, int step) {
+    if (step >= 40) return;
+    Rng rng((static_cast<std::uint64_t>(lp) << 32) ^
+            static_cast<std::uint64_t>(step));
+    const std::int64_t work = 50 + static_cast<std::int64_t>(
+                                       rng.NextBounded(150));
+    part.lp(lp).Schedule(Duration::Nanos(work), [this, lp, step] {
+      logs[static_cast<std::size_t>(lp)].emplace_back(
+          part.lp(lp).now().nanos(), step);
+      const int dst = (lp + 1) % part.num_lps();
+      if (dst != lp && step % 3 == 0) {
+        const TimePoint at =
+            part.lp(lp).now() + part.lookahead() + Duration::Nanos(17);
+        part.SendAt(lp, dst, at, [this, dst, lp, step] {
+          logs[static_cast<std::size_t>(dst)].emplace_back(
+              part.lp(dst).now().nanos(), 1000 + lp * 100 + step);
+        });
+      }
+      Step(lp, step + 1);
+    });
+  }
+
+  PartitionedSimulator part;
+  std::vector<Log> logs;
+};
+
+TEST(PartitionedSimulatorTest, RingWorkloadBitIdenticalAcrossThreadCounts) {
+  RingWorld one(6, 1);
+  one.part.Run();
+  for (const int threads : {2, 4}) {
+    RingWorld many(6, threads);
+    many.part.Run();
+    EXPECT_EQ(one.logs, many.logs) << threads << " threads";
+    EXPECT_EQ(one.part.TotalEventsExecuted(), many.part.TotalEventsExecuted());
+    EXPECT_EQ(one.part.stats().messages_delivered,
+              many.part.stats().messages_delivered);
+  }
+  EXPECT_GT(one.part.stats().messages_delivered, 0);
+  EXPECT_GT(one.part.stats().rounds, 1);
+}
+
+TEST(PartitionedSimulatorTest, BlockedProbesAggregateAcrossLps) {
+  PartitionedSimulator part({.num_lps = 2, .threads = 1});
+  part.lp(1).RegisterBlockedProbe([] { return std::string("stuck dev"); });
+  EXPECT_TRUE(part.Deadlocked());
+  ASSERT_EQ(part.BlockedEntities().size(), 1u);
+  EXPECT_EQ(part.BlockedEntities()[0], "stuck dev");
+}
+
+// ------------------------------------------------------- LP channels --
+
+TEST(LpChannelTest, PerPairFifoUnderSerialization) {
+  PartitionedSimulator part(
+      {.num_lps = 2, .threads = 1, .lookahead = Duration::Micros(1)});
+  net::LpChannelParams p;
+  p.latency = Duration::Micros(1);
+  p.bandwidth = 1e9;  // 1 B/ns: large messages serialize visibly
+  net::LpChannelMap chan(&part, p);
+  std::vector<int> got;
+  part.lp(0).Schedule(Duration::Nanos(10), [&] {
+    for (int k = 0; k < 5; ++k) {
+      chan.Send(0, 1, /*bytes=*/4096, [&got, k] { got.push_back(k); });
+    }
+  });
+  part.Run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(chan.messages_sent(), 5);
+  EXPECT_EQ(chan.messages_delivered(), 5);
+  EXPECT_EQ(chan.delivered_to(1), 5);
+}
+
+TEST(LpChannelTest, PartitionHoldsAndHealReplaysExactlyOnce) {
+  PartitionedSimulator part(
+      {.num_lps = 2, .threads = 1, .lookahead = Duration::Micros(1)});
+  net::LpChannelParams p;
+  p.latency = Duration::Micros(1);
+  net::LpChannelMap chan(&part, p);
+  // LP 1 cut over [5us, 50us); sends at 10us are held until the heal.
+  chan.SchedulePartition(1, TimePoint::FromNanos(5000),
+                         TimePoint::FromNanos(50000));
+  std::vector<std::pair<std::int64_t, int>> got;
+  part.lp(0).Schedule(Duration::Micros(10), [&] {
+    for (int k = 0; k < 3; ++k) {
+      const TimePoint est =
+          chan.Send(0, 1, 256, [&got, &part, k] {
+            got.emplace_back(part.lp(1).now().nanos(), k);
+          });
+      EXPECT_EQ(est, net::LpChannelMap::kHeldSentinel);
+    }
+  });
+  part.RunUntil(TimePoint::FromNanos(20000));
+  EXPECT_EQ(chan.messages_held(), 3u);
+  EXPECT_EQ(chan.held_bytes(), 3 * 256);
+  part.Run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(chan.messages_held(), 0u);
+  EXPECT_EQ(chan.messages_delivered(), 3);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(got[static_cast<std::size_t>(k)].second, k);  // original order
+    EXPECT_GE(got[static_cast<std::size_t>(k)].first, 50000);  // post-heal
+  }
+}
+
+TEST(LpChannelTest, DegradeSlowsTransfersInsideWindowOnly) {
+  auto deliver_time = [](bool degraded) {
+    PartitionedSimulator part(
+        {.num_lps = 2, .threads = 1, .lookahead = Duration::Micros(1)});
+    net::LpChannelParams p;
+    p.latency = Duration::Micros(1);
+    p.bandwidth = 1e9;
+    net::LpChannelMap chan(&part, p);
+    if (degraded) {
+      chan.ScheduleDegrade(0, 0.25, TimePoint::FromNanos(0),
+                           TimePoint::FromNanos(100000));
+    }
+    std::int64_t delivered_at = 0;
+    part.lp(0).Schedule(Duration::Micros(2), [&] {
+      chan.Send(0, 1, 64 * 1024,
+                [&] { delivered_at = part.lp(1).now().nanos(); });
+    });
+    part.Run();
+    return delivered_at;
+  };
+  const std::int64_t nominal = deliver_time(false);
+  const std::int64_t degraded = deliver_time(true);
+  EXPECT_GT(nominal, 0);
+  EXPECT_GT(degraded, nominal);
+}
+
+TEST(LpChannelDeathTest, LatencyBelowLookaheadDies) {
+  PartitionedSimulator part(
+      {.num_lps = 2, .threads = 1, .lookahead = Duration::Micros(10)});
+  net::LpChannelParams p;
+  p.latency = Duration::Micros(1);
+  EXPECT_DEATH(net::LpChannelMap(&part, p), "lookahead");
+}
+
+// ------------------------------------------------- partitioned cluster --
+
+// Drives a small training-like workload on a PartitionedCluster: every
+// island does a local ICI transfer per step, then ships activations to the
+// next island over the inter-LP channel; the log of deliveries must be
+// byte-identical across sim-thread counts.
+struct ClusterWorkloadResult {
+  Log log;                    // (delivery time ns, dst island)
+  Bytes ici_bytes = 0;        // summed across islands
+  std::int64_t delivered = 0;
+};
+
+ClusterWorkloadResult RunClusterWorkload(int threads) {
+  constexpr int kIslands = 4;
+  constexpr int kSteps = 12;
+  PartitionedSimulator part({.num_lps = kIslands, .threads = threads,
+                             .lookahead = Duration::Micros(20)});
+  hw::PartitionedCluster::Options opts;
+  opts.islands = kIslands;
+  opts.params.host_jitter_frac = 0;
+  hw::PartitionedCluster pc(&part, opts);
+
+  // LP-ownership discipline: logs[i] is appended only by events executing on
+  // LP i — no shared mutable state between worker threads. The canonical
+  // (time, island, seq) merge below is deterministic, so comparing merged
+  // logs across thread counts is still a bit-identity check.
+  std::array<Log, kIslands> logs;
+  auto step = std::make_shared<std::function<void(int, int)>>();
+  *step = [&, step](int island, int n) {
+    if (n >= kSteps) return;
+    hw::Island& isl = pc.island_cluster(island).island(0);
+    isl.Transfer(hw::DeviceId(0), hw::DeviceId(1), KiB(256))
+        .Then([&, step, island, n](sim::Unit) {
+          int dst = (island + 1) % kIslands;
+          pc.SendCrossIsland(island, dst, KiB(64), [&, step, dst, n] {
+            logs[static_cast<std::size_t>(dst)].emplace_back(
+                pc.engine().lp(dst).now().nanos(), dst);
+            (*step)(dst, n + 1);
+          });
+        });
+  };
+  for (int i = 0; i < kIslands; ++i) {
+    part.lp(i).ScheduleAt(TimePoint::FromNanos(0), [&, step, i] {
+      (*step)(i, 0);
+    });
+  }
+  part.Run();
+  EXPECT_FALSE(part.Deadlocked());
+
+  ClusterWorkloadResult result;
+  for (const Log& log : logs) {
+    result.log.insert(result.log.end(), log.begin(), log.end());
+  }
+  std::sort(result.log.begin(), result.log.end());
+
+  for (int i = 0; i < kIslands; ++i) {
+    result.ici_bytes += pc.island_cluster(i).island(0).ici_bytes_transferred();
+  }
+  result.delivered = pc.channels().messages_delivered();
+  return result;
+}
+
+TEST(PartitionedClusterTest, CrossIslandWorkloadBitIdenticalAcrossThreads) {
+  ClusterWorkloadResult serial = RunClusterWorkload(1);
+  EXPECT_EQ(serial.delivered, 4 * 12);
+  EXPECT_GT(serial.ici_bytes, 0);
+  for (int threads : {2, 4}) {
+    ClusterWorkloadResult parallel = RunClusterWorkload(threads);
+    EXPECT_EQ(parallel.log, serial.log) << "threads=" << threads;
+    EXPECT_EQ(parallel.ici_bytes, serial.ici_bytes);
+    EXPECT_EQ(parallel.delivered, serial.delivered);
+  }
+}
+
+TEST(PartitionedClusterDeathTest, FewerLpsThanIslandsDies) {
+  PartitionedSimulator part(
+      {.num_lps = 2, .threads = 1, .lookahead = Duration::Micros(20)});
+  hw::PartitionedCluster::Options opts;
+  opts.islands = 4;
+  EXPECT_DEATH(hw::PartitionedCluster(&part, opts), "LP");
+}
+
+// ------------------------------------------------------------- arena --
+
+TEST(ArenaTest, AllocationsAreAlignedAndDistinct) {
+  common::Arena arena;
+  std::vector<std::int64_t*> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t* p = arena.New<std::int64_t>(i);
+    ASSERT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::int64_t), 0u);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(*ptrs[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_GE(arena.bytes_allocated(), 8000u);
+}
+
+TEST(ArenaTest, ResetReusesMemoryWithoutGrowth) {
+  common::Arena arena;
+  for (int i = 0; i < 4096; ++i) arena.New<double>(1.0);
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::size_t chunks = arena.num_chunks();
+  for (int round = 0; round < 5; ++round) {
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_allocated(), 0u);
+    for (int i = 0; i < 4096; ++i) arena.New<double>(2.0);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+    EXPECT_EQ(arena.num_chunks(), chunks);
+  }
+}
+
+TEST(ArenaTest, LargeAllocationGetsDedicatedChunk) {
+  common::Arena arena;
+  char* big = arena.NewArray<char>(3u << 20);  // beyond kMaxChunkBytes
+  big[0] = 'x';
+  big[(3u << 20) - 1] = 'y';
+  EXPECT_GE(arena.bytes_reserved(), 3u << 20);
+}
+
+}  // namespace
+}  // namespace pw::sim

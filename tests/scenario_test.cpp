@@ -178,6 +178,95 @@ TEST(ScenarioParse, WholeNumberValuesPromoteOnDoubleAxes) {
   EXPECT_DOUBLE_EQ(points[1].GetDouble("rate_scale"), 4.0);
 }
 
+// --- declarative fault plans ----------------------------------------------
+
+TEST(ScenarioFaultPlan, ParsesEventsAndRelaxesTheRateAxis) {
+  const std::string text =
+      "{ \"name\": \"t\", \"family\": \"faults\",\n"
+      "  \"faults\": { \"fault_plan\": [\n"
+      "    { \"kind\": \"device_crash\", \"at_ms\": 5, \"window_ms\": 2,"
+      " \"device\": 1 },\n"
+      "    { \"kind\": \"link_degrade\", \"at_ms\": 8, \"window_ms\": 3,"
+      " \"host\": 0, \"severity\": 0.5 } ] },\n"
+      "  \"sweep\": { \"axes\": [ { \"name\": \"island_devices\","
+      " \"values\": [4] } ] } }\n";
+  Scenario s;
+  DiagnosticEngine diags("test.json", text);
+  ASSERT_TRUE(ParseScenario(text, &s, &diags)) << diags.Render();
+  ASSERT_EQ(s.faults.full.fault_plan.size(), 2u);
+  EXPECT_EQ(s.faults.full.fault_plan[0].kind, "device_crash");
+  EXPECT_EQ(s.faults.full.fault_plan[0].device, 1);
+  EXPECT_DOUBLE_EQ(s.faults.full.fault_plan[0].at_ms, 5.0);
+  EXPECT_EQ(s.faults.full.fault_plan[1].kind, "link_degrade");
+  EXPECT_DOUBLE_EQ(s.faults.full.fault_plan[1].severity, 0.5);
+
+  // An explicit plan supersedes the axis-derived one, so faults_per_sec is
+  // no longer a required axis (and no deprecation note is emitted).
+  ASSERT_TRUE(ValidateForFamily(&s, &diags)) << diags.Render();
+  EXPECT_TRUE(diags.diagnostics().empty()) << diags.Render();
+
+  // The plan participates in the canonical fixed point.
+  const std::string canon = s.Serialize();
+  EXPECT_NE(canon.find("\"fault_plan\""), std::string::npos);
+  Scenario s2;
+  DiagnosticEngine d2("test.json (canonical)", canon);
+  ASSERT_TRUE(ParseScenario(canon, &s2, &d2)) << d2.Render();
+  EXPECT_EQ(s2.Serialize(), canon);
+  EXPECT_TRUE(s2.faults.full.fault_plan == s.faults.full.fault_plan);
+}
+
+TEST(ScenarioFaultPlan, RejectsUnknownKindsAndMisappliedFields) {
+  Scenario s;
+  DiagnosticEngine diags;
+  std::string render = ParseExpectingErrors(
+      "{ \"name\": \"t\", \"family\": \"faults\",\n"
+      "  \"faults\": { \"fault_plan\": [\n"
+      "    { \"kind\": \"device_crsh\", \"at_ms\": 1, \"window_ms\": 1,"
+      " \"device\": 0 } ] },\n"
+      "  \"sweep\": { \"axes\": [ { \"name\": \"island_devices\","
+      " \"values\": [4] } ] } }\n",
+      &s, &diags);
+  EXPECT_NE(render.find("unknown fault kind 'device_crsh'"),
+            std::string::npos);
+  EXPECT_NE(render.find("did you mean 'device_crash'?"), std::string::npos);
+
+  render = ParseExpectingErrors(
+      "{ \"name\": \"t\", \"family\": \"faults\",\n"
+      "  \"faults\": { \"fault_plan\": [\n"
+      "    { \"kind\": \"partition\", \"at_ms\": 1, \"window_ms\": 1,"
+      " \"host\": 0, \"severity\": 0.5 },\n"
+      "    { \"kind\": \"device_crash\", \"at_ms\": 1, \"window_ms\": 1,"
+      " \"host\": 0 },\n"
+      "    { \"kind\": \"straggler\", \"at_ms\": 1, \"window_ms\": 1,"
+      " \"device\": 0, \"severity\": 0.5 } ] },\n"
+      "  \"sweep\": { \"axes\": [ { \"name\": \"island_devices\","
+      " \"values\": [4] } ] } }\n",
+      &s, &diags);
+  EXPECT_NE(render.find("'severity' does not apply to kind 'partition'"),
+            std::string::npos);
+  EXPECT_NE(render.find("'host' does not apply to kind 'device_crash'"),
+            std::string::npos);
+  EXPECT_NE(render.find("must be >= 1"), std::string::npos);
+}
+
+TEST(ScenarioFaultPlan, AxisDerivedPlansStillValidateWithDeprecationNote) {
+  const std::string text =
+      "{ \"name\": \"t\", \"family\": \"faults\",\n"
+      "  \"sweep\": { \"axes\": [\n"
+      "    { \"name\": \"island_devices\", \"values\": [4] },\n"
+      "    { \"name\": \"faults_per_sec\", \"values\": [25] } ] } }\n";
+  Scenario s;
+  DiagnosticEngine diags("test.json", text);
+  ASSERT_TRUE(ParseScenario(text, &s, &diags)) << diags.Render();
+  ASSERT_TRUE(ValidateForFamily(&s, &diags)) << diags.Render();
+  bool noted = false;
+  for (const auto& d : diags.diagnostics()) {
+    noted |= d.severity == Diagnostic::Severity::kNote &&
+             d.message.find("fault_plan") != std::string::npos;
+  }
+  EXPECT_TRUE(noted) << diags.Render();
+}
+
 // --- canonical serialization ----------------------------------------------
 
 std::string ReadFileOrDie(const std::string& path) {
@@ -189,8 +278,10 @@ std::string ReadFileOrDie(const std::string& path) {
 }
 
 TEST(ScenarioSerialize, ShippedScenariosRoundTripByteIdentically) {
-  const char* names[] = {"multitenant",   "faults",       "oversub",
-                         "serving",       "serving_disagg", "serving_flow"};
+  const char* names[] = {"multitenant",    "faults",       "faults_plan",
+                         "oversub",        "serving",      "serving_disagg",
+                         "serving_flow",   "network",      "fig12_twoisland",
+                         "parallel"};
   for (const char* name : names) {
     SCOPED_TRACE(name);
     const std::string path = DefaultScenarioPath(name);
@@ -327,6 +418,64 @@ TEST(ResultStore, LoadsBenchJsonIntoAddressedEntries) {
   const int n = store2.LoadDir(dir, &error);
   ASSERT_GE(n, 1) << error;
   EXPECT_FALSE(store2.Select("store_test/summary/speedup").empty());
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, ParsesAggregationSelectors) {
+  auto agg = ResultStore::ParseAggregation("p99 over serving/**/ttft_*");
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(agg->kind, Aggregation::Kind::kPercentile);
+  EXPECT_DOUBLE_EQ(agg->percentile, 99.0);
+  EXPECT_EQ(agg->glob, "serving/**/ttft_*");
+
+  agg = ResultStore::ParseAggregation("mean over a/*/b");
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(agg->kind, Aggregation::Kind::kMean);
+
+  // Plain globs and malformed forms fall through to a normal Select.
+  EXPECT_FALSE(ResultStore::ParseAggregation("serving/**/ttft_*").has_value());
+  EXPECT_FALSE(ResultStore::ParseAggregation("median over x").has_value());
+  EXPECT_FALSE(ResultStore::ParseAggregation("p101 over x").has_value());
+  EXPECT_FALSE(ResultStore::ParseAggregation("p99 over ").has_value());
+  EXPECT_FALSE(ResultStore::ParseAggregation("p99 x").has_value());
+}
+
+TEST(ResultStore, AggregatesOverMatchingValues) {
+  const std::string dir = ::testing::TempDir();
+  sweep::ResultTable table;
+  for (int i = 1; i <= 4; ++i) {
+    table.Add({{"n", sweep::ParamValue{std::int64_t{i}}}},
+              {{"lat_us", 100.0 * i}});
+  }
+  const std::string path =
+      sweep::WriteBenchJsonFile("agg_test", {}, table, dir);
+  ASSERT_FALSE(path.empty());
+
+  ResultStore store;
+  std::string error;
+  ASSERT_TRUE(store.LoadBenchFile(path, &error)) << error;
+
+  auto value = [&](const std::string& select) {
+    const auto agg = ResultStore::ParseAggregation(select);
+    EXPECT_TRUE(agg.has_value()) << select;
+    const auto v = store.Aggregate(*agg);
+    EXPECT_TRUE(v.has_value()) << select;
+    return v.value_or(-1);
+  };
+  EXPECT_DOUBLE_EQ(value("min over agg_test/**/lat_us"), 100.0);
+  EXPECT_DOUBLE_EQ(value("max over agg_test/**/lat_us"), 400.0);
+  EXPECT_DOUBLE_EQ(value("mean over agg_test/**/lat_us"), 250.0);
+  EXPECT_DOUBLE_EQ(value("sum over agg_test/**/lat_us"), 1000.0);
+  EXPECT_DOUBLE_EQ(value("count over agg_test/**/lat_us"), 4.0);
+  EXPECT_DOUBLE_EQ(value("p0 over agg_test/**/lat_us"), 100.0);
+  EXPECT_DOUBLE_EQ(value("p50 over agg_test/**/lat_us"), 250.0);
+  EXPECT_DOUBLE_EQ(value("p100 over agg_test/**/lat_us"), 400.0);
+
+  // Empty matches: count is 0, everything else has no value.
+  const auto none = ResultStore::ParseAggregation("mean over missing/**");
+  EXPECT_FALSE(store.Aggregate(*none).has_value());
+  const auto zero = ResultStore::ParseAggregation("count over missing/**");
+  EXPECT_DOUBLE_EQ(store.Aggregate(*zero).value_or(-1), 0.0);
   std::remove(path.c_str());
 }
 

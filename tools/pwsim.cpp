@@ -40,14 +40,20 @@ int Usage(FILE* out) {
                "      Parse + schema-check + family-check each file; prints\n"
                "      clang-style diagnostics; exit 1 if any file fails.\n"
                "  pwsim run <name|file> [--quick] [--threads N] [--out DIR]\n"
-               "                        [--no-determinism] [--dry-run]\n"
+               "                        [--sim-threads N] [--no-determinism]\n"
+               "                        [--dry-run]\n"
                "      Run the scenario's sweep and write BENCH_<name>.json\n"
-               "      (--dry-run: validate and list grid points only).\n"
+               "      (--dry-run: validate and list grid points only;\n"
+               "      --sim-threads: per-point partitioned-engine threads,\n"
+               "      sweep workers become threads / sim-threads).\n"
                "  pwsim query --select <glob> [--dir DIR]\n"
                "      Print 'path value' for every result matching the\n"
                "      glob (segments split on '/'; * ? within a segment,\n"
                "      ** across segments), loaded from DIR's BENCH_*.json\n"
-               "      (default: current directory).\n"
+               "      (default: current directory). The glob may be\n"
+               "      prefixed with an aggregation — 'p99 over <glob>',\n"
+               "      also min/max/mean/sum/count/pNN — to reduce all\n"
+               "      matches to one number.\n"
                "  pwsim dump <name|file>\n"
                "      Print the canonical serialization (the parse ->\n"
                "      serialize -> parse fixed point).\n"
@@ -84,6 +90,10 @@ int CmdValidate(const std::vector<std::string>& files) {
     Scenario s;
     DiagnosticEngine diags;
     if (LoadAndValidate(path, &s, &diags)) {
+      // Valid files can still carry notes (e.g. deprecation warnings).
+      if (!diags.diagnostics().empty()) {
+        std::fputs(diags.Render().c_str(), stdout);
+      }
       std::printf("%s: OK (family %s, %zu axes)\n", path.c_str(),
                   s.family.c_str(), s.sweep.size());
     } else {
@@ -108,6 +118,8 @@ int CmdRun(const std::vector<std::string>& args) {
       dry_run = true;
     } else if (a == "--threads" && i + 1 < args.size()) {
       opts.threads = std::atoi(args[++i].c_str());
+    } else if (a == "--sim-threads" && i + 1 < args.size()) {
+      opts.sim_threads = std::atoi(args[++i].c_str());
     } else if (a == "--out" && i + 1 < args.size()) {
       opts.out_dir = args[++i];
     } else if (!a.empty() && a[0] == '-') {
@@ -162,6 +174,16 @@ int CmdRun(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Shortest printf form of `v` that strtod-round-trips.
+std::string RoundTripNumber(double v) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
 int CmdQuery(const std::vector<std::string>& args) {
   std::string select;
   std::string dir = ".";
@@ -192,15 +214,21 @@ int CmdQuery(const std::vector<std::string>& args) {
                  dir.c_str());
     return 1;
   }
+  if (const auto agg = ResultStore::ParseAggregation(select)) {
+    const auto value = store.Aggregate(*agg);
+    if (!value.has_value()) {
+      std::fprintf(stderr, "pwsim query: no results match '%s'\n",
+                   agg->glob.c_str());
+      return 1;
+    }
+    std::printf("%s\n", RoundTripNumber(*value).c_str());
+    return 0;
+  }
+
   const auto matches = store.Select(select);
   for (const auto& e : matches) {
     // Shortest round-trip form, same as the files themselves.
-    char buf[64];
-    for (int prec = 1; prec <= 17; ++prec) {
-      std::snprintf(buf, sizeof buf, "%.*g", prec, e.value);
-      if (std::strtod(buf, nullptr) == e.value) break;
-    }
-    std::printf("%s %s\n", e.path.c_str(), buf);
+    std::printf("%s %s\n", e.path.c_str(), RoundTripNumber(e.value).c_str());
   }
   if (matches.empty()) {
     std::fprintf(stderr, "pwsim query: no results match '%s'\n",
